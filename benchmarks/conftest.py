@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure/table benchmark regenerates the paper's rows/series, prints
+them (visible with ``pytest -s`` or in the benchmark logs) and writes them
+under ``benchmarks/results/`` so EXPERIMENTS.md can reference stable
+artifacts.  Set ``REPRO_FULL=1`` for paper-scale runs; the default quick
+mode shrinks network counts so the whole harness runs in minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> None:
+    """Print *text* and persist it as ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

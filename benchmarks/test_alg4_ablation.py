@@ -1,0 +1,16 @@
+"""Benchmark: Algorithm 4 / residual-spending ablation (paper V-C-3)."""
+
+from repro.experiments import alg4_ablation
+
+from conftest import report
+
+
+def test_alg4_ablation(benchmark):
+    """Full pipeline vs no-Alg-4 vs the paper-literal single Alg-3 sweep."""
+    ablation = benchmark.pedantic(alg4_ablation, rounds=1, iterations=1)
+    report("alg4_ablation", ablation.to_text())
+    # Residual spending must help, and never hurt.
+    assert ablation.improvement >= 0.0
+    for _, full, no_a4, sweep in ablation.rows:
+        assert full >= no_a4 - 1e-9
+        assert full >= sweep - 1e-9

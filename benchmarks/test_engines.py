@@ -1,0 +1,41 @@
+"""Benchmark: Monte Carlo engine throughput (reference vs vectorised)."""
+
+from repro.network.builder import NetworkConfig, build_network
+from repro.network.demands import generate_demands
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.nfusion import AlgNFusion
+from repro.simulation.engine import EntanglementProcessSimulator
+from repro.simulation.vectorized import VectorizedProcessSimulator
+from repro.utils.rng import ensure_rng
+
+LINK = LinkModel(fixed_p=0.4)
+SWAP = SwapModel(q=0.9)
+TRIALS = 400
+
+
+def _flows():
+    rng = ensure_rng(99)
+    network = build_network(NetworkConfig(num_switches=40), rng)
+    demands = generate_demands(network, 8, rng)
+    plan = AlgNFusion().route(network, demands, LINK, SWAP).plan
+    return network, plan.flows()
+
+
+def test_reference_engine(benchmark):
+    network, flows = _flows()
+    sim = EntanglementProcessSimulator(network, LINK, SWAP, ensure_rng(1))
+
+    def run():
+        return [sim.flow_rate(f, TRIALS) for f in flows]
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_vectorized_engine(benchmark):
+    network, flows = _flows()
+    sim = VectorizedProcessSimulator(network, LINK, SWAP, ensure_rng(1))
+
+    def run():
+        return [sim.flow_rate(f, TRIALS) for f in flows]
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 7 (topology generators)."""
+
+from repro.experiments import fig7_generators
+
+from conftest import report
+
+
+def test_fig7_generators(benchmark):
+    """Runs the sweep once and reports the series the paper plots."""
+    sweep = benchmark.pedantic(fig7_generators, rounds=1, iterations=1)
+    report("fig7_generators", sweep.to_text())
+    assert sweep.series_for("ALG-N-FUSION")

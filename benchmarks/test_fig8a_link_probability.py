@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 8a (link probability sweep)."""
+
+from repro.experiments import fig8a_link_probability
+
+from conftest import report
+
+
+def test_fig8a_link_probability(benchmark):
+    """Runs the sweep once and reports the series the paper plots."""
+    sweep = benchmark.pedantic(fig8a_link_probability, rounds=1, iterations=1)
+    report("fig8a_link_probability", sweep.to_text())
+    assert sweep.series_for("ALG-N-FUSION")

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 8b (swap probability sweep)."""
+
+from repro.experiments import fig8b_swap_probability
+
+from conftest import report
+
+
+def test_fig8b_swap_probability(benchmark):
+    """Runs the sweep once and reports the series the paper plots."""
+    sweep = benchmark.pedantic(fig8b_swap_probability, rounds=1, iterations=1)
+    report("fig8b_swap_probability", sweep.to_text())
+    assert sweep.series_for("ALG-N-FUSION")

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 9a (qubits per switch sweep)."""
+
+from repro.experiments import fig9a_qubits
+
+from conftest import report
+
+
+def test_fig9a_qubits(benchmark):
+    """Runs the sweep once and reports the series the paper plots."""
+    sweep = benchmark.pedantic(fig9a_qubits, rounds=1, iterations=1)
+    report("fig9a_qubits", sweep.to_text())
+    assert sweep.series_for("ALG-N-FUSION")

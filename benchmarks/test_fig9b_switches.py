@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 9b (number of switches sweep)."""
+
+from repro.experiments import fig9b_switches
+
+from conftest import report
+
+
+def test_fig9b_switches(benchmark):
+    """Runs the sweep once and reports the series the paper plots."""
+    sweep = benchmark.pedantic(fig9b_switches, rounds=1, iterations=1)
+    report("fig9b_switches", sweep.to_text())
+    assert sweep.series_for("ALG-N-FUSION")

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 9c (demanded states sweep)."""
+
+from repro.experiments import fig9c_states
+
+from conftest import report
+
+
+def test_fig9c_states(benchmark):
+    """Runs the sweep once and reports the series the paper plots."""
+    sweep = benchmark.pedantic(fig9c_states, rounds=1, iterations=1)
+    report("fig9c_states", sweep.to_text())
+    assert sweep.series_for("ALG-N-FUSION")

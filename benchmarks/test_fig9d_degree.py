@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 9d (average degree sweep)."""
+
+from repro.experiments import fig9d_degree
+
+from conftest import report
+
+
+def test_fig9d_degree(benchmark):
+    """Runs the sweep once and reports the series the paper plots."""
+    sweep = benchmark.pedantic(fig9d_degree, rounds=1, iterations=1)
+    report("fig9d_degree", sweep.to_text())
+    assert sweep.series_for("ALG-N-FUSION")

@@ -1,0 +1,16 @@
+"""Benchmark: recompute the paper's Section V-C-1 headline ratios."""
+
+from repro.experiments import headline_ratios
+
+from conftest import report
+
+
+def test_headline_ratios(benchmark):
+    """Paper-vs-measured improvement ratios over Q-CAST and within the
+    n-fusion algorithms."""
+    ratios = benchmark.pedantic(headline_ratios, rounds=1, iterations=1)
+    report("headline_ratios", ratios.to_text())
+    # The qualitative claims: n-fusion beats classic swapping, and
+    # ALG-N-FUSION is the best n-fusion algorithm.
+    assert ratios.best_improvement_over_qcast["ALG-N-FUSION"] > 1.0
+    assert ratios.alg_over_b1 > 0.0

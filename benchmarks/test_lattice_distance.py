@@ -1,0 +1,18 @@
+"""Benchmark: lattice distance study (context for B1 / refs [20], [21]).
+
+Prior work showed GHZ-measuring switches make the single-pair rate decay
+far more slowly with distance than classic swapping on a lattice; this
+bench regenerates that contrast with our routers.
+"""
+
+from repro.experiments import lattice_distance_study
+
+from conftest import report
+
+
+def test_lattice_distance(benchmark):
+    sweep = benchmark.pedantic(lattice_distance_study, rounds=1, iterations=1)
+    report("lattice_distance", sweep.to_text())
+    advantage = sweep.series_for("advantage")
+    # The n-fusion advantage must grow with distance.
+    assert advantage == sorted(advantage)

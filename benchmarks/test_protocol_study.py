@@ -1,0 +1,17 @@
+"""Benchmark: timed-protocol establishment vs memory coherence time."""
+
+from repro.experiments.protocol_study import protocol_coherence_study
+
+from conftest import report
+
+
+def test_protocol_coherence_study(benchmark):
+    sweep = benchmark.pedantic(
+        protocol_coherence_study, rounds=1, iterations=1
+    )
+    report("protocol_coherence", sweep.to_text())
+    rates = sweep.series_for("protocol rate")
+    expiries = sweep.series_for("expiry failures")
+    # Longer memories can only help, and expiry failures can only shrink.
+    assert rates == sorted(rates)
+    assert expiries == sorted(expiries, reverse=True)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Distribute a GHZ state among several users via star fusion.
+
+The paper routes *pairwise* states; its machinery extends naturally to
+k-user GHZ distribution (the future-work direction it motivates): every
+user builds an entanglement path to a common fusion center, which then
+performs a single k-GHZ measurement.  This example routes 3- and 4-user
+GHZ demands over a random network and verifies the fusion logic at the
+exact stabilizer level for the chosen star.
+
+Run:  python examples/multipartite_ghz.py
+"""
+
+import numpy as np
+
+from repro import (
+    LinkModel,
+    NetworkConfig,
+    StabilizerTableau,
+    SwapModel,
+    build_network,
+)
+from repro.quantum.fusion import ghz_measurement, prepare_bell_pair
+from repro.routing.multipartite import MultipartiteDemand, MultipartiteRouter
+from repro.utils.rng import ensure_rng
+
+
+def route_stars() -> None:
+    network = build_network(
+        NetworkConfig(num_switches=40, num_users=6), ensure_rng(11)
+    )
+    link, swap = LinkModel(fixed_p=0.6), SwapModel(q=0.9)
+    users = network.users()
+    router = MultipartiteRouter()
+    demands = [
+        MultipartiteDemand(0, users[:3]),
+        MultipartiteDemand(1, users[3:6]),
+    ]
+    print("=== routing multipartite GHZ demands ===")
+    routes = router.route_all(network, demands, link, swap)
+    for demand in demands:
+        star = routes.get(demand.demand_id)
+        if star is None:
+            print(f"demand {demand.demand_id}: no feasible star")
+            continue
+        print(
+            f"demand {demand.demand_id}: GHZ_{demand.size} for users "
+            f"{demand.users} via center switch {star.center}, "
+            f"rate {star.rate:.3f}"
+        )
+        for user, nodes in sorted(star.arms.items()):
+            print(f"  arm {user}: {' - '.join(map(str, nodes))}")
+    print()
+
+
+def verify_star_fusion(k: int = 4) -> None:
+    """Exact check: k Bell pairs + one k-GHZ measurement = GHZ_k."""
+    print(f"=== stabilizer verification of a {k}-arm star ===")
+    tableau = StabilizerTableau(2 * k, np.random.default_rng(5))
+    center_qubits, user_qubits = [], []
+    for i in range(k):
+        prepare_bell_pair(tableau, 2 * i, 2 * i + 1)
+        center_qubits.append(2 * i)
+        user_qubits.append(2 * i + 1)
+    outcomes = ghz_measurement(tableau, center_qubits)
+    assert tableau.is_ghz_up_to_pauli(user_qubits)
+    print(
+        f"center measured {outcomes}; user qubits {user_qubits} share a "
+        f"GHZ_{k} state (verified exactly)"
+    )
+
+
+def main() -> None:
+    route_stars()
+    verify_star_fusion()
+
+
+if __name__ == "__main__":
+    main()

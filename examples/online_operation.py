@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Operational view: time slots, waiting times and online arrivals.
+
+Two extensions beyond the paper's one-shot evaluation:
+
+1. **Time-slotted throughput** — the routed plan is executed over many
+   slots; per-slot delivery and waiting time (slots until a pair first
+   shares a state) are measured and compared with the analytic rate.
+2. **Online scheduling** — demands arrive as a Poisson process; each
+   slot's batch is routed on the fly and the service fraction compared
+   between ALG-N-FUSION and the classic-swapping Q-CAST.
+
+Run:  python examples/online_operation.py
+"""
+
+from repro import (
+    AlgNFusion,
+    LinkModel,
+    NetworkConfig,
+    QCastRouter,
+    SwapModel,
+    build_network,
+    generate_demands,
+)
+from repro.routing.scheduler import OnlineScheduler
+from repro.simulation.timeline import TimeSlottedSimulator
+from repro.utils.rng import ensure_rng
+from repro.utils.tables import AsciiTable
+
+
+def timeline_demo(network, link, swap) -> None:
+    demands = generate_demands(network, 8, ensure_rng(2))
+    result = AlgNFusion().route(network, demands, link, swap)
+    simulator = TimeSlottedSimulator(network, link, swap, ensure_rng(3))
+    run = simulator.run(result.plan, num_slots=2000)
+    print("=== time-slotted execution (2000 slots) ===")
+    print(f"analytic rate     : {result.total_rate:.3f} states/slot")
+    print(f"measured          : {run.throughput_per_slot:.3f} states/slot")
+    mean_wait = run.mean_waiting_time()
+    print(f"mean waiting time : {mean_wait:.1f} slots to first state\n"
+          if mean_wait else "no demand ever succeeded\n")
+
+
+def online_demo(network, link, swap) -> None:
+    print("=== online arrivals (Poisson, 30 slots) ===")
+    table = AsciiTable(
+        ["router", "arrived", "served", "dropped", "E[states]/slot"]
+    )
+    for router in (AlgNFusion(), QCastRouter()):
+        scheduler = OnlineScheduler(router=router, arrival_rate=2.0)
+        outcome = scheduler.run(
+            network, num_slots=30, link_model=link, swap_model=swap,
+            rng=ensure_rng(4),
+        )
+        table.add_row(
+            [router.name, outcome.arrived, outcome.served, outcome.dropped,
+             outcome.mean_throughput_per_slot]
+        )
+    print(table.render())
+    print(
+        "\nSame arrivals, same network: the n-fusion router converts more "
+        "of the offered load into delivered entanglement."
+    )
+
+
+def main() -> None:
+    network = build_network(NetworkConfig(num_switches=40, num_users=8),
+                            ensure_rng(1))
+    link, swap = LinkModel(fixed_p=0.45), SwapModel(q=0.9)
+    timeline_demo(network, link, swap)
+    online_demo(network, link, swap)
+
+
+if __name__ == "__main__":
+    main()

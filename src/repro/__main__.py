@@ -1,0 +1,146 @@
+"""Top-level command line interface.
+
+Usage::
+
+    python -m repro route --switches 50 --states 10 --seed 7
+    python -m repro route --algorithm q-cast --report
+    python -m repro route --save instance.json
+    python -m repro simulate instance.json --trials 2000
+    python -m repro version
+
+``route`` samples a network + demand set, runs a router and prints the
+resulting rates (optionally the full plan report); ``simulate`` loads a
+saved instance, routes it and validates the analytic rate with the
+vectorised Monte Carlo engine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro import __version__
+from repro.network.builder import NetworkConfig, build_network
+from repro.network.demands import generate_demands
+from repro.network.serialization import load_instance, save_instance
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.baselines import B1Router, MCFRouter, QCastNRouter, QCastRouter
+from repro.routing.nfusion import AlgNFusion
+from repro.routing.report import render_plan_report
+from repro.simulation.vectorized import VectorizedProcessSimulator
+from repro.utils.rng import ensure_rng
+
+ROUTERS = {
+    "alg-n-fusion": AlgNFusion,
+    "q-cast": QCastRouter,
+    "q-cast-n": QCastNRouter,
+    "b1": B1Router,
+    "mcf": MCFRouter,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Entanglement routing over quantum networks (GHZ fusion).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    route = sub.add_parser("route", help="sample an instance and route it")
+    route.add_argument("--generator", default="waxman")
+    route.add_argument("--switches", type=int, default=50)
+    route.add_argument("--users", type=int, default=8)
+    route.add_argument("--degree", type=float, default=10.0)
+    route.add_argument("--qubits", type=int, default=10)
+    route.add_argument("--states", type=int, default=10)
+    route.add_argument("--seed", type=int, default=0)
+    route.add_argument("--p", type=float, default=None,
+                       help="uniform link success probability (default: "
+                            "length-based e^{-alpha L})")
+    route.add_argument("--q", type=float, default=0.9,
+                       help="fusion success probability")
+    route.add_argument("--algorithm", choices=sorted(ROUTERS),
+                       default="alg-n-fusion")
+    route.add_argument("--report", action="store_true",
+                       help="print the full per-demand plan report")
+    route.add_argument("--save", metavar="PATH",
+                       help="save the sampled instance as JSON")
+
+    simulate = sub.add_parser(
+        "simulate", help="route a saved instance and Monte Carlo check it"
+    )
+    simulate.add_argument("instance", help="instance JSON from route --save")
+    simulate.add_argument("--algorithm", choices=sorted(ROUTERS),
+                          default="alg-n-fusion")
+    simulate.add_argument("--trials", type=int, default=2000)
+    simulate.add_argument("--p", type=float, default=None)
+    simulate.add_argument("--q", type=float, default=0.9)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("version", help="print the library version")
+    return parser
+
+
+def _models(args) -> tuple:
+    link = LinkModel(fixed_p=args.p) if args.p is not None else LinkModel()
+    return link, SwapModel(q=args.q)
+
+
+def cmd_route(args) -> int:
+    config = NetworkConfig(
+        generator=args.generator,
+        num_switches=args.switches,
+        num_users=args.users,
+        average_degree=args.degree,
+        qubit_capacity=args.qubits,
+    )
+    rng = ensure_rng(args.seed)
+    network = build_network(config, rng)
+    demands = generate_demands(network, args.states, rng)
+    if args.save:
+        save_instance(args.save, network, demands)
+        print(f"instance saved to {args.save}")
+    link, swap = _models(args)
+    router = ROUTERS[args.algorithm]()
+    result = router.route(network, demands, link, swap)
+    if args.report:
+        print(render_plan_report(network, demands, result, link, swap))
+    else:
+        print(f"{result.algorithm}: total rate {result.total_rate:.4f}, "
+              f"routed {result.num_routed}/{len(demands)} demands")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    network, demands = load_instance(args.instance)
+    link, swap = _models(args)
+    router = ROUTERS[args.algorithm]()
+    result = router.route(network, demands, link, swap)
+    engine = VectorizedProcessSimulator(
+        network, link, swap, ensure_rng(args.seed)
+    )
+    estimate = engine.plan_estimate(result.plan, trials=args.trials)
+    low, high = estimate.confidence_interval()
+    print(f"{result.algorithm}: analytic rate {result.total_rate:.4f}")
+    print(
+        f"monte carlo ({args.trials} trials): {estimate.mean:.4f} "
+        f"(95% CI [{low:.4f}, {high:.4f}])"
+    )
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "version":
+        print(__version__)
+        return 0
+    if args.command == "route":
+        return cmd_route(args)
+    if args.command == "simulate":
+        return cmd_simulate(args)
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Statistical analysis helpers for experiment results.
+
+Evaluation claims like "ALG-N-FUSION improves the rate by X%" need error
+bars: topologies and demand sets are random, so per-sample rates vary.
+This package provides:
+
+* :func:`~repro.analysis.statistics.bootstrap_ci` — nonparametric
+  confidence intervals for any statistic of a sample;
+* :func:`~repro.analysis.statistics.sign_test_p_value` — exact paired
+  sign test (no distributional assumptions);
+* :func:`~repro.analysis.comparison.compare_routers` — paired evaluation
+  of several routers over shared network samples, with per-pair mean
+  differences, bootstrap CIs and sign-test significance.
+"""
+
+from repro.analysis.statistics import (
+    bootstrap_ci,
+    paired_difference_ci,
+    sign_test_p_value,
+)
+from repro.analysis.comparison import ComparisonReport, compare_routers
+
+__all__ = [
+    "bootstrap_ci",
+    "paired_difference_ci",
+    "sign_test_p_value",
+    "ComparisonReport",
+    "compare_routers",
+]

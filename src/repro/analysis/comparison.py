@@ -1,0 +1,118 @@
+"""Paired router comparisons over shared network samples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.statistics import (
+    bootstrap_ci,
+    paired_difference_ci,
+    sign_test_p_value,
+)
+from repro.exceptions import ConfigurationError
+from repro.network.builder import NetworkConfig, build_network
+from repro.network.demands import generate_demands
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.utils.rng import RandomState, ensure_rng, spawn_rng
+from repro.utils.tables import AsciiTable
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Paired per-sample rates plus derived statistics."""
+
+    samples: Dict[str, Tuple[float, ...]]
+
+    def algorithms(self) -> List[str]:
+        """Algorithm names, in insertion order."""
+        return list(self.samples)
+
+    def mean_rate(self, algorithm: str) -> float:
+        """Mean rate of one algorithm over the shared samples."""
+        values = self._series(algorithm)
+        return sum(values) / len(values)
+
+    def mean_ci(self, algorithm: str, rng: Optional[RandomState] = None):
+        """Bootstrap CI of one algorithm's mean rate."""
+        return bootstrap_ci(self._series(algorithm), rng=rng)
+
+    def difference_ci(
+        self, a: str, b: str, rng: Optional[RandomState] = None
+    ):
+        """Bootstrap CI of the paired mean difference ``a - b``."""
+        return paired_difference_ci(
+            self._series(a), self._series(b), rng=rng
+        )
+
+    def significance(self, a: str, b: str) -> float:
+        """Two-sided sign-test p-value for ``a`` vs ``b``."""
+        return sign_test_p_value(self._series(a), self._series(b))
+
+    def to_text(self, baseline: Optional[str] = None) -> str:
+        """Render means with CIs and per-algorithm comparison rows."""
+        names = self.algorithms()
+        if baseline is None:
+            baseline = names[0]
+        if baseline not in self.samples:
+            raise ConfigurationError(f"unknown baseline {baseline!r}")
+        table = AsciiTable(
+            ["algorithm", "mean rate", "95% CI", f"vs {baseline}", "p (sign)"]
+        )
+        for name in names:
+            mean, low, high = self.mean_ci(name, rng=ensure_rng(0))
+            if name == baseline:
+                versus, p_text = "-", "-"
+            else:
+                diff, dlow, dhigh = self.difference_ci(
+                    name, baseline, rng=ensure_rng(0)
+                )
+                versus = f"{diff:+.3g} [{dlow:.3g}, {dhigh:.3g}]"
+                p_text = f"{self.significance(name, baseline):.3g}"
+            table.add_row(
+                [name, mean, f"[{low:.3g}, {high:.3g}]", versus, p_text]
+            )
+        return table.render()
+
+    def _series(self, algorithm: str) -> Tuple[float, ...]:
+        try:
+            return self.samples[algorithm]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown algorithm {algorithm!r}; have {self.algorithms()}"
+            ) from None
+
+
+def compare_routers(
+    routers: Sequence,
+    config: Optional[NetworkConfig] = None,
+    num_states: int = 10,
+    num_samples: int = 10,
+    link_model: Optional[LinkModel] = None,
+    swap_model: Optional[SwapModel] = None,
+    seed: int = 0,
+) -> ComparisonReport:
+    """Evaluate *routers* on *num_samples* shared network samples.
+
+    All routers see identical topologies and demand sets, so per-sample
+    differences isolate the algorithm (paired design).
+    """
+    if not routers:
+        raise ConfigurationError("need at least one router")
+    if num_samples < 1:
+        raise ConfigurationError(f"num_samples must be >= 1, got {num_samples}")
+    config = config or NetworkConfig(num_switches=50)
+    link_model = link_model or LinkModel()
+    swap_model = swap_model or SwapModel()
+    rng = ensure_rng(seed)
+    sample_rngs = spawn_rng(rng, num_samples)
+    rates: Dict[str, List[float]] = {}
+    for sample_rng in sample_rngs:
+        network = build_network(config, sample_rng)
+        demands = generate_demands(network, num_states, sample_rng)
+        for router in routers:
+            result = router.route(network, demands, link_model, swap_model)
+            rates.setdefault(result.algorithm, []).append(result.total_rate)
+    return ComparisonReport(
+        samples={name: tuple(values) for name, values in rates.items()}
+    )

@@ -1,0 +1,99 @@
+"""Nonparametric statistics: bootstrap intervals and the sign test."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomState, ensure_rng
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    rng: Optional[RandomState] = None,
+) -> Tuple[float, float, float]:
+    """Percentile bootstrap: ``(point_estimate, low, high)``.
+
+    ``statistic`` maps a resampled array to a scalar (default: the mean).
+    """
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    if n_boot < 10:
+        raise ConfigurationError(f"n_boot must be >= 10, got {n_boot}")
+    rng = ensure_rng(rng)
+    point = float(statistic(values))
+    if values.size == 1:
+        return point, point, point
+    indices = rng.integers(0, values.size, size=(n_boot, values.size))
+    resamples = values[indices]
+    stats = np.apply_along_axis(statistic, 1, resamples)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(stats, [alpha, 1.0 - alpha])
+    return point, float(low), float(high)
+
+
+def paired_difference_ci(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    rng: Optional[RandomState] = None,
+) -> Tuple[float, float, float]:
+    """Bootstrap CI for the mean of the paired differences ``a - b``."""
+    a = list(a)
+    b = list(b)
+    if len(a) != len(b):
+        raise ConfigurationError(
+            f"paired samples must have equal length, got {len(a)} and {len(b)}"
+        )
+    differences = [x - y for x, y in zip(a, b)]
+    return bootstrap_ci(differences, confidence=confidence, n_boot=n_boot, rng=rng)
+
+
+def sign_test_p_value(a: Sequence[float], b: Sequence[float]) -> float:
+    """Exact two-sided sign test for paired samples.
+
+    Tests the null hypothesis that ``a_i > b_i`` and ``a_i < b_i`` are
+    equally likely; ties are discarded (standard treatment).  Returns the
+    two-sided p-value; 1.0 when every pair ties.
+    """
+    a = list(a)
+    b = list(b)
+    if len(a) != len(b):
+        raise ConfigurationError(
+            f"paired samples must have equal length, got {len(a)} and {len(b)}"
+        )
+    wins = sum(1 for x, y in zip(a, b) if x > y)
+    losses = sum(1 for x, y in zip(a, b) if x < y)
+    n = wins + losses
+    if n == 0:
+        return 1.0
+    k = min(wins, losses)
+    # Two-sided binomial tail with p = 1/2.
+    tail = sum(math.comb(n, i) for i in range(0, k + 1)) / (2.0**n)
+    return min(1.0, 2.0 * tail)
+
+
+def summarize(samples: Sequence[float]) -> dict:
+    """Mean / std / min / max summary of a sample."""
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("cannot summarise an empty sample")
+    return {
+        "n": int(values.size),
+        "mean": float(values.mean()),
+        "std": float(values.std(ddof=1)) if values.size > 1 else 0.0,
+        "min": float(values.min()),
+        "max": float(values.max()),
+    }

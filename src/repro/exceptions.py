@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to distinguish the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied parameter is outside its legal domain."""
+
+
+class TopologyError(ReproError):
+    """A network topology is malformed or cannot be generated."""
+
+
+class NodeNotFoundError(TopologyError):
+    """A node identifier does not exist in the network."""
+
+
+class EdgeNotFoundError(TopologyError):
+    """An edge does not exist in the network."""
+
+
+class CapacityError(ReproError):
+    """A qubit allocation would exceed a switch's qubit capacity."""
+
+
+class RoutingError(ReproError):
+    """Route computation failed (e.g. no feasible path of the given width)."""
+
+
+class NoPathError(RoutingError):
+    """No path exists between the requested endpoints under the constraints."""
+
+
+class AllocationError(RoutingError):
+    """Qubit ledger operations were used inconsistently."""
+
+
+class QuantumStateError(ReproError):
+    """An operation on a quantum state or tableau is invalid."""
+
+
+class MeasurementError(QuantumStateError):
+    """A measurement was requested on an invalid qubit or basis."""
+
+
+class FusionError(QuantumStateError):
+    """An n-fusion operation was requested on incompatible states."""
+
+
+class SimulationError(ReproError):
+    """The Monte Carlo entanglement-process simulator hit an invalid state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or sweep configuration is invalid."""

@@ -1,0 +1,48 @@
+"""Experiment harness: sweeps, figure/table definitions and reporting.
+
+Every figure and table of the paper's evaluation section has a definition
+here that regenerates its rows/series; the ``benchmarks/`` tree wraps them
+in pytest-benchmark targets.  ``quick=True`` (the default used in CI-sized
+runs) shrinks the network count and size; set the environment variable
+``REPRO_FULL=1`` — or pass ``quick=False`` — for paper-scale runs.
+"""
+
+from repro.experiments.config import ExperimentSetting, is_full_run
+from repro.experiments.runner import (
+    SweepResult,
+    run_setting,
+    run_sweep,
+    standard_routers,
+)
+from repro.experiments.figures import (
+    fig7_generators,
+    fig8a_link_probability,
+    fig8b_swap_probability,
+    fig9a_qubits,
+    fig9b_switches,
+    fig9c_states,
+    fig9d_degree,
+)
+from repro.experiments.tables import alg4_ablation, headline_ratios
+from repro.experiments.lattice import lattice_distance_study
+from repro.experiments.protocol_study import protocol_coherence_study
+
+__all__ = [
+    "ExperimentSetting",
+    "is_full_run",
+    "SweepResult",
+    "run_setting",
+    "run_sweep",
+    "standard_routers",
+    "fig7_generators",
+    "fig8a_link_probability",
+    "fig8b_swap_probability",
+    "fig9a_qubits",
+    "fig9b_switches",
+    "fig9c_states",
+    "fig9d_degree",
+    "headline_ratios",
+    "alg4_ablation",
+    "lattice_distance_study",
+    "protocol_coherence_study",
+]

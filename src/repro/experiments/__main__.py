@@ -1,0 +1,86 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig8a
+    python -m repro.experiments fig9b --full
+    python -m repro.experiments all --full
+
+``--full`` runs at paper scale (equivalent to REPRO_FULL=1); the default
+quick mode shrinks networks and averaging for fast turnaround.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    alg4_ablation,
+    fig7_generators,
+    fig8a_link_probability,
+    fig8b_swap_probability,
+    fig9a_qubits,
+    fig9b_switches,
+    fig9c_states,
+    fig9d_degree,
+    headline_ratios,
+)
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig7": fig7_generators,
+    "fig8a": fig8a_link_probability,
+    "fig8b": fig8b_swap_probability,
+    "fig9a": fig9a_qubits,
+    "fig9b": fig9b_switches,
+    "fig9c": fig9c_states,
+    "fig9d": fig9d_degree,
+    "headline": headline_ratios,
+    "ablation": alg4_ablation,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all", "list"],
+        help="experiment id (figN / headline / ablation), 'all' or 'list'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at paper scale instead of the quick default",
+    )
+    return parser
+
+
+def run_one(name: str, quick: bool) -> None:
+    result = EXPERIMENTS[name](quick=quick)
+    print(result.to_text())
+    print()
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    quick = not args.full
+    if args.experiment == "all":
+        for name in EXPERIMENTS:
+            print(f"=== {name} ===")
+            run_one(name, quick)
+        return 0
+    run_one(args.experiment, quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

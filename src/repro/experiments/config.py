@@ -1,0 +1,61 @@
+"""Experiment configuration records."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.network.builder import NetworkConfig
+from repro.quantum.noise import DEFAULT_ALPHA, LinkModel, SwapModel
+
+
+def is_full_run() -> bool:
+    """True when the environment requests paper-scale experiment runs."""
+    return os.environ.get("REPRO_FULL", "").strip() not in ("", "0", "false")
+
+
+@dataclass(frozen=True)
+class ExperimentSetting:
+    """One evaluation point: a network family plus quantum parameters.
+
+    Defaults are the paper's (Section V-A): Waxman, 100 switches, average
+    degree 10, 10 qubits/switch, 20 demanded states, q = 0.9,
+    p = e^{-1e-4 L}, averaged over 5 random networks.
+    """
+
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    num_states: int = 20
+    alpha: float = DEFAULT_ALPHA
+    fixed_p: Optional[float] = None
+    swap_q: float = 0.9
+    num_networks: int = 5
+    seed: int = 20230601
+
+    def link_model(self) -> LinkModel:
+        """The link success model this setting implies."""
+        return LinkModel(alpha=self.alpha, fixed_p=self.fixed_p)
+
+    def swap_model(self) -> SwapModel:
+        """The fusion success model this setting implies."""
+        return SwapModel(q=self.swap_q)
+
+    def with_updates(self, **kwargs) -> "ExperimentSetting":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def scaled_for_quick_run(self) -> "ExperimentSetting":
+        """A cheaper variant for CI-sized runs: fewer, smaller networks.
+
+        The scaling keeps the resource ratios (qubits per demand, degree)
+        intact so orderings and trends survive; only the averaging and
+        network size shrink.
+        """
+        quick_network = self.network.with_updates(
+            num_switches=max(30, self.network.num_switches // 2)
+        )
+        return self.with_updates(
+            network=quick_network,
+            num_networks=min(self.num_networks, 2),
+            num_states=min(self.num_states, 20),
+        )

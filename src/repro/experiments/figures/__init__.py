@@ -1,0 +1,23 @@
+"""Per-figure experiment definitions (paper Figures 7, 8 and 9)."""
+
+from repro.experiments.figures.fig7 import fig7_generators
+from repro.experiments.figures.fig8 import (
+    fig8a_link_probability,
+    fig8b_swap_probability,
+)
+from repro.experiments.figures.fig9 import (
+    fig9a_qubits,
+    fig9b_switches,
+    fig9c_states,
+    fig9d_degree,
+)
+
+__all__ = [
+    "fig7_generators",
+    "fig8a_link_probability",
+    "fig8b_swap_probability",
+    "fig9a_qubits",
+    "fig9b_switches",
+    "fig9c_states",
+    "fig9d_degree",
+]

@@ -1,0 +1,37 @@
+"""Figure 7 — entanglement rate vs. network generation method.
+
+Series: ALG-N-FUSION, Q-CAST, Q-CAST-N, B1 and "Alg-3" (ALG-N-FUSION
+without Algorithm 4 — the paper uses this figure to show Algorithm 4's
+contribution of up to ~16%).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.config import ExperimentSetting, is_full_run
+from repro.experiments.runner import SweepResult, run_sweep, standard_routers
+
+GENERATORS = ("waxman", "watts_strogatz", "aiello")
+
+
+def fig7_generators(quick: Optional[bool] = None) -> SweepResult:
+    """Run the Figure 7 sweep over topology generators."""
+    if quick is None:
+        quick = not is_full_run()
+    settings = []
+    for generator in GENERATORS:
+        setting = ExperimentSetting()
+        setting = setting.with_updates(
+            network=setting.network.with_updates(generator=generator)
+        )
+        if quick:
+            setting = setting.scaled_for_quick_run()
+        settings.append(setting)
+    return run_sweep(
+        title="Figure 7: entanglement rate vs. network generation method",
+        x_label="generator",
+        x_values=list(GENERATORS),
+        settings=settings,
+        routers=standard_routers(include_alg3_only=True),
+    )

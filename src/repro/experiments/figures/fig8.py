@@ -1,0 +1,52 @@
+"""Figure 8 — entanglement rate vs. quantum parameters.
+
+* 8a: uniform link success probability p in {0.1, 0.2, 0.3, 0.4} (the
+  paper fixes p across links here to remove topology randomness).
+* 8b: switch swapping success probability q in {0.3, 0.5, 0.7, 0.9}.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.config import ExperimentSetting, is_full_run
+from repro.experiments.runner import SweepResult, run_sweep
+
+P_VALUES = (0.1, 0.2, 0.3, 0.4)
+Q_VALUES = (0.3, 0.5, 0.7, 0.9)
+
+
+def fig8a_link_probability(quick: Optional[bool] = None) -> SweepResult:
+    """Run the Figure 8a sweep over the uniform link success probability."""
+    if quick is None:
+        quick = not is_full_run()
+    settings = []
+    for p in P_VALUES:
+        setting = ExperimentSetting(fixed_p=p)
+        if quick:
+            setting = setting.scaled_for_quick_run()
+        settings.append(setting)
+    return run_sweep(
+        title="Figure 8a: entanglement rate vs. link success probability p",
+        x_label="p",
+        x_values=list(P_VALUES),
+        settings=settings,
+    )
+
+
+def fig8b_swap_probability(quick: Optional[bool] = None) -> SweepResult:
+    """Run the Figure 8b sweep over the swapping success probability."""
+    if quick is None:
+        quick = not is_full_run()
+    settings = []
+    for q in Q_VALUES:
+        setting = ExperimentSetting(swap_q=q)
+        if quick:
+            setting = setting.scaled_for_quick_run()
+        settings.append(setting)
+    return run_sweep(
+        title="Figure 8b: entanglement rate vs. swapping success probability q",
+        x_label="q",
+        x_values=list(Q_VALUES),
+        settings=settings,
+    )

@@ -1,0 +1,101 @@
+"""Figure 9 — entanglement rate vs. network parameters.
+
+* 9a: qubits per switch in {6, 8, 10, 12}
+* 9b: number of switches in {50, 100, 200, 400}
+* 9c: number of demanded states in {10, 20, 30, 40}
+* 9d: average switch degree in {5, 10, 15, 20}
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.config import ExperimentSetting, is_full_run
+from repro.experiments.runner import SweepResult, run_sweep
+
+QUBIT_VALUES = (6, 8, 10, 12)
+SWITCH_VALUES = (50, 100, 200, 400)
+STATE_VALUES = (10, 20, 30, 40)
+DEGREE_VALUES = (5, 10, 15, 20)
+
+
+def _base(quick: bool) -> ExperimentSetting:
+    setting = ExperimentSetting()
+    return setting.scaled_for_quick_run() if quick else setting
+
+
+def fig9a_qubits(quick: Optional[bool] = None) -> SweepResult:
+    """Run the Figure 9a sweep over switch qubit capacity."""
+    if quick is None:
+        quick = not is_full_run()
+    settings = []
+    for capacity in QUBIT_VALUES:
+        setting = _base(quick)
+        setting = setting.with_updates(
+            network=setting.network.with_updates(qubit_capacity=capacity)
+        )
+        settings.append(setting)
+    return run_sweep(
+        title="Figure 9a: entanglement rate vs. qubits per switch",
+        x_label="qubits",
+        x_values=list(QUBIT_VALUES),
+        settings=settings,
+    )
+
+
+def fig9b_switches(quick: Optional[bool] = None) -> SweepResult:
+    """Run the Figure 9b sweep over the number of switches."""
+    if quick is None:
+        quick = not is_full_run()
+    settings = []
+    for count in SWITCH_VALUES:
+        setting = ExperimentSetting()
+        setting = setting.with_updates(
+            network=setting.network.with_updates(num_switches=count)
+        )
+        if quick:
+            # Keep the sweep's x values; only shrink the averaging.
+            setting = setting.with_updates(num_networks=1)
+        settings.append(setting)
+    return run_sweep(
+        title="Figure 9b: entanglement rate vs. number of switches",
+        x_label="switches",
+        x_values=list(SWITCH_VALUES),
+        settings=settings,
+    )
+
+
+def fig9c_states(quick: Optional[bool] = None) -> SweepResult:
+    """Run the Figure 9c sweep over the number of demanded states."""
+    if quick is None:
+        quick = not is_full_run()
+    settings = []
+    for states in STATE_VALUES:
+        setting = _base(quick)
+        setting = setting.with_updates(num_states=states)
+        settings.append(setting)
+    return run_sweep(
+        title="Figure 9c: entanglement rate vs. number of demanded states",
+        x_label="states",
+        x_values=list(STATE_VALUES),
+        settings=settings,
+    )
+
+
+def fig9d_degree(quick: Optional[bool] = None) -> SweepResult:
+    """Run the Figure 9d sweep over the average switch degree."""
+    if quick is None:
+        quick = not is_full_run()
+    settings = []
+    for degree in DEGREE_VALUES:
+        setting = _base(quick)
+        setting = setting.with_updates(
+            network=setting.network.with_updates(average_degree=float(degree))
+        )
+        settings.append(setting)
+    return run_sweep(
+        title="Figure 9d: entanglement rate vs. average switch degree",
+        x_label="degree",
+        x_values=list(DEGREE_VALUES),
+        settings=settings,
+    )

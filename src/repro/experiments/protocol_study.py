@@ -1,0 +1,80 @@
+"""Protocol-timing study: what the analytic model hides.
+
+Sweeps the memory coherence time and measures the timed-protocol
+establishment rate of an ALG-N-FUSION plan against its analytic Equation 1
+rate.  Three regimes emerge:
+
+* **memory-starved** — coherence shorter than a link round trip: nothing
+  survives to the fusions;
+* **transition** — establishment climbs towards the analytic rate;
+* **time-multiplexed** — with long slots the protocol retries failed
+  links and *exceeds* the single-attempt analytic rate (the space-time
+  multiplexing effect of ref. [21]).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.config import ExperimentSetting, is_full_run
+from repro.experiments.runner import SweepResult
+from repro.network.builder import build_network
+from repro.network.demands import generate_demands
+from repro.protocol.hardware import HardwareTimings
+from repro.protocol.simulator import ProtocolSimulator
+from repro.routing.nfusion import AlgNFusion
+from repro.utils.rng import ensure_rng
+
+#: Coherence times swept (seconds).
+COHERENCE_VALUES = (0.001, 0.01, 0.1, 1.0)
+
+
+def protocol_coherence_study(
+    quick: Optional[bool] = None,
+    slot_duration_s: float = 0.5,
+    coherence_values: Sequence[float] = COHERENCE_VALUES,
+) -> SweepResult:
+    """Establishment rate vs memory coherence time for one routed plan."""
+    if quick is None:
+        quick = not is_full_run()
+    setting = ExperimentSetting(fixed_p=0.4, seed=1717)
+    setting = setting.scaled_for_quick_run() if quick else setting
+    slots = 150 if quick else 600
+
+    rng = ensure_rng(setting.seed)
+    network = build_network(setting.network, rng)
+    demands = generate_demands(network, setting.num_states, rng)
+    link, swap = setting.link_model(), setting.swap_model()
+    result = AlgNFusion().route(network, demands, link, swap)
+    flows = result.plan.flows()
+
+    sweep = SweepResult(
+        title=(
+            "Protocol study: establishment vs memory coherence time "
+            f"(slot {slot_duration_s}s; analytic rate "
+            f"{result.total_rate:.2f})"
+        ),
+        x_label="coherence_s",
+        x_values=list(coherence_values),
+    )
+    for coherence in coherence_values:
+        timings = HardwareTimings(
+            coherence_time_s=coherence, slot_duration_s=slot_duration_s
+        )
+        simulator = ProtocolSimulator(
+            network, link, swap, timings, ensure_rng(4040)
+        )
+        total = 0.0
+        expiry = 0
+        for flow in flows:
+            stats = simulator.run(flow, slots)
+            total += stats.establishment_rate
+            expiry += stats.failures["memory_expiry"]
+        sweep.add_point(
+            {
+                "protocol rate": total,
+                "analytic rate": result.total_rate,
+                "expiry failures": float(expiry),
+            }
+        )
+    return sweep

@@ -1,0 +1,94 @@
+"""Sweep runner: evaluate routers across experiment settings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.config import ExperimentSetting
+from repro.network.builder import build_network
+from repro.network.demands import generate_demands
+from repro.routing.baselines import B1Router, QCastNRouter, QCastRouter
+from repro.routing.nfusion import AlgNFusion
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.tables import format_series
+
+
+def standard_routers(include_alg3_only: bool = False) -> List:
+    """The paper's benchmark set, in its reporting order."""
+    routers = [
+        AlgNFusion(),
+        QCastRouter(),
+        QCastNRouter(),
+        B1Router(),
+    ]
+    if include_alg3_only:
+        routers.append(AlgNFusion(include_alg4=False, name="ALG-N-FUSION"))
+    return routers
+
+
+def run_setting(
+    setting: ExperimentSetting,
+    routers: Optional[Sequence] = None,
+) -> Dict[str, float]:
+    """Mean network entanglement rate per algorithm at one setting.
+
+    Each of the setting's ``num_networks`` samples draws a fresh topology
+    and demand set from the setting's seed; every router sees the same
+    samples, so the comparison is paired.
+    """
+    routers = list(routers) if routers is not None else standard_routers()
+    rng = ensure_rng(setting.seed)
+    sample_rngs = spawn_rng(rng, setting.num_networks)
+    link_model = setting.link_model()
+    swap_model = setting.swap_model()
+    totals: Dict[str, List[float]] = {}
+    for sample_rng in sample_rngs:
+        network = build_network(setting.network, sample_rng)
+        demands = generate_demands(network, setting.num_states, sample_rng)
+        for router in routers:
+            result = router.route(network, demands, link_model, swap_model)
+            totals.setdefault(result.algorithm, []).append(result.total_rate)
+    return {name: sum(values) / len(values) for name, values in totals.items()}
+
+
+@dataclass
+class SweepResult:
+    """A figure-style sweep: one x-axis, one series per algorithm."""
+
+    title: str
+    x_label: str
+    x_values: List
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add_point(self, rates: Mapping[str, float]) -> None:
+        """Append one sweep point's per-algorithm rates."""
+        for name, value in rates.items():
+            self.series.setdefault(name, []).append(value)
+
+    def to_text(self) -> str:
+        """Render as the rows/series the paper's figure shows."""
+        body = format_series(self.x_label, self.x_values, self.series)
+        return f"{self.title}\n{body}"
+
+    def series_for(self, algorithm: str) -> List[float]:
+        """One algorithm's series."""
+        return list(self.series[algorithm])
+
+
+def run_sweep(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    settings: Sequence[ExperimentSetting],
+    routers: Optional[Sequence] = None,
+) -> SweepResult:
+    """Evaluate *settings* (one per x value) into a :class:`SweepResult`."""
+    if len(x_values) != len(settings):
+        raise ValueError(
+            f"{len(x_values)} x values but {len(settings)} settings"
+        )
+    sweep = SweepResult(title=title, x_label=x_label, x_values=list(x_values))
+    for setting in settings:
+        sweep.add_point(run_setting(setting, routers))
+    return sweep

@@ -1,0 +1,191 @@
+"""Headline-comparison and ablation tables (paper Section V-C-1 / V-C-3).
+
+The paper's headline claims are improvement *ratios* over Q-CAST at the
+default setting and across parameter sweeps:
+
+* ALG-N-FUSION, Q-CAST-N and B1 improve over Q-CAST by up to 655%, 198%
+  and 92% respectively (n-fusion vs. classic swapping);
+* ALG-N-FUSION improves over Q-CAST-N / B1 by up to 153% / 293%
+  (performance among n-fusion algorithms);
+* Algorithm 4 improves over Algorithm 3 alone by up to 16.3%.
+
+:func:`headline_ratios` recomputes those ratios over the same sweeps; the
+benchmark target prints paper-vs-measured rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.config import ExperimentSetting, is_full_run
+from repro.experiments.runner import run_setting, standard_routers
+from repro.routing.nfusion import AlgNFusion
+from repro.utils.tables import AsciiTable
+
+
+@dataclass(frozen=True)
+class RatioReport:
+    """Max observed improvement ratios across the evaluated settings."""
+
+    best_improvement_over_qcast: Dict[str, float]
+    alg_over_qcast_n: float
+    alg_over_b1: float
+    per_setting_rates: List[Dict[str, float]]
+
+    def to_text(self) -> str:
+        """Render paper-vs-measured rows."""
+        table = AsciiTable(["comparison", "paper (up to)", "measured (up to)"])
+        table.add_row([
+            "ALG-N-FUSION vs Q-CAST",
+            "655%",
+            _pct(self.best_improvement_over_qcast.get("ALG-N-FUSION", 0.0)),
+        ])
+        table.add_row([
+            "Q-CAST-N vs Q-CAST",
+            "198%",
+            _pct(self.best_improvement_over_qcast.get("Q-CAST-N", 0.0)),
+        ])
+        table.add_row([
+            "B1 vs Q-CAST",
+            "92%",
+            _pct(self.best_improvement_over_qcast.get("B1", 0.0)),
+        ])
+        table.add_row([
+            "ALG-N-FUSION vs Q-CAST-N", "153%", _pct(self.alg_over_qcast_n)
+        ])
+        table.add_row([
+            "ALG-N-FUSION vs B1", "293%", _pct(self.alg_over_b1)
+        ])
+        return table.render()
+
+
+def _pct(ratio: float) -> str:
+    return f"{100.0 * ratio:.0f}%"
+
+
+def _improvement(a: float, b: float) -> float:
+    """Relative improvement of *a* over *b* (0 when b has no signal)."""
+    if b <= 1e-9:
+        return 0.0
+    return (a - b) / b
+
+
+def headline_settings(quick: bool) -> List[ExperimentSetting]:
+    """The settings the headline ratios are maximised over: the default
+    network plus the low-p / low-q corners where n-fusion shines."""
+    base = ExperimentSetting()
+    if quick:
+        base = base.scaled_for_quick_run()
+    return [
+        base,
+        base.with_updates(fixed_p=0.1),
+        base.with_updates(fixed_p=0.2),
+        base.with_updates(swap_q=0.5),
+    ]
+
+
+def headline_ratios(quick: Optional[bool] = None) -> RatioReport:
+    """Recompute the paper's Section V-C-1 headline improvement ratios."""
+    if quick is None:
+        quick = not is_full_run()
+    best_over_qcast: Dict[str, float] = {}
+    alg_over_qcast_n = 0.0
+    alg_over_b1 = 0.0
+    per_setting = []
+    for setting in headline_settings(quick):
+        rates = run_setting(setting)
+        per_setting.append(rates)
+        qcast = rates.get("Q-CAST", 0.0)
+        for name in ("ALG-N-FUSION", "Q-CAST-N", "B1"):
+            improvement = _improvement(rates.get(name, 0.0), qcast)
+            if improvement > best_over_qcast.get(name, 0.0):
+                best_over_qcast[name] = improvement
+        alg = rates.get("ALG-N-FUSION", 0.0)
+        alg_over_qcast_n = max(
+            alg_over_qcast_n, _improvement(alg, rates.get("Q-CAST-N", 0.0))
+        )
+        alg_over_b1 = max(alg_over_b1, _improvement(alg, rates.get("B1", 0.0)))
+    return RatioReport(
+        best_improvement_over_qcast=best_over_qcast,
+        alg_over_qcast_n=alg_over_qcast_n,
+        alg_over_b1=alg_over_b1,
+        per_setting_rates=per_setting,
+    )
+
+
+@dataclass(frozen=True)
+class AblationReport:
+    """Decomposition of the residual-spending machinery (paper V-C-3).
+
+    The paper's "Alg-3" series is a *single* Algorithm 3 admission sweep;
+    its Algorithm 4 then adds up to 16.3%.  Our Step II additionally runs
+    refill sweeps, which spend residual qubits on new branch paths before
+    Algorithm 4 sees them.  The report therefore separates three variants
+    per setting: the full pipeline, no-Algorithm-4 (refill on), and the
+    paper-literal single sweep (no refill, no Algorithm 4); the paper's
+    16.3% corresponds to ``full`` vs ``single sweep``.
+    """
+
+    rows: Tuple[Tuple[str, float, float, float], ...]
+
+    @property
+    def improvement(self) -> float:
+        """Max gain of the full pipeline over the paper-literal Alg-3
+        single sweep (the paper's comparison)."""
+        return max(
+            (_improvement(full, sweep) for _, full, _, sweep in self.rows),
+            default=0.0,
+        )
+
+    @property
+    def alg4_only_improvement(self) -> float:
+        """Max gain attributable to Algorithm 4 once refill already ran."""
+        return max(
+            (_improvement(full, no_a4) for _, full, no_a4, _ in self.rows),
+            default=0.0,
+        )
+
+    def to_text(self) -> str:
+        """Render paper-vs-measured rows."""
+        table = AsciiTable(
+            ["setting", "full", "no Alg-4", "single sweep", "gain vs sweep"]
+        )
+        for label, full, no_a4, sweep in self.rows:
+            table.add_row(
+                [label, full, no_a4, sweep, _pct(_improvement(full, sweep))]
+            )
+        footer = (
+            "residual-spending gain, max over settings "
+            f"(paper Alg-4: up to 16.3%): {_pct(self.improvement)}; "
+            f"Alg-4 after refill: {_pct(self.alg4_only_improvement)}"
+        )
+        return f"{table.render()}\n{footer}"
+
+
+def alg4_ablation(quick: Optional[bool] = None) -> AblationReport:
+    """Recompute the paper's Algorithm 4 ablation (Section V-C-3)."""
+    if quick is None:
+        quick = not is_full_run()
+    labels = ("default", "p=0.1", "p=0.2", "q=0.5")
+    rows = []
+    for label, setting in zip(labels, headline_settings(quick)):
+        rates = run_setting(
+            setting,
+            routers=[
+                AlgNFusion(),
+                AlgNFusion(include_alg4=False, name="ALG-NO4"),
+                AlgNFusion(
+                    include_alg4=False, refill_rounds=0, name="ALG-SWEEP"
+                ),
+            ],
+        )
+        rows.append(
+            (
+                label,
+                rates["ALG-N-FUSION"],
+                rates["ALG-NO4 (Alg-3 only)"],
+                rates["ALG-SWEEP (Alg-3 only)"],
+            )
+        )
+    return AblationReport(rows=tuple(rows))

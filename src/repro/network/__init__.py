@@ -1,0 +1,51 @@
+"""Quantum network model: nodes, links, the network graph and topologies.
+
+The network follows the paper's Section III model:
+
+* **Quantum users** request end-to-end entangled states; they have
+  effectively unlimited communication qubits and connect only to switches.
+* **Quantum switches** relay entanglement via n-fusion; each holds a
+  limited number of communication qubits (the binding resource).
+* **Quantum links** connect adjacent nodes over fibre; a *channel* of
+  width w places w parallel links on one edge for one demanded state.
+* Topology generators: Waxman (the paper's default), Watts-Strogatz,
+  Aiello power-law, plus grid/ring/Erdos-Renyi used by tests and examples.
+"""
+
+from repro.network.node import Node, NodeKind, QuantumSwitch, QuantumUser
+from repro.network.edge import Edge, edge_key
+from repro.network.graph import QuantumNetwork
+from repro.network.demands import Demand, DemandSet, generate_demands
+from repro.network.builder import NetworkConfig, build_network
+from repro.network.serialization import load_instance, save_instance
+from repro.network.topology import (
+    aiello_power_law_network,
+    erdos_renyi_network,
+    grid_network,
+    ring_network,
+    watts_strogatz_network,
+    waxman_network,
+)
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "QuantumSwitch",
+    "QuantumUser",
+    "Edge",
+    "edge_key",
+    "QuantumNetwork",
+    "Demand",
+    "DemandSet",
+    "generate_demands",
+    "NetworkConfig",
+    "build_network",
+    "load_instance",
+    "save_instance",
+    "waxman_network",
+    "watts_strogatz_network",
+    "aiello_power_law_network",
+    "grid_network",
+    "ring_network",
+    "erdos_renyi_network",
+]

@@ -1,0 +1,119 @@
+"""High-level network construction from a single configuration record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.network.graph import QuantumNetwork
+from repro.network.topology import (
+    aiello_power_law_network,
+    erdos_renyi_network,
+    grid_network,
+    ring_network,
+    watts_strogatz_network,
+    waxman_network,
+)
+from repro.network.topology.base import (
+    DEFAULT_AREA,
+    DEFAULT_NUM_USERS,
+    DEFAULT_QUBIT_CAPACITY,
+    DEFAULT_USER_LINKS,
+)
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Parameters describing one network sample.
+
+    Defaults reproduce the paper's evaluation setting (Section V-A):
+    Waxman topology, 10k x 10k area, 100 switches, average degree 10,
+    10 qubits per switch.
+    """
+
+    generator: str = "waxman"
+    num_switches: int = 100
+    average_degree: float = 10.0
+    area: float = DEFAULT_AREA
+    qubit_capacity: int = DEFAULT_QUBIT_CAPACITY
+    num_users: int = DEFAULT_NUM_USERS
+    user_links: int = DEFAULT_USER_LINKS
+
+    def with_updates(self, **kwargs) -> "NetworkConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def build_network(
+    config: NetworkConfig, rng: Optional[RandomState] = None
+) -> QuantumNetwork:
+    """Instantiate one network sample from *config*.
+
+    Supported generators: ``waxman``, ``watts_strogatz``, ``aiello``,
+    ``grid`` (num_switches is rounded down to a square), ``ring`` and
+    ``erdos_renyi``.
+    """
+    rng = ensure_rng(rng)
+    name = config.generator.lower().replace("-", "_")
+    if name == "waxman":
+        return waxman_network(
+            num_switches=config.num_switches,
+            average_degree=config.average_degree,
+            area=config.area,
+            qubit_capacity=config.qubit_capacity,
+            num_users=config.num_users,
+            user_links=config.user_links,
+            rng=rng,
+        )
+    if name in ("watts_strogatz", "watts"):
+        return watts_strogatz_network(
+            num_switches=config.num_switches,
+            average_degree=config.average_degree,
+            area=config.area,
+            qubit_capacity=config.qubit_capacity,
+            num_users=config.num_users,
+            user_links=config.user_links,
+            rng=rng,
+        )
+    if name in ("aiello", "power_law"):
+        return aiello_power_law_network(
+            num_switches=config.num_switches,
+            average_degree=config.average_degree,
+            area=config.area,
+            qubit_capacity=config.qubit_capacity,
+            num_users=config.num_users,
+            user_links=config.user_links,
+            rng=rng,
+        )
+    if name == "grid":
+        side = max(2, int(config.num_switches**0.5))
+        return grid_network(
+            side=side,
+            area=config.area,
+            qubit_capacity=config.qubit_capacity,
+            num_users=config.num_users,
+            user_links=config.user_links,
+            rng=rng,
+        )
+    if name == "ring":
+        return ring_network(
+            num_switches=config.num_switches,
+            area=config.area,
+            qubit_capacity=config.qubit_capacity,
+            num_users=config.num_users,
+            user_links=config.user_links,
+            rng=rng,
+        )
+    if name in ("erdos_renyi", "er"):
+        return erdos_renyi_network(
+            num_switches=config.num_switches,
+            average_degree=config.average_degree,
+            area=config.area,
+            qubit_capacity=config.qubit_capacity,
+            num_users=config.num_users,
+            user_links=config.user_links,
+            rng=rng,
+        )
+    raise ConfigurationError(f"unknown topology generator {config.generator!r}")

@@ -1,0 +1,108 @@
+"""Entanglement demands: which user pairs want shared quantum states.
+
+A :class:`Demand` asks for **one** shared quantum state between a pair of
+quantum users (the unit the paper's "number of quantum states to be shared"
+counts).  The same user pair may appear in several demands — each demanded
+state is routed separately and their routes may not share quantum links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.network.graph import QuantumNetwork
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class Demand:
+    """A request for one shared quantum state between *source* and
+    *destination* users.
+
+    ``demand_id`` distinguishes multiple states demanded by the same pair.
+    """
+
+    demand_id: int
+    source: int
+    destination: int
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ConfigurationError(
+                f"demand {self.demand_id}: source and destination must differ"
+            )
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        """Canonical (min, max) user pair."""
+        return (
+            (self.source, self.destination)
+            if self.source < self.destination
+            else (self.destination, self.source)
+        )
+
+
+class DemandSet:
+    """An ordered collection of demands with pair-level lookups."""
+
+    def __init__(self, demands: Sequence[Demand]):
+        ids = [d.demand_id for d in demands]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("demand ids must be unique")
+        self._demands = list(demands)
+
+    def __iter__(self) -> Iterator[Demand]:
+        return iter(self._demands)
+
+    def __len__(self) -> int:
+        return len(self._demands)
+
+    def __getitem__(self, index: int) -> Demand:
+        return self._demands[index]
+
+    def by_id(self, demand_id: int) -> Demand:
+        """The demand with the given id."""
+        for demand in self._demands:
+            if demand.demand_id == demand_id:
+                return demand
+        raise ConfigurationError(f"no demand with id {demand_id}")
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """Distinct user pairs with at least one demand, sorted."""
+        return sorted({d.pair for d in self._demands})
+
+    def demands_for_pair(self, u: int, v: int) -> List[Demand]:
+        """All demands between users *u* and *v* (order preserved)."""
+        key = (u, v) if u < v else (v, u)
+        return [d for d in self._demands if d.pair == key]
+
+
+def generate_demands(
+    network: QuantumNetwork,
+    num_states: int,
+    rng: Optional[RandomState] = None,
+    users: Optional[Sequence[int]] = None,
+) -> DemandSet:
+    """Sample *num_states* demands over random distinct user pairs.
+
+    Pairs are drawn uniformly with replacement across demands (several
+    states may be demanded by the same pair, as in the paper's evaluation),
+    but each individual demand connects two distinct users.
+    """
+    rng = ensure_rng(rng)
+    if users is None:
+        users = network.users()
+    users = list(users)
+    if len(users) < 2:
+        raise ConfigurationError(
+            f"need at least 2 quantum users to generate demands, got {len(users)}"
+        )
+    if num_states < 1:
+        raise ConfigurationError(f"num_states must be >= 1, got {num_states}")
+    demands = []
+    for demand_id in range(num_states):
+        i, j = rng.choice(len(users), size=2, replace=False)
+        demands.append(Demand(demand_id, users[int(i)], users[int(j)]))
+    return DemandSet(demands)

@@ -1,0 +1,60 @@
+"""Edges (quantum links) of the network graph."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.exceptions import ConfigurationError
+
+EdgeKey = Tuple[int, int]
+
+
+def edge_key(u: int, v: int) -> EdgeKey:
+    """Canonical undirected key for the edge between nodes *u* and *v*."""
+    if u == v:
+        raise ConfigurationError(f"self-loop edge ({u}, {v}) is not allowed")
+    return (u, v) if u < v else (v, u)
+
+
+class Edge:
+    """An undirected edge carrying quantum links between two nodes.
+
+    The paper assumes edges have effectively unlimited link capacity
+    (fibre cores are cheap); the binding resource is switch qubits, so the
+    edge itself only records its endpoints and Euclidean length.  Endpoints
+    are canonicalised so ``Edge(2, 1, L) == Edge(1, 2, L)``.
+    """
+
+    __slots__ = ("u", "v", "length")
+
+    def __init__(self, u: int, v: int, length: float):
+        a, b = edge_key(u, v)
+        if length < 0:
+            raise ConfigurationError(f"edge length must be >= 0, got {length}")
+        self.u = a
+        self.v = b
+        self.length = float(length)
+
+    @property
+    def key(self) -> EdgeKey:
+        """Canonical (min, max) endpoint tuple."""
+        return (self.u, self.v)
+
+    def other_endpoint(self, node: int) -> int:
+        """The endpoint opposite *node*."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise ConfigurationError(f"node {node} is not an endpoint of edge {self.key}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Edge):
+            return NotImplemented
+        return self.key == other.key and self.length == other.length
+
+    def __hash__(self) -> int:
+        return hash((self.key, self.length))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Edge({self.u}, {self.v}, length={self.length:.3f})"

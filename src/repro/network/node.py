@@ -1,0 +1,74 @@
+"""Node types: quantum users and quantum switches."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.utils.geometry import Point
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the quantum network."""
+
+    USER = "user"
+    SWITCH = "switch"
+
+
+@dataclass(frozen=True)
+class Node:
+    """A node in the quantum network graph.
+
+    Attributes
+    ----------
+    node_id:
+        Unique integer identifier within one network.
+    kind:
+        :attr:`NodeKind.USER` or :attr:`NodeKind.SWITCH`.
+    position:
+        Placement in the deployment area; link lengths are Euclidean
+        distances between endpoint positions.
+    qubit_capacity:
+        Number of communication qubits.  ``None`` means unlimited, which
+        the paper assumes for quantum users (virtual machines pooling many
+        processors); switches carry a finite capacity.
+    """
+
+    node_id: int
+    kind: NodeKind
+    position: Point
+    qubit_capacity: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ConfigurationError(f"node_id must be >= 0, got {self.node_id}")
+        if self.qubit_capacity is not None and self.qubit_capacity < 0:
+            raise ConfigurationError(
+                f"qubit_capacity must be >= 0 or None, got {self.qubit_capacity}"
+            )
+
+    @property
+    def is_switch(self) -> bool:
+        """True for relay switches."""
+        return self.kind is NodeKind.SWITCH
+
+    @property
+    def is_user(self) -> bool:
+        """True for quantum users (entanglement endpoints)."""
+        return self.kind is NodeKind.USER
+
+
+def QuantumUser(node_id: int, position: Point) -> Node:
+    """Construct a quantum-user node (unlimited communication qubits)."""
+    return Node(node_id, NodeKind.USER, position, qubit_capacity=None)
+
+
+def QuantumSwitch(node_id: int, position: Point, qubit_capacity: int) -> Node:
+    """Construct a quantum switch with a finite qubit capacity."""
+    if qubit_capacity is None or qubit_capacity < 1:
+        raise ConfigurationError(
+            f"switch qubit_capacity must be >= 1, got {qubit_capacity}"
+        )
+    return Node(node_id, NodeKind.SWITCH, position, qubit_capacity=qubit_capacity)

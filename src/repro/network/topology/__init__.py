@@ -1,0 +1,34 @@
+"""Network topology generators.
+
+Every generator returns a connected :class:`~repro.network.graph.QuantumNetwork`
+whose switch backbone follows the requested random-graph family, with
+quantum users attached to nearby switches (users never connect to users,
+matching the paper's network-generation rules).
+"""
+
+from repro.network.topology.base import attach_users, connect_components
+from repro.network.topology.waxman import waxman_network
+from repro.network.topology.watts_strogatz import watts_strogatz_network
+from repro.network.topology.aiello import aiello_power_law_network
+from repro.network.topology.scale_free import (
+    barabasi_albert_network,
+    random_geometric_network,
+)
+from repro.network.topology.regular import (
+    erdos_renyi_network,
+    grid_network,
+    ring_network,
+)
+
+__all__ = [
+    "attach_users",
+    "connect_components",
+    "waxman_network",
+    "watts_strogatz_network",
+    "aiello_power_law_network",
+    "grid_network",
+    "ring_network",
+    "erdos_renyi_network",
+    "barabasi_albert_network",
+    "random_geometric_network",
+]

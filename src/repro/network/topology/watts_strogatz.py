@@ -1,0 +1,87 @@
+"""Watts-Strogatz small-world backbone.
+
+The paper's second generator: a ring lattice where each switch connects to
+its ``k`` nearest ring neighbours, with each edge rewired to a random
+endpoint with probability ``rewire_probability``.  Switches are placed on a
+circle inside the deployment area so edge lengths (and hence link success
+probabilities) remain geometrically meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.network.graph import QuantumNetwork
+from repro.network.topology.base import (
+    DEFAULT_AREA,
+    DEFAULT_NUM_USERS,
+    DEFAULT_QUBIT_CAPACITY,
+    DEFAULT_USER_LINKS,
+    add_switches,
+    attach_users,
+    check_backbone_arguments,
+    connect_components,
+)
+from repro.utils.geometry import Point
+from repro.utils.rng import RandomState, ensure_rng
+
+
+def watts_strogatz_network(
+    num_switches: int = 100,
+    average_degree: float = 10.0,
+    area: float = DEFAULT_AREA,
+    qubit_capacity: int = DEFAULT_QUBIT_CAPACITY,
+    num_users: int = DEFAULT_NUM_USERS,
+    rewire_probability: float = 0.1,
+    user_links: int = DEFAULT_USER_LINKS,
+    rng: Optional[RandomState] = None,
+) -> QuantumNetwork:
+    """Generate a Watts-Strogatz small-world quantum network.
+
+    ``average_degree`` maps to the ring-lattice neighbour count ``k``
+    (rounded to the nearest even integer, as the lattice requires).
+    """
+    check_backbone_arguments(num_switches, qubit_capacity)
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise ConfigurationError(
+            f"rewire_probability must be in [0, 1], got {rewire_probability}"
+        )
+    k = max(2, int(round(average_degree / 2.0)) * 2)
+    if k >= num_switches:
+        raise ConfigurationError(
+            f"average_degree {average_degree} too large for {num_switches} switches"
+        )
+    rng = ensure_rng(rng)
+    network = QuantumNetwork()
+
+    radius = 0.45 * area
+    center = area / 2.0
+    positions = [
+        Point(
+            center + radius * math.cos(2.0 * math.pi * i / num_switches),
+            center + radius * math.sin(2.0 * math.pi * i / num_switches),
+        )
+        for i in range(num_switches)
+    ]
+    switch_ids = add_switches(network, positions, qubit_capacity)
+
+    for i in range(num_switches):
+        for offset in range(1, k // 2 + 1):
+            j = (i + offset) % num_switches
+            u, v = switch_ids[i], switch_ids[j]
+            if rng.uniform() < rewire_probability:
+                # Rewire the far endpoint to a uniform non-neighbour.
+                candidates = [
+                    w
+                    for w in switch_ids
+                    if w != u and not network.has_edge(u, w)
+                ]
+                if candidates:
+                    v = candidates[int(rng.integers(0, len(candidates)))]
+            if not network.has_edge(u, v):
+                network.add_edge(u, v)
+    connect_components(network)
+    attach_users(network, num_users, rng, area, links_per_user=user_links)
+    return network

@@ -1,0 +1,93 @@
+"""Discrete-event machinery: timestamped events and the event queue."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True, order=False)
+class Event:
+    """A scheduled occurrence.
+
+    Attributes
+    ----------
+    time:
+        Simulation time in seconds.
+    kind:
+        Free-form event type tag (e.g. ``"link-heralded"``).
+    payload:
+        Arbitrary event data interpreted by the handler.
+    """
+
+    time: float
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise SimulationError(f"event time must be >= 0, got {self.time}")
+
+
+class EventQueue:
+    """A time-ordered event queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Time of the most recently popped event."""
+        return self._now
+
+    def schedule(self, event: Event) -> None:
+        """Insert *event*; scheduling into the past is an error."""
+        if event.time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at {event.time} before now={self._now}"
+            )
+        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+
+    def schedule_at(self, time: float, kind: str, **payload: Any) -> Event:
+        """Convenience constructor + insert; returns the event."""
+        event = Event(time, kind, payload)
+        self.schedule(event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest event, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        time, _, event = heapq.heappop(self._heap)
+        self._now = time
+        return event
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self, handler: Callable[[Event], None],
+              until: Optional[float] = None) -> int:
+        """Pop and handle events in order, optionally stopping at *until*.
+
+        Returns the number of events handled.  Events scheduled by the
+        handler are processed too (if they fall before *until*).
+        """
+        handled = 0
+        while self._heap:
+            next_time = self._heap[0][0]
+            if until is not None and next_time > until:
+                break
+            event = self.pop()
+            assert event is not None
+            handler(event)
+            handled += 1
+        return handled

@@ -1,0 +1,57 @@
+"""Hardware timing constants for the protocol simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+#: Speed of light in fibre, km/s (refractive index ~1.47).
+FIBER_LIGHT_SPEED_KM_S = 2.0e5
+
+
+@dataclass(frozen=True)
+class HardwareTimings:
+    """Timing model for links, classical messages and memories.
+
+    Attributes
+    ----------
+    attempt_overhead_s:
+        Fixed source/detector overhead per elementary-link attempt.
+    coherence_time_s:
+        Memory lifetime: a Bell-pair qubit older than this at the moment
+        it is consumed (fusion or final confirmation) has decohered.
+    slot_duration_s:
+        Phase III deadline: link generation attempts stop at this time;
+        anything unfinished fails the slot.
+    light_speed_km_s:
+        Classical/quantum propagation speed over fibre.
+    """
+
+    attempt_overhead_s: float = 1e-6
+    coherence_time_s: float = 0.05
+    slot_duration_s: float = 0.2
+    light_speed_km_s: float = FIBER_LIGHT_SPEED_KM_S
+
+    def __post_init__(self) -> None:
+        for name in ("attempt_overhead_s", "coherence_time_s",
+                     "slot_duration_s", "light_speed_km_s"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be > 0, got {value}")
+
+    def propagation_delay(self, distance_km: float) -> float:
+        """One-way classical/quantum propagation delay over *distance_km*."""
+        if distance_km < 0:
+            raise ConfigurationError(
+                f"distance must be >= 0, got {distance_km}"
+            )
+        return distance_km / self.light_speed_km_s
+
+    def attempt_duration(self, link_length_km: float) -> float:
+        """Duration of one heralded link-generation attempt.
+
+        A photon travels the link and the heralding signal returns:
+        one round trip plus the per-attempt source overhead.
+        """
+        return 2.0 * self.propagation_delay(link_length_km) + self.attempt_overhead_s

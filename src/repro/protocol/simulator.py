@@ -1,0 +1,269 @@
+"""Event-driven Phase III execution with timing and decoherence.
+
+One slot of one flow proceeds as a discrete-event simulation:
+
+1. every parallel link of every channel schedules heralded generation
+   attempts (each one photon round trip + overhead) until it succeeds or
+   the slot deadline passes; the channel is *heralded* at its first
+   success;
+2. a switch fuses as soon as every flow channel incident to it has
+   heralded (the outcome is sampled with the swap model's probability);
+3. fusion outcomes propagate to the users at fibre light speed; the
+   state is *delivered* over a constituent path when both users have
+   every outcome of that path;
+4. memories decohere: any Bell-pair qubit older than the coherence time
+   when it is consumed (fused, or held by a user until delivery) spoils
+   the path.
+
+Establishment requires some constituent path of the flow to survive all
+four stages.  With generous slot duration and coherence time the
+establishment probability converges to the timing-free Monte Carlo /
+Equation 1 rate; shrinking either exposes the protocol costs the
+analytic model hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+from repro.network.graph import QuantumNetwork
+from repro.protocol.events import EventQueue
+from repro.protocol.hardware import HardwareTimings
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.flow_graph import FlowLikeGraph
+from repro.utils.rng import RandomState, ensure_rng
+
+EdgeKey = Tuple[int, int]
+
+#: Failure categories, ordered by how far the slot progressed.
+FAILURE_KINDS = ("link_timeout", "memory_expiry", "fusion_failure")
+
+
+@dataclass(frozen=True)
+class FlowProtocolOutcome:
+    """One slot's outcome for one flow."""
+
+    established: bool
+    latency_s: Optional[float]
+    failure: Optional[str]  # one of FAILURE_KINDS when not established
+
+
+@dataclass
+class ProtocolStats:
+    """Aggregated outcomes over many slots."""
+
+    slots: int = 0
+    established: int = 0
+    latency_total: float = 0.0
+    failures: Dict[str, int] = field(
+        default_factory=lambda: {kind: 0 for kind in FAILURE_KINDS}
+    )
+
+    def record(self, outcome: FlowProtocolOutcome) -> None:
+        """Fold one slot outcome into the statistics."""
+        self.slots += 1
+        if outcome.established:
+            self.established += 1
+            self.latency_total += outcome.latency_s or 0.0
+        elif outcome.failure is not None:
+            self.failures[outcome.failure] += 1
+
+    @property
+    def establishment_rate(self) -> float:
+        """Fraction of slots that delivered the state."""
+        return self.established / self.slots if self.slots else 0.0
+
+    @property
+    def mean_latency_s(self) -> Optional[float]:
+        """Mean delivery latency over successful slots."""
+        if not self.established:
+            return None
+        return self.latency_total / self.established
+
+
+class ProtocolSimulator:
+    """Run flows through the timed Phase III protocol."""
+
+    def __init__(
+        self,
+        network: QuantumNetwork,
+        link_model: Optional[LinkModel] = None,
+        swap_model: Optional[SwapModel] = None,
+        timings: Optional[HardwareTimings] = None,
+        rng: Optional[RandomState] = None,
+    ):
+        self.network = network
+        self.link_model = link_model or LinkModel()
+        self.swap_model = swap_model or SwapModel()
+        self.timings = timings or HardwareTimings()
+        self._rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------
+
+    def run_slot(self, flow: FlowLikeGraph) -> FlowProtocolOutcome:
+        """Simulate one slot of *flow* and classify the outcome."""
+        channel_times = self._simulate_link_generation(flow)
+        fusion_times, fusion_ok, expired_at_fusion = self._simulate_fusions(
+            flow, channel_times
+        )
+        return self._evaluate_paths(
+            flow, channel_times, fusion_times, fusion_ok, expired_at_fusion
+        )
+
+    def run(self, flow: FlowLikeGraph, slots: int) -> ProtocolStats:
+        """Simulate *slots* independent slots of *flow*."""
+        if slots < 1:
+            raise SimulationError(f"slots must be >= 1, got {slots}")
+        stats = ProtocolStats()
+        for _ in range(slots):
+            stats.record(self.run_slot(flow))
+        return stats
+
+    # ------------------------------------------------------------------
+    # Stage 1: link generation as discrete events
+
+    def _simulate_link_generation(
+        self, flow: FlowLikeGraph
+    ) -> Dict[EdgeKey, Optional[float]]:
+        """Heralding time per channel (None = no link before deadline)."""
+        queue = EventQueue()
+        deadline = self.timings.slot_duration_s
+        channel_times: Dict[EdgeKey, Optional[float]] = {}
+        for (u, v) in flow.edges():
+            key = (u, v)
+            channel_times[key] = None
+            length = self.network.edge_length(u, v)
+            duration = self.timings.attempt_duration(length)
+            p = self.link_model.success_probability(length)
+            for _ in range(flow.edge_width(u, v)):
+                # Geometric number of attempts; the k-th completes at k*d.
+                if p <= 0.0:
+                    continue
+                attempts = int(self._rng.geometric(p))
+                success_time = attempts * duration
+                if success_time <= deadline:
+                    queue.schedule_at(success_time, "link-heralded", edge=key)
+
+        def handle(event) -> None:
+            key = event.payload["edge"]
+            if channel_times[key] is None or event.time < channel_times[key]:
+                channel_times[key] = event.time
+
+        queue.drain(handle, until=deadline)
+        return channel_times
+
+    # ------------------------------------------------------------------
+    # Stage 2: fusions fire when a switch's channels are all heralded
+
+    def _simulate_fusions(
+        self,
+        flow: FlowLikeGraph,
+        channel_times: Dict[EdgeKey, Optional[float]],
+    ):
+        fusion_times: Dict[int, Optional[float]] = {}
+        fusion_ok: Dict[int, bool] = {}
+        expired: Dict[int, bool] = {}
+        coherence = self.timings.coherence_time_s
+        deadline = self.timings.slot_duration_s
+        for node in flow.nodes():
+            if not self.network.node(node).is_switch:
+                continue
+            incident = [key for key in flow.edges() if node in key]
+            times = [channel_times[key] for key in incident]
+            alive = [t for t in times if t is not None]
+            if len(alive) < 2:
+                # Fewer than two live channels: nothing to fuse.
+                fusion_times[node] = None
+                fusion_ok[node] = False
+                expired[node] = False
+                continue
+            if len(alive) == len(times):
+                # All channels heralded: fuse as soon as the last arrives.
+                fire_time = max(alive)
+            else:
+                # Some channel can no longer succeed; that is only known
+                # for certain once the slot deadline passes, so the switch
+                # fuses its surviving channels then.
+                fire_time = deadline
+            fusion_times[node] = fire_time
+            # Each local qubit was created when its channel heralded; it
+            # must still be coherent when the fusion consumes it.
+            expired[node] = any(fire_time - t > coherence for t in alive)
+            q = self.swap_model.success_probability(flow.fusion_arity(node))
+            fusion_ok[node] = bool(self._rng.uniform() < q)
+        return fusion_times, fusion_ok, expired
+
+    # ------------------------------------------------------------------
+    # Stage 3/4: per-path delivery evaluation
+
+    def _evaluate_paths(
+        self,
+        flow: FlowLikeGraph,
+        channel_times: Dict[EdgeKey, Optional[float]],
+        fusion_times: Dict[int, Optional[float]],
+        fusion_ok: Dict[int, bool],
+        expired_at_fusion: Dict[int, bool],
+    ) -> FlowProtocolOutcome:
+        best_latency: Optional[float] = None
+        most_progress = 0  # 1 = links up, 2 = memory ok, 3 = fusions ok
+        coherence = self.timings.coherence_time_s
+        for path in flow.paths:
+            edges = [
+                (a, b) if a < b else (b, a)
+                for a, b in zip(path, path[1:])
+            ]
+            times = [channel_times[key] for key in edges]
+            if any(t is None for t in times):
+                most_progress = max(most_progress, 0)
+                continue
+            switches = [n for n in path[1:-1]]
+            switch_fire = [fusion_times[s] for s in switches]
+            # All switches on this path have their channels ready (their
+            # other channels may belong to other paths of the flow; a
+            # switch whose extra channels never heralded cannot fuse).
+            if any(t is None for t in switch_fire):
+                most_progress = max(most_progress, 0)
+                continue
+            most_progress = max(most_progress, 1)
+            if any(expired_at_fusion[s] for s in switches):
+                continue
+            # Users hold their qubits until every fusion outcome arrives.
+            last_fusion = max(switch_fire, default=max(times))
+            delivery = self._delivery_time(path, last_fusion)
+            user_expired = False
+            for user, key in ((path[0], edges[0]), (path[-1], edges[-1])):
+                created = channel_times[key]
+                if delivery - created > coherence:  # type: ignore[operator]
+                    user_expired = True
+            if user_expired:
+                continue
+            most_progress = max(most_progress, 2)
+            if not all(fusion_ok[s] for s in switches):
+                continue
+            most_progress = max(most_progress, 3)
+            if best_latency is None or delivery < best_latency:
+                best_latency = delivery
+        if best_latency is not None:
+            return FlowProtocolOutcome(True, best_latency, None)
+        failure = {
+            0: "link_timeout",
+            1: "memory_expiry",
+            2: "fusion_failure",
+            3: "fusion_failure",  # pragma: no cover - success short-circuits
+        }[most_progress]
+        return FlowProtocolOutcome(False, None, failure)
+
+    def _delivery_time(self, path, last_fusion: float) -> float:
+        """Time when both users know every fusion outcome on *path*."""
+        longest = 0.0
+        source_pos = self.network.position(path[0])
+        dest_pos = self.network.position(path[-1])
+        for node in path[1:-1]:
+            pos = self.network.position(node)
+            to_users = max(
+                pos.distance_to(source_pos), pos.distance_to(dest_pos)
+            )
+            longest = max(longest, self.timings.propagation_delay(to_users))
+        return last_fusion + longest

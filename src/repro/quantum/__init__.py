@@ -1,0 +1,62 @@
+"""Quantum substrate: exact Clifford simulation and scalable bookkeeping.
+
+Two levels of abstraction are provided:
+
+* :class:`~repro.quantum.stabilizer.StabilizerTableau` — an exact
+  Aaronson-Gottesman CHP-style Clifford simulator used to *verify* that the
+  link-level operations the routing layer assumes (Bell-pair generation,
+  BSM swapping, n-GHZ fusion, Pauli removal) behave as the paper claims.
+* :class:`~repro.quantum.tracker.EntanglementTracker` — a scalable symbolic
+  tracker of "which qubits form a GHZ group", used inside the network-scale
+  Monte Carlo where a full tableau would be wasteful.
+
+The probabilistic success models (link ``p = e^{-alpha * L}``, swap ``q``)
+live in :mod:`repro.quantum.noise`.
+"""
+
+from repro.quantum.stabilizer import StabilizerTableau
+from repro.quantum.states import GHZGroup, ghz_state_vector_signature
+from repro.quantum.fusion import (
+    bell_state_measurement,
+    ghz_measurement,
+    pauli_x_removal,
+    prepare_bell_pair,
+    prepare_ghz,
+)
+from repro.quantum.tracker import EntanglementTracker
+from repro.quantum.distillation import (
+    bbpssw_output_fidelity,
+    bbpssw_success_probability,
+    channel_rate_fidelity_tradeoff,
+    pumping_schedule,
+    rounds_to_reach,
+)
+from repro.quantum.fidelity import FidelityModel
+from repro.quantum.noise import (
+    LinkModel,
+    SwapModel,
+    channel_success_probability,
+    link_success_probability,
+)
+
+__all__ = [
+    "StabilizerTableau",
+    "GHZGroup",
+    "ghz_state_vector_signature",
+    "prepare_bell_pair",
+    "prepare_ghz",
+    "bell_state_measurement",
+    "ghz_measurement",
+    "pauli_x_removal",
+    "EntanglementTracker",
+    "FidelityModel",
+    "bbpssw_success_probability",
+    "bbpssw_output_fidelity",
+    "pumping_schedule",
+    "rounds_to_reach",
+    "channel_rate_fidelity_tradeoff",
+    "LinkModel",
+    "SwapModel",
+    "link_success_probability",
+    "channel_success_probability",
+]

@@ -1,0 +1,164 @@
+"""Entanglement distillation (BBPSSW) — extension.
+
+The paper uses a channel's parallel links purely as *alternatives* (the
+channel succeeds if any link does).  An operator willing to trade rate for
+quality can instead *distill*: consume two Werner pairs of fidelity F to
+produce, with probability
+
+    p_succ(F) = F^2 + 2 F (1-F)/3 + 5 ((1-F)/3)^2 * ... (BBPSSW success)
+
+one pair of higher fidelity
+
+    F'(F) = (F^2 + ((1-F)/3)^2) / p_succ(F).
+
+This module implements the BBPSSW recurrence for equal-fidelity inputs,
+iterated pumping schedules, and the channel-level rate/fidelity trade-off:
+given a width-w channel whose surviving links each carry fidelity F0, how
+many distillation rounds can be afforded and what (rate, fidelity) pairs
+are reachable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_non_negative_int, check_probability
+
+#: BBPSSW has a fixed point near F = 1 and diverges below 0.5: inputs at
+#: or below this fidelity cannot be improved.
+MIN_DISTILLABLE_FIDELITY = 0.5
+
+
+def bbpssw_success_probability(fidelity: float) -> float:
+    """Success probability of one BBPSSW round on two equal Werner pairs."""
+    check_probability("fidelity", fidelity)
+    bad = (1.0 - fidelity) / 3.0
+    return (
+        fidelity**2
+        + 2.0 * fidelity * bad
+        + 5.0 * bad**2
+    )
+
+
+def bbpssw_output_fidelity(fidelity: float) -> float:
+    """Output fidelity of one successful BBPSSW round."""
+    check_probability("fidelity", fidelity)
+    bad = (1.0 - fidelity) / 3.0
+    success = bbpssw_success_probability(fidelity)
+    if success <= 0.0:  # pragma: no cover - success > 0 for F in [0, 1]
+        raise ConfigurationError("degenerate distillation input")
+    return (fidelity**2 + bad**2) / success
+
+
+def distillation_improves(fidelity: float) -> bool:
+    """True iff one BBPSSW round raises the fidelity."""
+    check_probability("fidelity", fidelity)
+    if fidelity <= MIN_DISTILLABLE_FIDELITY or fidelity >= 1.0:
+        return False
+    return bbpssw_output_fidelity(fidelity) > fidelity
+
+
+@dataclass(frozen=True)
+class DistillationOutcome:
+    """One reachable (pairs consumed, success probability, fidelity)."""
+
+    rounds: int
+    pairs_consumed: int
+    success_probability: float
+    fidelity: float
+
+
+def pumping_schedule(
+    initial_fidelity: float, rounds: int
+) -> List[DistillationOutcome]:
+    """Outcomes of 0..*rounds* nested BBPSSW rounds (entanglement pumping).
+
+    Round k consumes ``2^k`` raw pairs; the reported success probability
+    is the probability that *every* round in the binary tree succeeds —
+    the conservative all-or-nothing accounting.
+    """
+    check_probability("initial_fidelity", initial_fidelity)
+    check_non_negative_int("rounds", rounds)
+    outcomes = [DistillationOutcome(0, 1, 1.0, initial_fidelity)]
+    fidelity = initial_fidelity
+    success = 1.0
+    for k in range(1, rounds + 1):
+        p_round = bbpssw_success_probability(fidelity)
+        # A round-k tree needs 2^(k-1) simultaneous successes at level k,
+        # on top of both subtrees succeeding.
+        success = success**2 * p_round
+        fidelity = bbpssw_output_fidelity(fidelity)
+        outcomes.append(
+            DistillationOutcome(k, 2**k, success, fidelity)
+        )
+    return outcomes
+
+
+def rounds_to_reach(
+    initial_fidelity: float, target_fidelity: float, max_rounds: int = 30
+) -> int:
+    """Minimum nested rounds needed to reach *target_fidelity*.
+
+    Returns -1 when the target is unreachable (input at or below the 0.5
+    threshold, or above the BBPSSW fixed point).
+    """
+    check_probability("initial_fidelity", initial_fidelity)
+    check_probability("target_fidelity", target_fidelity)
+    if initial_fidelity >= target_fidelity:
+        return 0
+    if initial_fidelity <= MIN_DISTILLABLE_FIDELITY:
+        return -1
+    fidelity = initial_fidelity
+    for k in range(1, max_rounds + 1):
+        next_fidelity = bbpssw_output_fidelity(fidelity)
+        if next_fidelity <= fidelity:
+            return -1  # hit the fixed point below the target
+        fidelity = next_fidelity
+        if fidelity >= target_fidelity:
+            return k
+    return -1
+
+
+def channel_rate_fidelity_tradeoff(
+    link_success: float,
+    width: int,
+    link_fidelity: float,
+    max_rounds: int = 3,
+) -> List[Tuple[int, float, float]]:
+    """(rounds, delivery probability, fidelity) options for one channel.
+
+    With *width* parallel link attempts each succeeding with probability
+    ``link_success``, spending ``2^k`` successes on a k-round pumping tree
+    delivers, per slot, with probability
+    ``P(at least 2^k links succeed) * P(tree succeeds)`` and fidelity
+    ``F_k``.  Rounds whose pair budget exceeds the width are omitted.
+    """
+    check_probability("link_success", link_success)
+    check_probability("link_fidelity", link_fidelity)
+    check_non_negative_int("width", width)
+    options: List[Tuple[int, float, float]] = []
+    schedule = pumping_schedule(link_fidelity, max_rounds)
+    for outcome in schedule:
+        needed = outcome.pairs_consumed
+        if needed > width:
+            break
+        at_least = _binomial_tail(width, link_success, needed)
+        options.append(
+            (
+                outcome.rounds,
+                at_least * outcome.success_probability,
+                outcome.fidelity,
+            )
+        )
+    return options
+
+
+def _binomial_tail(n: int, p: float, k: int) -> float:
+    """P(Binomial(n, p) >= k)."""
+    total = 0.0
+    for i in range(k, n + 1):
+        total += math.comb(n, i) * (p**i) * ((1 - p) ** (n - i))
+    return min(1.0, total)

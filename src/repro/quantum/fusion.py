@@ -1,0 +1,120 @@
+"""Entanglement generation and fusion as explicit Clifford circuits.
+
+These routines operate on a :class:`~repro.quantum.stabilizer.StabilizerTableau`
+and implement the quantum operations the paper's routing layer relies on:
+
+* :func:`prepare_bell_pair` / :func:`prepare_ghz` — elementary-link and
+  multipartite state generation.
+* :func:`bell_state_measurement` — the classic 2-fusion (BSM) swap.
+* :func:`ghz_measurement` — the n-fusion primitive: a joint measurement in
+  the n-qubit GHZ basis, realised as the inverse GHZ-preparation circuit
+  followed by computational-basis measurements.
+* :func:`pauli_x_removal` — the 1-fusion: a single-qubit X measurement that
+  removes one qubit from a GHZ group, shrinking an n-GHZ state to (n-1)-GHZ.
+
+Every fusion returns the measurement record; up to the Pauli frame implied
+by that record, the unmeasured qubits of the input states end up in a single
+GHZ state.  The property-test suite verifies this against the exact
+simulator for chains, stars and mixed GHZ inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.exceptions import FusionError
+from repro.quantum.stabilizer import StabilizerTableau
+
+
+def prepare_bell_pair(tableau: StabilizerTableau, a: int, b: int) -> None:
+    """Entangle fresh qubits *a*, *b* into (|00> + |11>)/sqrt(2).
+
+    The qubits are assumed to be in |0>; this mirrors a heralded successful
+    elementary-link generation over a quantum link.
+    """
+    tableau.h(a)
+    tableau.cnot(a, b)
+
+
+def prepare_ghz(tableau: StabilizerTableau, qubits: Sequence[int]) -> None:
+    """Entangle fresh qubits into an n-GHZ state via an H + CNOT chain."""
+    qubits = list(qubits)
+    if len(qubits) < 2:
+        raise FusionError("GHZ preparation needs at least 2 qubits")
+    if len(set(qubits)) != len(qubits):
+        raise FusionError("GHZ preparation qubits must be distinct")
+    root = qubits[0]
+    tableau.h(root)
+    for other in qubits[1:]:
+        tableau.cnot(root, other)
+
+
+def ghz_measurement(
+    tableau: StabilizerTableau, qubits: Sequence[int]
+) -> List[int]:
+    """Perform an n-qubit GHZ-basis measurement (the n-fusion primitive).
+
+    The joint GHZ basis measurement is realised by un-computing a GHZ
+    preparation — CNOTs from the first qubit onto the rest, a Hadamard on
+    the first — then reading every qubit in the Z basis.  The returned
+    outcome bits identify which of the ``2^n`` GHZ basis states was
+    projected onto; they determine the Pauli frame correction that the
+    classical control plane would broadcast.
+
+    After this call the measured qubits are disentangled product states and
+    the surviving partner qubits of the input states form one GHZ group (up
+    to Paulis), which is exactly the paper's "fuse n successful
+    entanglement links" operation.
+    """
+    qubits = list(qubits)
+    if len(qubits) < 2:
+        raise FusionError(
+            f"GHZ measurement fuses >= 2 qubits, got {len(qubits)}; "
+            "use pauli_x_removal for the 1-fusion"
+        )
+    if len(set(qubits)) != len(qubits):
+        raise FusionError("GHZ measurement qubits must be distinct")
+    root = qubits[0]
+    for other in qubits[1:]:
+        tableau.cnot(root, other)
+    tableau.h(root)
+    return [tableau.measure_z(q) for q in qubits]
+
+
+def bell_state_measurement(tableau: StabilizerTableau, a: int, b: int) -> List[int]:
+    """The classic swap: a Bell-state measurement, i.e. 2-fusion."""
+    return ghz_measurement(tableau, [a, b])
+
+
+def pauli_x_removal(tableau: StabilizerTableau, qubit: int) -> int:
+    """The 1-fusion: measure *qubit* in the X basis, removing it from its
+    GHZ group and leaving the remaining members in a smaller GHZ state (up
+    to a Z correction when the outcome is 1)."""
+    return tableau.measure_x(qubit)
+
+
+def apply_fusion_corrections(
+    tableau: StabilizerTableau,
+    surviving_qubits: Sequence[int],
+    outcomes: Sequence[int],
+) -> None:
+    """Apply the canonical Pauli frame correction after a fusion.
+
+    For the circuit used in :func:`ghz_measurement` on qubits
+    ``m_0..m_{n-1}`` where each ``m_i`` was half of a Bell pair with partner
+    ``s_i``: outcome of ``m_0`` (the X-type outcome) fixes a Z correction on
+    any single survivor; the outcome of ``m_i`` (i >= 1, Z-type outcomes)
+    fixes an X correction on survivor ``s_i``.
+    """
+    outcomes = list(outcomes)
+    survivors = list(surviving_qubits)
+    if len(outcomes) != len(survivors):
+        raise FusionError(
+            "need one outcome per survivor: the fusion measures exactly one "
+            "qubit of each fused state"
+        )
+    if outcomes and outcomes[0]:
+        tableau.z(survivors[0])
+    for survivor, outcome in zip(survivors[1:], outcomes[1:]):
+        if outcome:
+            tableau.x(survivor)

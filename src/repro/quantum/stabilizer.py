@@ -1,0 +1,386 @@
+"""Aaronson-Gottesman stabilizer tableau simulator.
+
+This is a from-scratch CHP-style Clifford simulator (Aaronson & Gottesman,
+PRA 70, 052328).  The state of ``n`` qubits is tracked as a ``2n x 2n``
+binary tableau plus a phase column: rows ``0..n-1`` are destabilizers, rows
+``n..2n-1`` are stabilizers.  Supported operations are H, S, X, Y, Z, CNOT,
+CZ and single-qubit measurements in the Z and X bases.
+
+The simulator exists to *verify* the fusion semantics the routing layer
+assumes (see :mod:`repro.quantum.fusion`); it is exact, so property tests
+can assert, e.g., that a GHZ measurement on one qubit of each of three Bell
+pairs leaves the three remote qubits in a GHZ state up to Pauli frame
+corrections.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import MeasurementError, QuantumStateError
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class StabilizerTableau:
+    """An ``n``-qubit stabilizer state, initialised to ``|0...0>``.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits to track.
+    rng:
+        Generator (or seed) used to resolve random measurement outcomes.
+    """
+
+    def __init__(self, num_qubits: int, rng: Optional[RandomState] = None):
+        if num_qubits < 1:
+            raise QuantumStateError(f"num_qubits must be >= 1, got {num_qubits}")
+        self._n = num_qubits
+        self._rng = ensure_rng(rng)
+        n = num_qubits
+        # x[i, j] / z[i, j]: X / Z component of Pauli j in row i.
+        self._x = np.zeros((2 * n, n), dtype=np.uint8)
+        self._z = np.zeros((2 * n, n), dtype=np.uint8)
+        self._r = np.zeros(2 * n, dtype=np.uint8)
+        for i in range(n):
+            self._x[i, i] = 1          # destabilizer X_i
+            self._z[n + i, i] = 1      # stabilizer Z_i
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits in the register."""
+        return self._n
+
+    def copy(self) -> "StabilizerTableau":
+        """Deep copy sharing the RNG (outcome streams stay independent)."""
+        clone = StabilizerTableau.__new__(StabilizerTableau)
+        clone._n = self._n
+        clone._rng = self._rng
+        clone._x = self._x.copy()
+        clone._z = self._z.copy()
+        clone._r = self._r.copy()
+        return clone
+
+    def stabilizer_rows(self) -> List[Tuple[np.ndarray, np.ndarray, int]]:
+        """Return the stabilizer generators as ``(x_bits, z_bits, sign)``."""
+        n = self._n
+        return [
+            (self._x[n + i].copy(), self._z[n + i].copy(), int(self._r[n + i]))
+            for i in range(n)
+        ]
+
+    def _check_qubit(self, qubit: int) -> None:
+        if not 0 <= qubit < self._n:
+            raise QuantumStateError(
+                f"qubit index {qubit} out of range for {self._n}-qubit register"
+            )
+
+    # ------------------------------------------------------------------
+    # Clifford gates
+
+    def h(self, qubit: int) -> None:
+        """Apply a Hadamard gate."""
+        self._check_qubit(qubit)
+        xa = self._x[:, qubit].copy()
+        za = self._z[:, qubit].copy()
+        self._r ^= xa & za
+        self._x[:, qubit] = za
+        self._z[:, qubit] = xa
+
+    def s(self, qubit: int) -> None:
+        """Apply a phase gate S = diag(1, i)."""
+        self._check_qubit(qubit)
+        xa = self._x[:, qubit]
+        self._r ^= xa & self._z[:, qubit]
+        self._z[:, qubit] ^= xa
+
+    def x(self, qubit: int) -> None:
+        """Apply a Pauli X gate."""
+        self._check_qubit(qubit)
+        self._r ^= self._z[:, qubit]
+
+    def z(self, qubit: int) -> None:
+        """Apply a Pauli Z gate."""
+        self._check_qubit(qubit)
+        self._r ^= self._x[:, qubit]
+
+    def y(self, qubit: int) -> None:
+        """Apply a Pauli Y gate (= iXZ)."""
+        self._check_qubit(qubit)
+        self._r ^= self._x[:, qubit] ^ self._z[:, qubit]
+
+    def cnot(self, control: int, target: int) -> None:
+        """Apply a CNOT with the given *control* and *target* qubits."""
+        self._check_qubit(control)
+        self._check_qubit(target)
+        if control == target:
+            raise QuantumStateError("CNOT control and target must differ")
+        xc = self._x[:, control]
+        zc = self._z[:, control]
+        xt = self._x[:, target]
+        zt = self._z[:, target]
+        self._r ^= xc & zt & (xt ^ zc ^ 1)
+        xt ^= xc
+        zc ^= zt
+
+    def cz(self, a: int, b: int) -> None:
+        """Apply a controlled-Z between qubits *a* and *b*."""
+        self.h(b)
+        self.cnot(a, b)
+        self.h(b)
+
+    # ------------------------------------------------------------------
+    # Measurement
+
+    def measure_z(self, qubit: int, forced_outcome: Optional[int] = None) -> int:
+        """Measure *qubit* in the computational (Z) basis.
+
+        Returns the outcome bit (0 or 1).  ``forced_outcome`` pins the
+        result of an otherwise-random measurement (useful for deterministic
+        tests); forcing a deterministic measurement to the wrong value is an
+        error.
+        """
+        self._check_qubit(qubit)
+        n = self._n
+        x = self._x
+        # Random outcome iff some stabilizer anticommutes with Z_qubit.
+        pivot = -1
+        for p in range(n, 2 * n):
+            if x[p, qubit]:
+                pivot = p
+                break
+        if pivot >= 0:
+            return self._measure_random(qubit, pivot, forced_outcome)
+        return self._measure_deterministic(qubit, forced_outcome)
+
+    def measure_x(self, qubit: int, forced_outcome: Optional[int] = None) -> int:
+        """Measure *qubit* in the X basis (H, measure Z, H back)."""
+        self.h(qubit)
+        outcome = self.measure_z(qubit, forced_outcome)
+        self.h(qubit)
+        return outcome
+
+    def _measure_random(
+        self, qubit: int, pivot: int, forced_outcome: Optional[int]
+    ) -> int:
+        n = self._n
+        for i in range(2 * n):
+            if i != pivot and self._x[i, qubit]:
+                self._rowsum(i, pivot)
+        # Old stabilizer row becomes the matching destabilizer.
+        self._x[pivot - n] = self._x[pivot]
+        self._z[pivot - n] = self._z[pivot]
+        self._r[pivot - n] = self._r[pivot]
+        if forced_outcome is None:
+            outcome = int(self._rng.integers(0, 2))
+        else:
+            outcome = int(forced_outcome) & 1
+        self._x[pivot] = 0
+        self._z[pivot] = 0
+        self._z[pivot, qubit] = 1
+        self._r[pivot] = outcome
+        return outcome
+
+    def _measure_deterministic(
+        self, qubit: int, forced_outcome: Optional[int]
+    ) -> int:
+        n = self._n
+        scratch_x = np.zeros(n, dtype=np.uint8)
+        scratch_z = np.zeros(n, dtype=np.uint8)
+        scratch_r = 0
+        for i in range(n):
+            if self._x[i, qubit]:
+                scratch_x, scratch_z, scratch_r = self._rowsum_into(
+                    scratch_x, scratch_z, scratch_r, i + n
+                )
+        outcome = int(scratch_r)
+        if forced_outcome is not None and (int(forced_outcome) & 1) != outcome:
+            raise MeasurementError(
+                f"measurement of qubit {qubit} is deterministic with outcome "
+                f"{outcome}; cannot force {forced_outcome}"
+            )
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Row arithmetic (phase-exact Pauli multiplication)
+
+    @staticmethod
+    def _g(x1: int, z1: int, x2: int, z2: int) -> int:
+        """Aaronson-Gottesman phase function g for single-qubit Paulis."""
+        if x1 == 0 and z1 == 0:
+            return 0
+        if x1 == 1 and z1 == 1:  # Y
+            return z2 - x2
+        if x1 == 1 and z1 == 0:  # X
+            return z2 * (2 * x2 - 1)
+        return x2 * (1 - 2 * z2)  # Z
+
+    def _phase_exponent(self, h: int, i: int) -> int:
+        """Sum of g over qubits for multiplying row i into row h (mod 4)."""
+        x1 = self._x[i].astype(np.int8)
+        z1 = self._z[i].astype(np.int8)
+        x2 = self._x[h].astype(np.int8)
+        z2 = self._z[h].astype(np.int8)
+        # Vectorised g: case split on (x1, z1).
+        g = np.zeros(self._n, dtype=np.int64)
+        y_mask = (x1 == 1) & (z1 == 1)
+        x_mask = (x1 == 1) & (z1 == 0)
+        z_mask = (x1 == 0) & (z1 == 1)
+        g[y_mask] = z2[y_mask] - x2[y_mask]
+        g[x_mask] = z2[x_mask] * (2 * x2[x_mask] - 1)
+        g[z_mask] = x2[z_mask] * (1 - 2 * z2[z_mask])
+        return int(g.sum())
+
+    def _rowsum(self, h: int, i: int) -> None:
+        """Set row *h* to (row i) * (row h), tracking the global phase.
+
+        Stabilizer-row combinations always yield even phase exponents;
+        destabilizer rows may anticommute with the pivot during a random
+        measurement, giving odd totals.  Destabilizer phases carry no
+        physical meaning in the Aaronson-Gottesman scheme, so odd totals
+        are mapped like their even neighbours instead of raising.
+        """
+        total = 2 * int(self._r[h]) + 2 * int(self._r[i]) + self._phase_exponent(h, i)
+        self._r[h] = 1 if total % 4 in (2, 3) else 0
+        self._x[h] ^= self._x[i]
+        self._z[h] ^= self._z[i]
+
+    def _rowsum_into(
+        self, sx: np.ndarray, sz: np.ndarray, sr: int, i: int
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Rowsum into a scratch row (used for deterministic outcomes)."""
+        x1 = self._x[i].astype(np.int8)
+        z1 = self._z[i].astype(np.int8)
+        x2 = sx.astype(np.int8)
+        z2 = sz.astype(np.int8)
+        g = np.zeros(self._n, dtype=np.int64)
+        y_mask = (x1 == 1) & (z1 == 1)
+        x_mask = (x1 == 1) & (z1 == 0)
+        z_mask = (x1 == 0) & (z1 == 1)
+        g[y_mask] = z2[y_mask] - x2[y_mask]
+        g[x_mask] = z2[x_mask] * (2 * x2[x_mask] - 1)
+        g[z_mask] = x2[z_mask] * (1 - 2 * z2[z_mask])
+        total = 2 * sr + 2 * int(self._r[i]) + int(g.sum())
+        if total % 4 == 0:
+            new_r = 0
+        elif total % 4 == 2:
+            new_r = 1
+        else:  # pragma: no cover
+            raise QuantumStateError("rowsum produced an imaginary phase")
+        return sx ^ self._x[i], sz ^ self._z[i], new_r
+
+    # ------------------------------------------------------------------
+    # Stabilizer-group queries
+
+    def contains_pauli(
+        self,
+        x_bits: Sequence[int],
+        z_bits: Sequence[int],
+        up_to_sign: bool = True,
+    ) -> bool:
+        """Check whether the Pauli given by *x_bits*/*z_bits* stabilises
+        the state (optionally ignoring its sign).
+
+        Membership is decided by Gaussian elimination over GF(2) on the
+        symplectic vectors of the stabilizer generators.
+        """
+        n = self._n
+        target = np.concatenate(
+            [np.asarray(x_bits, dtype=np.uint8), np.asarray(z_bits, dtype=np.uint8)]
+        )
+        if target.shape != (2 * n,):
+            raise QuantumStateError(
+                f"Pauli must have {n} X bits and {n} Z bits"
+            )
+        rows = np.concatenate([self._x[n:], self._z[n:]], axis=1).copy()
+        combo = np.eye(n, dtype=np.uint8)
+        vec = target.copy()
+        used = np.zeros(n, dtype=np.uint8)
+        pivot_row = 0
+        for col in range(2 * n):
+            pivot = None
+            for r in range(pivot_row, n):
+                if rows[r, col]:
+                    pivot = r
+                    break
+            if pivot is None:
+                continue
+            rows[[pivot_row, pivot]] = rows[[pivot, pivot_row]]
+            combo[[pivot_row, pivot]] = combo[[pivot, pivot_row]]
+            for r in range(n):
+                if r != pivot_row and rows[r, col]:
+                    rows[r] ^= rows[pivot_row]
+                    combo[r] ^= combo[pivot_row]
+            if vec[col]:
+                vec ^= rows[pivot_row]
+                used ^= combo[pivot_row]
+            pivot_row += 1
+            if pivot_row == n:
+                break
+        if vec.any():
+            return False
+        if up_to_sign:
+            return True
+        return self._product_sign(used) == 0
+
+    def _product_sign(self, used: np.ndarray) -> int:
+        """Sign bit of the product of the stabilizer generators selected by
+        *used* (1 = overall minus sign)."""
+        n = self._n
+        sx = np.zeros(n, dtype=np.uint8)
+        sz = np.zeros(n, dtype=np.uint8)
+        sr = 0
+        for i in range(n):
+            if used[i]:
+                sx, sz, sr = self._rowsum_into(sx, sz, sr, n + i)
+        return sr
+
+    def is_ghz_up_to_pauli(self, qubits: Sequence[int]) -> bool:
+        """True iff *qubits* form a GHZ state up to local Pauli corrections
+        and are disentangled from every other qubit.
+
+        Checks that the full-X operator on *qubits* and every adjacent Z-Z
+        pair on *qubits* are stabilizers up to sign.  Since these Paulis act
+        as the identity elsewhere and generate a full 2^k stabilizer group
+        on the k qubits, membership implies the subsystem is exactly a GHZ
+        state modulo a local Pauli frame.
+        """
+        qubits = list(qubits)
+        if len(qubits) < 2:
+            raise QuantumStateError("a GHZ group needs at least 2 qubits")
+        for q in qubits:
+            self._check_qubit(q)
+        if len(set(qubits)) != len(qubits):
+            raise QuantumStateError("GHZ qubit list contains duplicates")
+        n = self._n
+        x_all = np.zeros(n, dtype=np.uint8)
+        z_all = np.zeros(n, dtype=np.uint8)
+        for q in qubits:
+            x_all[q] = 1
+        if not self.contains_pauli(x_all, z_all):
+            return False
+        for a, b in zip(qubits, qubits[1:]):
+            xz = np.zeros(n, dtype=np.uint8)
+            zz = np.zeros(n, dtype=np.uint8)
+            zz[a] = 1
+            zz[b] = 1
+            if not self.contains_pauli(xz, zz):
+                return False
+        return True
+
+    def is_bell_pair_up_to_pauli(self, a: int, b: int) -> bool:
+        """True iff qubits *a*, *b* form a Bell pair up to local Paulis."""
+        return self.is_ghz_up_to_pauli([a, b])
+
+    def is_product_z_eigenstate(self, qubit: int) -> bool:
+        """True iff *qubit* is in |0> or |1>, disentangled from the rest."""
+        self._check_qubit(qubit)
+        n = self._n
+        zbits = np.zeros(n, dtype=np.uint8)
+        zbits[qubit] = 1
+        return self.contains_pauli(np.zeros(n, dtype=np.uint8), zbits)

@@ -1,0 +1,116 @@
+"""Symbolic GHZ-group records used by the network-scale simulation.
+
+A :class:`GHZGroup` records *which* qubits are maximally entangled as a GHZ
+state (|0...0> + |1...1>)/sqrt(2); the exact amplitudes are not tracked at
+network scale (see :mod:`repro.quantum.stabilizer` for the exact level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.exceptions import QuantumStateError
+
+
+@dataclass(frozen=True)
+class GHZGroup:
+    """An immutable record of a GHZ-entangled qubit group.
+
+    Attributes
+    ----------
+    qubits:
+        The qubit identifiers participating in the state.  A 2-qubit group
+        is a Bell pair; the paper treats Bell states as 2-GHZ states.
+    """
+
+    qubits: FrozenSet[int]
+
+    def __init__(self, qubits: Iterable[int]):
+        qubit_set = frozenset(int(q) for q in qubits)
+        if len(qubit_set) < 2:
+            raise QuantumStateError(
+                f"a GHZ group needs >= 2 distinct qubits, got {sorted(qubit_set)}"
+            )
+        object.__setattr__(self, "qubits", qubit_set)
+
+    @property
+    def size(self) -> int:
+        """Number of qubits in the group (n of the n-GHZ state)."""
+        return len(self.qubits)
+
+    @property
+    def is_bell_pair(self) -> bool:
+        """True for 2-qubit groups."""
+        return self.size == 2
+
+    def contains(self, qubit: int) -> bool:
+        """True iff *qubit* participates in this group."""
+        return qubit in self.qubits
+
+    def without(self, qubits_to_drop: Iterable[int]) -> "GHZGroup":
+        """Group remaining after removing *qubits_to_drop* (Pauli removal).
+
+        Raises if fewer than two qubits would remain.
+        """
+        drop = frozenset(qubits_to_drop)
+        missing = drop - self.qubits
+        if missing:
+            raise QuantumStateError(
+                f"qubits {sorted(missing)} are not members of this group"
+            )
+        return GHZGroup(self.qubits - drop)
+
+    def sorted_qubits(self) -> Tuple[int, ...]:
+        """Members in ascending order (stable identity for tests/repr)."""
+        return tuple(sorted(self.qubits))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GHZGroup{self.sorted_qubits()}"
+
+
+def merge_groups(groups: Iterable[GHZGroup], measured: Iterable[int]) -> GHZGroup:
+    """Result of an n-fusion that measures *measured* (one qubit per input
+    group) and merges the remainders into one GHZ group.
+
+    This is the symbolic counterpart of a GHZ measurement: fusing groups of
+    sizes ``s_1..s_k`` through ``k`` measured qubits yields a GHZ group of
+    size ``sum(s_i) - k``.
+    """
+    groups = list(groups)
+    measured_set = frozenset(int(q) for q in measured)
+    if not groups:
+        raise QuantumStateError("cannot merge an empty collection of groups")
+    all_qubits: set = set()
+    for group in groups:
+        overlap = all_qubits & group.qubits
+        if overlap:
+            raise QuantumStateError(
+                f"groups share qubits {sorted(overlap)}; fusion inputs must be "
+                "disjoint states"
+            )
+        all_qubits |= group.qubits
+    stray = measured_set - all_qubits
+    if stray:
+        raise QuantumStateError(
+            f"measured qubits {sorted(stray)} do not belong to any input group"
+        )
+    for group in groups:
+        hit = measured_set & group.qubits
+        if len(hit) != 1:
+            raise QuantumStateError(
+                f"fusion must measure exactly one qubit per group; group "
+                f"{group.sorted_qubits()} contributes {sorted(hit)}"
+            )
+    return GHZGroup(all_qubits - measured_set)
+
+
+def ghz_state_vector_signature(size: int) -> Tuple[Tuple[int, ...], ...]:
+    """The two computational basis strings of an n-GHZ state.
+
+    Used by tests as a human-readable oracle: an ``n``-GHZ state is the
+    equal superposition of ``(0,)*n`` and ``(1,)*n``.
+    """
+    if size < 2:
+        raise QuantumStateError(f"GHZ size must be >= 2, got {size}")
+    return tuple([0] * size), tuple([1] * size)

@@ -1,0 +1,165 @@
+"""Scalable symbolic tracking of GHZ entanglement groups.
+
+The exact stabilizer simulator verifies fusion semantics on small registers;
+at network scale the Monte Carlo only needs to know *which* qubits form a
+GHZ group at any moment.  :class:`EntanglementTracker` maintains that
+partition with O(alpha) union/find-style bookkeeping and mirrors the three
+fusion primitives (n-GHZ measurement, BSM, Pauli removal) plus the failure
+behaviour: a failed fusion destroys the participating states, releasing
+their qubits as unentangled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.exceptions import FusionError, QuantumStateError
+from repro.quantum.states import GHZGroup
+
+
+class EntanglementTracker:
+    """Tracks the partition of qubit ids into GHZ groups.
+
+    Qubit identifiers are arbitrary hashable ints managed by the caller
+    (the network simulation uses globally unique per-switch qubit ids).
+    """
+
+    def __init__(self) -> None:
+        self._group_of: Dict[int, int] = {}
+        self._members: Dict[int, Set[int]] = {}
+        self._next_group_id = 0
+
+    # ------------------------------------------------------------------
+    # State creation / destruction
+
+    def create_bell_pair(self, a: int, b: int) -> int:
+        """Record a fresh Bell pair between free qubits *a* and *b*."""
+        return self.create_ghz([a, b])
+
+    def create_ghz(self, qubits: Iterable[int]) -> int:
+        """Record a fresh GHZ group; returns its group id."""
+        qubit_list = [int(q) for q in qubits]
+        if len(set(qubit_list)) != len(qubit_list):
+            raise QuantumStateError("GHZ qubits must be distinct")
+        if len(qubit_list) < 2:
+            raise QuantumStateError("a GHZ group needs >= 2 qubits")
+        for q in qubit_list:
+            if q in self._group_of:
+                raise QuantumStateError(
+                    f"qubit {q} is already entangled; measure or discard it first"
+                )
+        gid = self._next_group_id
+        self._next_group_id += 1
+        self._members[gid] = set(qubit_list)
+        for q in qubit_list:
+            self._group_of[q] = gid
+        return gid
+
+    def discard_group(self, group_id: int) -> None:
+        """Destroy a group entirely (decoherence / failed fusion)."""
+        members = self._members.pop(group_id, None)
+        if members is None:
+            raise QuantumStateError(f"unknown group id {group_id}")
+        for q in members:
+            del self._group_of[q]
+
+    def discard_qubit_group(self, qubit: int) -> None:
+        """Destroy the group that *qubit* belongs to."""
+        self.discard_group(self.group_id_of(qubit))
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def is_entangled(self, qubit: int) -> bool:
+        """True iff *qubit* currently belongs to a GHZ group."""
+        return qubit in self._group_of
+
+    def group_id_of(self, qubit: int) -> int:
+        """Group id of *qubit*; raises if the qubit is unentangled."""
+        try:
+            return self._group_of[qubit]
+        except KeyError:
+            raise QuantumStateError(f"qubit {qubit} is not entangled") from None
+
+    def group_of(self, qubit: int) -> GHZGroup:
+        """The :class:`GHZGroup` containing *qubit*."""
+        return GHZGroup(self._members[self.group_id_of(qubit)])
+
+    def groups(self) -> List[GHZGroup]:
+        """All live groups (sorted by size then members, for determinism)."""
+        groups = [GHZGroup(m) for m in self._members.values()]
+        return sorted(groups, key=lambda g: (g.size, g.sorted_qubits()))
+
+    def num_groups(self) -> int:
+        """Number of live GHZ groups."""
+        return len(self._members)
+
+    def same_group(self, a: int, b: int) -> bool:
+        """True iff qubits *a* and *b* are in the same GHZ group."""
+        return (
+            a in self._group_of
+            and b in self._group_of
+            and self._group_of[a] == self._group_of[b]
+        )
+
+    # ------------------------------------------------------------------
+    # Fusion primitives
+
+    def fuse(self, measured_qubits: Iterable[int], success: bool = True) -> Optional[int]:
+        """Perform an n-fusion measuring *measured_qubits* (one per group).
+
+        On success the unmeasured partners of every input group merge into
+        a single GHZ group whose id is returned.  On failure every input
+        group is destroyed (the paper's model: a failed GHZ measurement
+        wastes the fused links) and ``None`` is returned.
+        """
+        measured = [int(q) for q in measured_qubits]
+        if len(measured) < 1:
+            raise FusionError("fusion needs at least one measured qubit")
+        if len(set(measured)) != len(measured):
+            raise FusionError("measured qubits must be distinct")
+        group_ids: List[int] = []
+        seen: Set[int] = set()
+        for q in measured:
+            gid = self.group_id_of(q)
+            if gid in seen:
+                raise FusionError(
+                    "fusion must measure exactly one qubit per input group; "
+                    f"group {gid} was named twice"
+                )
+            seen.add(gid)
+            group_ids.append(gid)
+        if len(measured) == 1:
+            return self._pauli_removal(measured[0], success)
+        survivors: Set[int] = set()
+        for gid in group_ids:
+            survivors |= self._members[gid]
+        survivors -= set(measured)
+        for gid in group_ids:
+            self.discard_group(gid)
+        if not success:
+            return None
+        if len(survivors) < 2:
+            # Fusing n Bell pairs leaves n survivors (n >= 2); fewer than 2
+            # survivors means the caller measured both halves of some pair.
+            raise FusionError(
+                "fusion left fewer than 2 surviving qubits; inputs must keep "
+                "at least one unmeasured qubit each"
+            )
+        return self.create_ghz(survivors)
+
+    def _pauli_removal(self, qubit: int, success: bool) -> Optional[int]:
+        """1-fusion: drop *qubit* from its group (X-basis measurement)."""
+        gid = self.group_id_of(qubit)
+        members = self._members[gid]
+        if not success:
+            self.discard_group(gid)
+            return None
+        if len(members) - 1 < 2:
+            # Removing one qubit from a Bell pair leaves a lone qubit: the
+            # remaining qubit is a product state, so the group dissolves.
+            self.discard_group(gid)
+            return None
+        members.remove(qubit)
+        del self._group_of[qubit]
+        return gid

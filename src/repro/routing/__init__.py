@@ -1,0 +1,60 @@
+"""Entanglement routing: metrics, the paper's Algorithms 1-4 and baselines.
+
+Public entry points:
+
+* :class:`~repro.routing.nfusion.AlgNFusion` — the paper's ALG-N-FUSION
+  (Algorithms 1-4 composed), producing a :class:`~repro.routing.plan.RoutingPlan`.
+* :mod:`repro.routing.baselines` — Q-CAST, Q-CAST-N and B1 comparators.
+* :func:`~repro.routing.metrics.path_entanglement_rate` and
+  :class:`~repro.routing.flow_graph.FlowLikeGraph` — the routing metrics
+  (paper Section III-C, Equation 1).
+"""
+
+from repro.routing.metrics import (
+    channel_rate,
+    path_entanglement_rate,
+    path_entanglement_rate_nonuniform,
+)
+from repro.routing.paths import PathCandidate, validate_path
+from repro.routing.allocation import QubitLedger
+from repro.routing.flow_graph import FlowLikeGraph
+from repro.routing.plan import RoutingPlan
+from repro.routing.alg1_largest_rate import largest_entanglement_rate_path
+from repro.routing.alg2_path_selection import select_paths
+from repro.routing.alg3_merge import merge_paths
+from repro.routing.alg4_residual import assign_remaining_qubits
+from repro.routing.nfusion import AlgNFusion, RoutingResult
+from repro.routing.baselines import B1Router, QCastNRouter, QCastRouter
+from repro.routing.report import render_plan_report
+from repro.routing.scheduler import OnlineScheduler, ScheduleResult
+from repro.routing.multipartite import (
+    MultipartiteDemand,
+    MultipartiteRouter,
+    StarRoute,
+)
+
+__all__ = [
+    "channel_rate",
+    "path_entanglement_rate",
+    "path_entanglement_rate_nonuniform",
+    "PathCandidate",
+    "validate_path",
+    "QubitLedger",
+    "FlowLikeGraph",
+    "RoutingPlan",
+    "largest_entanglement_rate_path",
+    "select_paths",
+    "merge_paths",
+    "assign_remaining_qubits",
+    "AlgNFusion",
+    "RoutingResult",
+    "QCastRouter",
+    "QCastNRouter",
+    "B1Router",
+    "render_plan_report",
+    "OnlineScheduler",
+    "ScheduleResult",
+    "MultipartiteDemand",
+    "MultipartiteRouter",
+    "StarRoute",
+]

@@ -1,0 +1,162 @@
+"""Algorithm 2 — Paths Selection: h best paths per width via Yen + Alg. 1.
+
+For every width from ``max_width`` down to 1, the routine finds the *h*
+paths with the largest entanglement rate between the demand's endpoints,
+using Yen's k-shortest-path deviation scheme with Algorithm 1 as the
+underlying single-path solver (the paper plugs its Algorithm 1 into Yen's
+structure the same way).
+
+Resources may be reused freely across candidate paths — the paper lets the
+path set over-subscribe the network because admission happens later in
+Algorithm 3.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.exceptions import RoutingError
+from repro.network.demands import Demand
+from repro.network.graph import QuantumNetwork
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.alg1_largest_rate import largest_entanglement_rate_path
+from repro.routing.allocation import QubitLedger
+from repro.routing.metrics import path_entanglement_rate
+from repro.routing.paths import PathCandidate
+
+EdgeKey = Tuple[int, int]
+
+
+def _ekey(a: int, b: int) -> EdgeKey:
+    return (a, b) if a < b else (b, a)
+
+
+def select_paths(
+    network: QuantumNetwork,
+    link_model: LinkModel,
+    swap_model: SwapModel,
+    demand: Demand,
+    h: int = 3,
+    max_width: Optional[int] = None,
+    ledger: Optional[QubitLedger] = None,
+    max_hops: Optional[int] = None,
+) -> Dict[int, List[PathCandidate]]:
+    """Select up to *h* candidate paths per width for one demand.
+
+    Returns ``{width: [PathCandidate, ...]}`` with paths sorted by
+    decreasing rate.  Widths whose best path is infeasible are omitted.
+    ``max_hops`` drops longer candidates — the fidelity-constrained
+    extension derives it from a minimum end-to-end fidelity.
+    """
+    if h < 1:
+        raise RoutingError(f"h must be >= 1, got {h}")
+    if max_width is None:
+        max_width = default_max_width(network)
+    if max_width < 1:
+        raise RoutingError(f"max_width must be >= 1, got {max_width}")
+    if ledger is None:
+        ledger = QubitLedger(network)
+    result: Dict[int, List[PathCandidate]] = {}
+    for width in range(max_width, 0, -1):
+        paths = _yen_best_paths(
+            network, link_model, swap_model, demand, width, h, ledger
+        )
+        if max_hops is not None:
+            paths = [p for p in paths if p.hops <= max_hops]
+        if paths:
+            result[width] = paths
+    return result
+
+
+def default_max_width(network: QuantumNetwork) -> int:
+    """The largest width worth trying: an intermediate switch needs
+    ``2 * width`` qubits, so half the largest switch capacity."""
+    capacities = [
+        network.qubit_capacity(s)
+        for s in network.switches()
+        if network.qubit_capacity(s) is not None
+    ]
+    if not capacities:
+        return 1
+    return max(1, max(capacities) // 2)
+
+
+def _yen_best_paths(
+    network: QuantumNetwork,
+    link_model: LinkModel,
+    swap_model: SwapModel,
+    demand: Demand,
+    width: int,
+    h: int,
+    ledger: QubitLedger,
+) -> List[PathCandidate]:
+    """Yen's algorithm with Algorithm 1 as the shortest-path subroutine."""
+    first = largest_entanglement_rate_path(
+        network,
+        link_model,
+        swap_model,
+        demand.source,
+        demand.destination,
+        width,
+        ledger,
+    )
+    if first is None:
+        return []
+    accepted: List[Tuple[Tuple[int, ...], float]] = [first]
+    seen: Set[Tuple[int, ...]] = {first[0]}
+    counter = itertools.count()
+    # Max-heap of candidate deviations: (-rate, tiebreak, nodes).
+    candidates: List[Tuple[float, int, Tuple[int, ...]]] = []
+
+    while len(accepted) < h:
+        previous_nodes = accepted[-1][0]
+        for deviation_index in range(len(previous_nodes) - 1):
+            root = previous_nodes[: deviation_index + 1]
+            spur_node = previous_nodes[deviation_index]
+            banned_edges: Set[EdgeKey] = set()
+            for path_nodes, _ in accepted:
+                if tuple(path_nodes[: deviation_index + 1]) == root:
+                    banned_edges.add(
+                        _ekey(
+                            path_nodes[deviation_index],
+                            path_nodes[deviation_index + 1],
+                        )
+                    )
+            banned_nodes = frozenset(root[:-1])
+            spur = largest_entanglement_rate_path(
+                network,
+                link_model,
+                swap_model,
+                spur_node,
+                demand.destination,
+                width,
+                ledger,
+                banned_nodes=banned_nodes,
+                banned_edges=frozenset(banned_edges),
+            )
+            if spur is None:
+                continue
+            total_nodes = root[:-1] + spur[0]
+            if total_nodes in seen:
+                continue
+            seen.add(total_nodes)
+            try:
+                total_rate = path_entanglement_rate(
+                    network, link_model, swap_model, total_nodes, width
+                )
+            except RoutingError:  # pragma: no cover - spur paths are valid
+                continue
+            heapq.heappush(
+                candidates, (-total_rate, next(counter), total_nodes)
+            )
+        if not candidates:
+            break
+        negative_rate, _, nodes = heapq.heappop(candidates)
+        accepted.append((nodes, -negative_rate))
+
+    return [
+        PathCandidate(demand.demand_id, nodes, width, rate)
+        for nodes, rate in accepted
+    ]

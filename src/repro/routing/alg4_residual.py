@@ -1,0 +1,67 @@
+"""Algorithm 4 — Remaining Qubits Assignment.
+
+After Algorithm 3 a few qubits usually remain in switches (width rounding,
+rejected paths).  Algorithm 4 converts them into extra parallel links: for
+every edge whose endpoints both still hold a free qubit, the extra link is
+granted to the demand whose flow-like graph gains the most entanglement
+rate from widening that edge, repeating until the edge's endpoints run dry
+or no demand benefits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.graph import QuantumNetwork
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.allocation import QubitLedger
+from repro.routing.plan import RoutingPlan
+
+EdgeKey = Tuple[int, int]
+
+#: Gains below this threshold are treated as zero (floating-point guard).
+_MIN_GAIN = 1e-15
+
+
+def assign_remaining_qubits(
+    network: QuantumNetwork,
+    link_model: LinkModel,
+    swap_model: SwapModel,
+    plan: RoutingPlan,
+    ledger: QubitLedger,
+) -> List[Tuple[EdgeKey, int]]:
+    """Run Algorithm 4, widening edges of *plan* in place.
+
+    Returns the list of ``(edge, demand_id)`` assignments made, in order.
+    """
+    assignments: List[Tuple[EdgeKey, int]] = []
+    flows = plan.flows()
+    if not flows:
+        return assignments
+    # Only edges used by some flow can absorb an extra link; a link on an
+    # unused edge has no state to join.
+    candidate_edges = sorted(
+        {edge for flow in flows for edge in flow.edges()}
+    )
+    for u, v in candidate_edges:
+        while ledger.can_reserve_edge(u, v, 1):
+            best_gain = 0.0
+            best_flow = None
+            for flow in flows:
+                if not flow.contains_edge(u, v):
+                    continue
+                base = flow.entanglement_rate(network, link_model, swap_model)
+                widened = flow.entanglement_rate(
+                    network, link_model, swap_model,
+                    extra_widths={(u, v) if u < v else (v, u): 1},
+                )
+                gain = widened - base
+                if gain > best_gain + _MIN_GAIN:
+                    best_gain = gain
+                    best_flow = flow
+            if best_flow is None:
+                break
+            ledger.reserve_edge(u, v, 1)
+            best_flow.widen_edge(u, v)
+            assignments.append(((u, v) if u < v else (v, u), best_flow.demand_id))
+    return assignments

@@ -1,0 +1,113 @@
+"""Qubit allocation ledger.
+
+Tracks the remaining communication qubits of every node while routes are
+being admitted.  Users have unlimited qubits (the paper's assumption), so
+only switches are really constrained; the ledger still answers queries for
+users so callers need no special cases.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.exceptions import AllocationError, CapacityError
+from repro.network.graph import QuantumNetwork
+
+
+class QubitLedger:
+    """Remaining-qubit bookkeeping over one network."""
+
+    def __init__(self, network: QuantumNetwork):
+        self._network = network
+        self._remaining: Dict[int, Optional[int]] = {}
+        for node_id in network.nodes():
+            self._remaining[node_id] = network.qubit_capacity(node_id)
+
+    def remaining(self, node_id: int) -> float:
+        """Remaining qubits of *node_id* (``math.inf`` for users)."""
+        value = self._lookup(node_id)
+        return math.inf if value is None else value
+
+    def has_at_least(self, node_id: int, count: int) -> bool:
+        """True iff *node_id* still holds at least *count* qubits."""
+        if count < 0:
+            raise AllocationError(f"count must be >= 0, got {count}")
+        value = self._lookup(node_id)
+        return value is None or value >= count
+
+    def reserve(self, node_id: int, count: int) -> None:
+        """Consume *count* qubits of *node_id*; raises on overdraft."""
+        if count < 0:
+            raise AllocationError(f"count must be >= 0, got {count}")
+        value = self._lookup(node_id)
+        if value is None:
+            return
+        if value < count:
+            raise CapacityError(
+                f"node {node_id} has {value} qubits left, cannot reserve {count}"
+            )
+        self._remaining[node_id] = value - count
+
+    def release(self, node_id: int, count: int) -> None:
+        """Return *count* qubits to *node_id*; raises if the release would
+        exceed the node's physical capacity."""
+        if count < 0:
+            raise AllocationError(f"count must be >= 0, got {count}")
+        value = self._lookup(node_id)
+        if value is None:
+            return
+        capacity = self._network.qubit_capacity(node_id)
+        if capacity is not None and value + count > capacity:
+            raise AllocationError(
+                f"releasing {count} qubits would take node {node_id} above its "
+                f"capacity of {capacity}"
+            )
+        self._remaining[node_id] = value + count
+
+    def reserve_edge(self, u: int, v: int, width: int) -> None:
+        """Consume *width* qubits at each endpoint of edge (*u*, *v*).
+
+        Atomic: if the second endpoint lacks qubits, the first endpoint's
+        reservation is rolled back before raising.
+        """
+        self.reserve(u, width)
+        try:
+            self.reserve(v, width)
+        except CapacityError:
+            self.release(u, width)
+            raise
+
+    def can_reserve_edge(self, u: int, v: int, width: int) -> bool:
+        """True iff both endpoints can supply *width* qubits."""
+        return self.has_at_least(u, width) and self.has_at_least(v, width)
+
+    def snapshot(self) -> Dict[int, Optional[int]]:
+        """Copy of the remaining-qubit map (None = unlimited)."""
+        return dict(self._remaining)
+
+    def restore(self, snapshot: Dict[int, Optional[int]]) -> None:
+        """Restore a map previously produced by :meth:`snapshot`."""
+        if set(snapshot) != set(self._remaining):
+            raise AllocationError("snapshot does not match this ledger's nodes")
+        self._remaining = dict(snapshot)
+
+    def total_free_switch_qubits(self) -> int:
+        """Total remaining qubits across all switches."""
+        return sum(
+            value
+            for node_id, value in self._remaining.items()
+            if value is not None
+        )
+
+    def copy(self) -> "QubitLedger":
+        """Independent copy of this ledger over the same network."""
+        clone = QubitLedger(self._network)
+        clone._remaining = dict(self._remaining)
+        return clone
+
+    def _lookup(self, node_id: int) -> Optional[int]:
+        try:
+            return self._remaining[node_id]
+        except KeyError:
+            raise AllocationError(f"node {node_id} is not in the ledger") from None

@@ -1,0 +1,286 @@
+"""Flow-like graphs (paper Definition 1) and their entanglement rate.
+
+A flow-like graph is the union of several source->destination paths serving
+the *same* demanded state; nodes shared by more than one of those paths are
+*branch nodes* that fuse all their incident links for the state in a single
+GHZ measurement.  The entanglement rate follows the paper's Equation 1:
+
+    P(a, D) = 1 - prod_{c in children(a)} (1 - P_channel(a, c) * q_c * P(c, D))
+
+evaluated recursively from the source, where ``q_c`` is the fusion success
+probability of child ``c`` (1 for the destination user) and ``P_channel``
+the width-dependent channel rate.  The recursion assumes branch subtrees
+succeed independently — the same approximation the paper makes; the Monte
+Carlo engine in :mod:`repro.simulation` quantifies the error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import RoutingError
+from repro.network.graph import QuantumNetwork
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.metrics import channel_rate
+
+EdgeKey = Tuple[int, int]
+
+
+def _ekey(a: int, b: int) -> EdgeKey:
+    return (a, b) if a < b else (b, a)
+
+
+class FlowLikeGraph:
+    """The route of one demanded state: one or more merged paths.
+
+    The graph stores the set of constituent paths, the directed child map
+    induced by traversing each path from source to destination, and the
+    channel width of every edge.  Paths whose direction would conflict with
+    the existing orientation (creating a directed cycle) are rejected at
+    :meth:`add_path` time, keeping Equation 1 well defined.
+    """
+
+    def __init__(self, demand_id: int, source: int, destination: int):
+        if source == destination:
+            raise RoutingError("source and destination must differ")
+        self.demand_id = demand_id
+        self.source = source
+        self.destination = destination
+        self._paths: List[Tuple[int, ...]] = []
+        self._children: Dict[int, Set[int]] = {}
+        self._edge_widths: Dict[EdgeKey, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    def add_path(self, nodes: Sequence[int], width: int) -> None:
+        """Merge a source->destination path of channel *width* into the graph.
+
+        Edges already present are *shared* with the earlier paths (the
+        paper's merge rule) and keep the larger of the two widths; new
+        edges get *width*.  Callers charging qubits must charge the width
+        delta on shared edges (see Algorithm 3's admission).  Raises
+        :class:`RoutingError` if the path endpoints do not match the
+        demand or if merging would create a directed cycle.
+        """
+        nodes = tuple(nodes)
+        if len(nodes) < 2:
+            raise RoutingError(f"path needs >= 2 nodes, got {nodes}")
+        if nodes[0] != self.source or nodes[-1] != self.destination:
+            raise RoutingError(
+                f"path {nodes} does not connect demand endpoints "
+                f"({self.source}, {self.destination})"
+            )
+        if len(set(nodes)) != len(nodes):
+            raise RoutingError(f"path must be loopless, got {nodes}")
+        if width < 1:
+            raise RoutingError(f"width must be >= 1, got {width}")
+        if nodes in self._paths:
+            # Re-adding an existing path is a pure width upgrade.
+            for a, b in zip(nodes, nodes[1:]):
+                key = _ekey(a, b)
+                self._edge_widths[key] = max(self._edge_widths[key], width)
+            return
+        trial_children = {k: set(v) for k, v in self._children.items()}
+        for a, b in zip(nodes, nodes[1:]):
+            trial_children.setdefault(a, set()).add(b)
+        if _has_directed_cycle(trial_children):
+            raise RoutingError(
+                f"merging path {nodes} would create a directed cycle in the "
+                "flow-like graph"
+            )
+        self._children = trial_children
+        self._paths.append(nodes)
+        for a, b in zip(nodes, nodes[1:]):
+            key = _ekey(a, b)
+            self._edge_widths[key] = max(self._edge_widths.get(key, 0), width)
+
+    def copy(self) -> "FlowLikeGraph":
+        """Independent deep copy (used for trial merges)."""
+        clone = FlowLikeGraph(self.demand_id, self.source, self.destination)
+        clone._paths = list(self._paths)
+        clone._children = {k: set(v) for k, v in self._children.items()}
+        clone._edge_widths = dict(self._edge_widths)
+        return clone
+
+    def widen_edge(self, u: int, v: int, extra: int = 1) -> None:
+        """Increase the width of an existing edge (Algorithm 4's action)."""
+        key = _ekey(u, v)
+        if key not in self._edge_widths:
+            raise RoutingError(f"edge {key} is not part of this flow-like graph")
+        if extra < 1:
+            raise RoutingError(f"extra width must be >= 1, got {extra}")
+        self._edge_widths[key] += extra
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    @property
+    def paths(self) -> List[Tuple[int, ...]]:
+        """The constituent paths, in merge order."""
+        return list(self._paths)
+
+    @property
+    def num_paths(self) -> int:
+        """Number of merged paths."""
+        return len(self._paths)
+
+    def edges(self) -> List[EdgeKey]:
+        """Canonical keys of all edges, sorted."""
+        return sorted(self._edge_widths)
+
+    def edge_width(self, u: int, v: int) -> int:
+        """Channel width of edge (*u*, *v*)."""
+        key = _ekey(u, v)
+        try:
+            return self._edge_widths[key]
+        except KeyError:
+            raise RoutingError(
+                f"edge {key} is not part of this flow-like graph"
+            ) from None
+
+    def edge_widths(self) -> Dict[EdgeKey, int]:
+        """Copy of the edge->width map."""
+        return dict(self._edge_widths)
+
+    def contains_edge(self, u: int, v: int) -> bool:
+        """True iff the graph uses edge (*u*, *v*)."""
+        return _ekey(u, v) in self._edge_widths
+
+    def nodes(self) -> List[int]:
+        """All nodes appearing in any merged path, sorted."""
+        seen: Set[int] = set()
+        for path in self._paths:
+            seen.update(path)
+        return sorted(seen)
+
+    def branch_nodes(self) -> List[int]:
+        """Nodes with more than one child (paper's branch nodes)."""
+        return sorted(
+            node for node, children in self._children.items() if len(children) > 1
+        )
+
+    def children_of(self, node: int) -> List[int]:
+        """Directed children of *node* (towards the destination)."""
+        return sorted(self._children.get(node, ()))
+
+    def fusion_arity(self, node: int) -> int:
+        """Number of quantum links *node* fuses for this state.
+
+        Counts one link per unit of width on every incident edge; the
+        destination/source users terminate rather than fuse.
+        """
+        arity = 0
+        for (a, b), width in self._edge_widths.items():
+            if node in (a, b):
+                arity += width
+        return arity
+
+    def qubits_used_at(self, node: int) -> int:
+        """Communication qubits this state consumes at *node*."""
+        return self.fusion_arity(node)
+
+    # ------------------------------------------------------------------
+    # Rate (paper Equation 1)
+
+    def entanglement_rate(
+        self,
+        network: QuantumNetwork,
+        link_model: LinkModel,
+        swap_model: SwapModel,
+        extra_widths: Optional[Dict[EdgeKey, int]] = None,
+    ) -> float:
+        """Analytic entanglement rate of this flow-like graph.
+
+        ``extra_widths`` adds hypothetical width to edges without mutating
+        the graph — Algorithm 4 uses this to evaluate marginal gains.
+        """
+        if not self._paths:
+            return 0.0
+        memo: Dict[int, float] = {}
+        return self._rate_from(
+            self.source, network, link_model, swap_model, memo,
+            extra_widths or {},
+        )
+
+    def _rate_from(
+        self,
+        node: int,
+        network: QuantumNetwork,
+        link_model: LinkModel,
+        swap_model: SwapModel,
+        memo: Dict[int, float],
+        extra_widths: Dict[EdgeKey, int],
+    ) -> float:
+        if node == self.destination:
+            return 1.0
+        if node in memo:
+            return memo[node]
+        failure = 1.0
+        for child in self._children.get(node, ()):
+            key = _ekey(node, child)
+            width = self._edge_widths[key] + extra_widths.get(key, 0)
+            edge_rate = channel_rate(network, link_model, node, child, width)
+            if child == self.destination or network.node(child).is_user:
+                swap = 1.0
+            else:
+                # The child fuses every link it holds for this state: one
+                # per unit of width on each incident edge (matters only
+                # for arity-dependent swap models; the paper's constant-q
+                # model ignores the arity).
+                swap = swap_model.success_probability(
+                    self.fusion_arity(child) + extra_widths_total(
+                        extra_widths, child
+                    )
+                )
+            downstream = self._rate_from(
+                child, network, link_model, swap_model, memo, extra_widths
+            )
+            failure *= 1.0 - edge_rate * swap * downstream
+        rate = 1.0 - failure
+        memo[node] = rate
+        return rate
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FlowLikeGraph(demand={self.demand_id}, "
+            f"{self.source}->{self.destination}, paths={self.num_paths}, "
+            f"edges={len(self._edge_widths)})"
+        )
+
+
+def extra_widths_total(extra_widths: Dict[EdgeKey, int], node: int) -> int:
+    """Extra fusion arity *node* gains from hypothetical widths."""
+    return sum(
+        extra for (u, v), extra in extra_widths.items() if node in (u, v)
+    )
+
+
+def _has_directed_cycle(children: Dict[int, Set[int]]) -> bool:
+    """Detect a directed cycle in a child map via iterative DFS colouring."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[int, int] = {}
+    for root in children:
+        if color.get(root, WHITE) != WHITE:
+            continue
+        stack: List[Tuple[int, Optional[object]]] = [(root, None)]
+        while stack:
+            node, iterator = stack.pop()
+            if iterator is None:
+                if color.get(node, WHITE) != WHITE:
+                    continue
+                color[node] = GRAY
+                iterator = iter(sorted(children.get(node, ())))
+            advanced = False
+            for child in iterator:
+                state = color.get(child, WHITE)
+                if state == GRAY:
+                    return True
+                if state == WHITE:
+                    stack.append((node, iterator))
+                    stack.append((child, None))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+    return False

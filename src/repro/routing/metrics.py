@@ -1,0 +1,88 @@
+"""Routing metrics (paper Section III-C).
+
+* **Channel rate** — a width-w channel on one edge delivers at least one
+  Bell pair with probability ``1 - (1 - p)^w``.
+* **Path rate** — a path succeeds iff every channel delivers and every
+  intermediate switch's fusion succeeds:
+  ``P_A = q^(#intermediate switches) * prod_e (1 - (1 - p_e)^w_e)``.
+* **Flow-like graph rate** — Equation 1, implemented by
+  :class:`~repro.routing.flow_graph.FlowLikeGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.exceptions import RoutingError
+from repro.network.graph import QuantumNetwork
+from repro.quantum.noise import LinkModel, SwapModel, channel_success_probability
+
+
+def channel_rate(
+    network: QuantumNetwork,
+    link_model: LinkModel,
+    u: int,
+    v: int,
+    width: int,
+) -> float:
+    """Entanglement rate of a width-*width* channel on edge (*u*, *v*)."""
+    p = link_model.success_probability(network.edge_length(u, v))
+    return channel_success_probability(p, width)
+
+
+def _swap_factor(network: QuantumNetwork, swap_model: SwapModel, node: int, arity: int) -> float:
+    """Fusion success factor contributed by *node* relaying *arity* links.
+
+    Users terminate states rather than relay, so they contribute no swap
+    factor; switches contribute the swap model's success probability.
+    """
+    if network.node(node).is_user:
+        return 1.0
+    return swap_model.success_probability(arity)
+
+
+def path_entanglement_rate(
+    network: QuantumNetwork,
+    link_model: LinkModel,
+    swap_model: SwapModel,
+    nodes: Sequence[int],
+    width: int,
+) -> float:
+    """Entanglement rate of a uniform-width path.
+
+    ``nodes`` runs source to destination inclusive; every edge carries
+    *width* parallel links and every intermediate switch performs one
+    fusion with the swap model's success probability.
+    """
+    widths = {_ekey(a, b): width for a, b in zip(nodes, nodes[1:])}
+    return path_entanglement_rate_nonuniform(
+        network, link_model, swap_model, nodes, widths
+    )
+
+
+def path_entanglement_rate_nonuniform(
+    network: QuantumNetwork,
+    link_model: LinkModel,
+    swap_model: SwapModel,
+    nodes: Sequence[int],
+    edge_widths: Dict[Tuple[int, int], int],
+) -> float:
+    """Entanglement rate of a path whose channels have per-edge widths."""
+    nodes = list(nodes)
+    if len(nodes) < 2:
+        raise RoutingError(f"a path needs >= 2 nodes, got {nodes}")
+    rate = 1.0
+    for a, b in zip(nodes, nodes[1:]):
+        key = _ekey(a, b)
+        if key not in edge_widths:
+            raise RoutingError(f"no width recorded for path edge {key}")
+        rate *= channel_rate(network, link_model, a, b, edge_widths[key])
+    for node in nodes[1:-1]:
+        # Each intermediate node fuses its two incident channels (2-fusion
+        # on a simple path; higher arity arises only in flow-like graphs).
+        rate *= _swap_factor(network, swap_model, node, 2)
+    return rate
+
+
+def _ekey(a: int, b: int) -> Tuple[int, int]:
+    return (a, b) if a < b else (b, a)

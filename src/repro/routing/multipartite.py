@@ -1,0 +1,187 @@
+"""Multipartite GHZ-state routing (extension / future work).
+
+The paper restricts shared states to *pairs* of users and names
+multipartite distribution as the natural next step ("the transmitted
+quantum information can be ... a GHZ state").  n-fusion makes k-user GHZ
+distribution structurally easy: if every user holds one qubit of a Bell
+pair whose other half sits at a common *fusion center*, one k-GHZ
+measurement at the center leaves the k user qubits in a GHZ_k state.
+
+:class:`MultipartiteRouter` implements the star strategy on top of the
+paper's machinery:
+
+1. candidate centers are ranked by the product of the best per-user path
+   rates (Algorithm 1 runs once per user with the center as target);
+2. the best center's per-user paths are admitted against the qubit
+   ledger (the center additionally spends one qubit per user for the
+   final fusion, within its capacity);
+3. the star's rate is ``q_center * prod_u P(path_u)`` — every arm must
+   deliver and the central fusion must succeed.
+
+This deliberately reuses Algorithm 1's metric and the ledger, so all the
+paper's constraints (capacity, user-endpoints-only) carry over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import CapacityError, ConfigurationError, RoutingError
+from repro.network.graph import QuantumNetwork
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.alg1_largest_rate import largest_entanglement_rate_path
+from repro.routing.allocation import QubitLedger
+
+
+@dataclass(frozen=True)
+class MultipartiteDemand:
+    """A request for one GHZ state shared by *users* (k >= 2)."""
+
+    demand_id: int
+    users: Tuple[int, ...]
+
+    def __init__(self, demand_id: int, users: Sequence[int]):
+        user_tuple = tuple(int(u) for u in users)
+        if len(set(user_tuple)) != len(user_tuple) or len(user_tuple) < 2:
+            raise ConfigurationError(
+                f"a multipartite demand needs >= 2 distinct users, got {users}"
+            )
+        object.__setattr__(self, "demand_id", demand_id)
+        object.__setattr__(self, "users", user_tuple)
+
+    @property
+    def size(self) -> int:
+        """Number of users (the k of the GHZ_k state)."""
+        return len(self.users)
+
+
+@dataclass(frozen=True)
+class StarRoute:
+    """A fusion-center star serving one multipartite demand."""
+
+    demand_id: int
+    center: int
+    arms: Dict[int, Tuple[int, ...]]  # user -> path user..center
+    rate: float
+
+    @property
+    def fusion_arity(self) -> int:
+        """Links the center fuses for the final GHZ measurement."""
+        return len(self.arms)
+
+
+@dataclass
+class MultipartiteRouter:
+    """Star-topology GHZ distribution via a fusion center."""
+
+    width: int = 1
+    candidate_centers: int = 10
+
+    def route_demand(
+        self,
+        network: QuantumNetwork,
+        demand: MultipartiteDemand,
+        link_model: Optional[LinkModel] = None,
+        swap_model: Optional[SwapModel] = None,
+        ledger: Optional[QubitLedger] = None,
+    ) -> Optional[StarRoute]:
+        """Best star route for one demand, or ``None`` if infeasible.
+
+        When *ledger* is given, the chosen star's qubits are reserved.
+        """
+        link_model = link_model or LinkModel()
+        swap_model = swap_model or SwapModel()
+        working = ledger if ledger is not None else QubitLedger(network)
+        best: Optional[StarRoute] = None
+        for center in self._candidate_centers(network, demand):
+            star = self._evaluate_center(
+                network, demand, center, link_model, swap_model, working
+            )
+            if star is not None and (best is None or star.rate > best.rate):
+                best = star
+        if best is not None and ledger is not None:
+            self._reserve(network, best, ledger)
+        return best
+
+    def route_all(
+        self,
+        network: QuantumNetwork,
+        demands: Sequence[MultipartiteDemand],
+        link_model: Optional[LinkModel] = None,
+        swap_model: Optional[SwapModel] = None,
+    ) -> Dict[int, StarRoute]:
+        """Route demands sequentially on a shared ledger."""
+        ledger = QubitLedger(network)
+        routes: Dict[int, StarRoute] = {}
+        for demand in demands:
+            star = self.route_demand(
+                network, demand, link_model, swap_model, ledger
+            )
+            if star is not None:
+                routes[demand.demand_id] = star
+        return routes
+
+    # ------------------------------------------------------------------
+
+    def _candidate_centers(
+        self, network: QuantumNetwork, demand: MultipartiteDemand
+    ) -> List[int]:
+        """Switches ranked by total distance to the demand's users."""
+        positions = [network.position(u) for u in demand.users]
+
+        def spread(switch: int) -> float:
+            p = network.position(switch)
+            return sum(p.distance_to(q) for q in positions)
+
+        ranked = sorted(network.switches(), key=spread)
+        return ranked[: self.candidate_centers]
+
+    def _evaluate_center(
+        self,
+        network: QuantumNetwork,
+        demand: MultipartiteDemand,
+        center: int,
+        link_model: LinkModel,
+        swap_model: SwapModel,
+        ledger: QubitLedger,
+    ) -> Optional[StarRoute]:
+        # The center must be able to hold one qubit per arm on top of the
+        # per-arm relay qubits charged by the paths themselves.
+        if not ledger.has_at_least(center, demand.size * self.width):
+            return None
+        arms: Dict[int, Tuple[int, ...]] = {}
+        rate = swap_model.success_probability(demand.size)
+        used_nodes: set = set()
+        for user in demand.users:
+            found = largest_entanglement_rate_path(
+                network,
+                link_model,
+                swap_model,
+                user,
+                center,
+                width=self.width,
+                ledger=ledger,
+                banned_nodes=frozenset(used_nodes),
+            )
+            if found is None:
+                return None
+            nodes, arm_rate = found
+            arms[user] = nodes
+            rate *= arm_rate
+            # Arms must be internally disjoint so one switch failure does
+            # not correlate two arms (and so qubit charges are distinct).
+            used_nodes.update(nodes[1:-1])
+        return StarRoute(demand.demand_id, center, arms, rate)
+
+    def _reserve(
+        self, network: QuantumNetwork, star: StarRoute, ledger: QubitLedger
+    ) -> None:
+        try:
+            for nodes in star.arms.values():
+                for a, b in zip(nodes, nodes[1:]):
+                    ledger.reserve_edge(a, b, self.width)
+        except CapacityError as exc:  # pragma: no cover - guarded upstream
+            raise RoutingError(
+                f"star for demand {star.demand_id} no longer fits"
+            ) from exc

@@ -1,0 +1,186 @@
+"""ALG-N-FUSION — the paper's complete entanglement routing algorithm.
+
+Composes the three steps of Section IV-C:
+
+1. **Path set construction** — Algorithm 2 (Yen + Algorithm 1) builds up
+   to ``h`` candidate paths per width for every demand, ignoring resource
+   contention between candidates.
+2. **Route determination** — Algorithm 3 admits paths widest-and-best
+   first, merging same-demand paths into flow-like graphs and charging the
+   qubit ledger.
+3. **Residual assignment** — Algorithm 4 spends leftover qubits on extra
+   parallel links where they raise the entanglement rate most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.demands import DemandSet
+from repro.network.graph import QuantumNetwork
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.alg2_path_selection import default_max_width, select_paths
+from repro.routing.alg3_merge import admit_paths, admit_paths_efficiency
+from repro.routing.alg4_residual import assign_remaining_qubits
+from repro.routing.allocation import QubitLedger
+from repro.routing.flow_graph import FlowLikeGraph
+from repro.routing.plan import RoutingPlan
+
+
+@dataclass(frozen=True)
+class RoutingResult:
+    """Outcome of running a routing algorithm on one network + demand set.
+
+    Attributes
+    ----------
+    algorithm:
+        Human-readable algorithm name (used in experiment tables).
+    plan:
+        The chosen routes.
+    total_rate:
+        Network entanglement rate (expected number of shared states).
+    demand_rates:
+        Analytic per-demand rates; unrouted demands are absent.
+    remaining_qubits:
+        Free switch qubits left after routing.
+    """
+
+    algorithm: str
+    plan: RoutingPlan
+    total_rate: float
+    demand_rates: Dict[int, float]
+    remaining_qubits: int
+
+    @property
+    def num_routed(self) -> int:
+        """Number of demands that received a route."""
+        return len(self.demand_rates)
+
+
+@dataclass
+class AlgNFusion:
+    """The paper's ALG-N-FUSION router.
+
+    Parameters
+    ----------
+    h:
+        Number of candidate paths per width per demand (Algorithm 2's h).
+    max_width:
+        Largest channel width to consider; defaults to half the largest
+        switch capacity (an intermediate switch needs 2w qubits).
+    include_alg4:
+        Disable to obtain the paper's "Alg-3" ablation series.
+    """
+
+    h: int = 3
+    max_width: Optional[int] = None
+    include_alg4: bool = True
+    refill_rounds: int = 2
+    admission_policy: str = "efficiency"
+    max_hops: Optional[int] = None
+    name: str = "ALG-N-FUSION"
+
+    def with_fidelity_constraint(self, fidelity_model, min_fidelity: float
+                                 ) -> "AlgNFusion":
+        """A copy whose candidate paths all meet *min_fidelity* end-to-end
+        under *fidelity_model* (a hop-count bound in the Werner-product
+        model — see :class:`repro.quantum.fidelity.FidelityModel`)."""
+        from dataclasses import replace
+
+        return replace(self, max_hops=fidelity_model.max_hops(min_fidelity))
+
+    def _admit(self, network, link_model, swap_model, demands, path_sets,
+               flows, ledger) -> int:
+        """Dispatch one admission sweep to the configured policy."""
+        if self.admission_policy == "efficiency":
+            return admit_paths_efficiency(
+                network, link_model, swap_model, demands, path_sets, flows,
+                ledger,
+            )
+        if self.admission_policy == "widest_first":
+            return admit_paths(network, demands, path_sets, flows, ledger)
+        raise ValueError(
+            f"unknown admission_policy {self.admission_policy!r}; "
+            "expected 'efficiency' or 'widest_first'"
+        )
+
+    def route(
+        self,
+        network: QuantumNetwork,
+        demands: DemandSet,
+        link_model: Optional[LinkModel] = None,
+        swap_model: Optional[SwapModel] = None,
+    ) -> RoutingResult:
+        """Compute routes for *demands* and return the analytic result."""
+        link_model = link_model or LinkModel()
+        swap_model = swap_model or SwapModel()
+        max_width = self.max_width or default_max_width(network)
+
+        # Step I: candidate path sets (full capacities; reuse allowed).
+        path_sets = {
+            demand.demand_id: select_paths(
+                network,
+                link_model,
+                swap_model,
+                demand,
+                h=self.h,
+                max_width=max_width,
+                max_hops=self.max_hops,
+            )
+            for demand in demands
+        }
+
+        # Step II: admission + merging against the real qubit budget.
+        ledger = QubitLedger(network)
+        flows: Dict[int, FlowLikeGraph] = {}
+        self._admit(network, link_model, swap_model, demands, path_sets,
+                    flows, ledger)
+
+        # Refill sweeps: candidates from Step I were selected against full
+        # capacities, so contention can block them at admission time even
+        # while qubits remain elsewhere.  Each refill round re-selects
+        # paths against the *residual* ledger — for every demand, since a
+        # residual path can serve an unrouted demand or merge into an
+        # existing flow as an extra branch — and runs the same admission
+        # policy.  This keeps ALG-N-FUSION a strict superset of the
+        # baselines (implementation note in DESIGN.md; the paper's
+        # Algorithm 3 leaves the contention-blocked case unspecified).
+        for _ in range(self.refill_rounds):
+            refill_sets = {}
+            for demand in demands:
+                selected = select_paths(
+                    network,
+                    link_model,
+                    swap_model,
+                    demand,
+                    h=self.h,
+                    max_width=max_width,
+                    ledger=ledger,
+                    max_hops=self.max_hops,
+                )
+                if selected:
+                    refill_sets[demand.demand_id] = selected
+            if not refill_sets:
+                break
+            if self._admit(network, link_model, swap_model, demands,
+                           refill_sets, flows, ledger) == 0:
+                break
+
+        plan = RoutingPlan()
+        for flow in flows.values():
+            plan.add_flow(flow)
+
+        # Step III: spend the leftovers.
+        if self.include_alg4:
+            assign_remaining_qubits(network, link_model, swap_model, plan, ledger)
+
+        demand_rates = plan.demand_rates(network, link_model, swap_model)
+        label = self.name if self.include_alg4 else f"{self.name} (Alg-3 only)"
+        return RoutingResult(
+            algorithm=label,
+            plan=plan,
+            total_rate=sum(demand_rates.values()),
+            demand_rates=demand_rates,
+            remaining_qubits=ledger.total_free_switch_qubits(),
+        )

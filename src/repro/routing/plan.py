@@ -1,0 +1,84 @@
+"""Routing plans: the output of an entanglement routing algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import RoutingError
+from repro.network.demands import DemandSet
+from repro.network.graph import QuantumNetwork
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.flow_graph import FlowLikeGraph
+
+
+class RoutingPlan:
+    """The set of flow-like graphs chosen for a demand set.
+
+    One :class:`~repro.routing.flow_graph.FlowLikeGraph` per *routed*
+    demand; demands that could not be served are simply absent and
+    contribute zero to the entanglement rate.
+    """
+
+    def __init__(self) -> None:
+        self._flows: Dict[int, FlowLikeGraph] = {}
+
+    def add_flow(self, flow: FlowLikeGraph) -> None:
+        """Register the route of one demand."""
+        if flow.demand_id in self._flows:
+            raise RoutingError(f"demand {flow.demand_id} already has a route")
+        self._flows[flow.demand_id] = flow
+
+    def flow_for(self, demand_id: int) -> Optional[FlowLikeGraph]:
+        """The flow-like graph serving *demand_id*, or ``None``."""
+        return self._flows.get(demand_id)
+
+    def flows(self) -> List[FlowLikeGraph]:
+        """All flows, ordered by demand id."""
+        return [self._flows[d] for d in sorted(self._flows)]
+
+    def routed_demand_ids(self) -> List[int]:
+        """Ids of demands that received a route, ascending."""
+        return sorted(self._flows)
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __contains__(self, demand_id: int) -> bool:
+        return demand_id in self._flows
+
+    # ------------------------------------------------------------------
+    # Rates
+
+    def demand_rates(
+        self,
+        network: QuantumNetwork,
+        link_model: LinkModel,
+        swap_model: SwapModel,
+    ) -> Dict[int, float]:
+        """Analytic entanglement rate per routed demand."""
+        return {
+            demand_id: flow.entanglement_rate(network, link_model, swap_model)
+            for demand_id, flow in sorted(self._flows.items())
+        }
+
+    def total_rate(
+        self,
+        network: QuantumNetwork,
+        link_model: LinkModel,
+        swap_model: SwapModel,
+    ) -> float:
+        """Network entanglement rate: expected number of shared states."""
+        return sum(self.demand_rates(network, link_model, swap_model).values())
+
+    def qubits_used(self) -> Dict[int, int]:
+        """Total qubits consumed per node across all flows."""
+        usage: Dict[int, int] = {}
+        for flow in self._flows.values():
+            for (u, v), width in flow.edge_widths().items():
+                usage[u] = usage.get(u, 0) + width
+                usage[v] = usage.get(v, 0) + width
+        return usage
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RoutingPlan(routed={len(self._flows)})"

@@ -1,0 +1,87 @@
+"""Human-readable routing plan reports.
+
+Turns a :class:`~repro.routing.nfusion.RoutingResult` into the kind of
+plan summary an operator would read: one block per demand listing the
+flow-like graph's paths, channel widths, branch nodes and analytic rate,
+plus a network-level utilisation footer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.network.demands import DemandSet
+from repro.network.graph import QuantumNetwork
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.nfusion import RoutingResult
+from repro.utils.tables import AsciiTable
+
+
+def render_flow(flow, network: QuantumNetwork) -> List[str]:
+    """Per-flow description lines (paths with widths, branch nodes)."""
+    lines = [
+        f"demand {flow.demand_id}: {flow.source} -> {flow.destination} "
+        f"({flow.num_paths} path{'s' if flow.num_paths != 1 else ''})"
+    ]
+    for path in flow.paths:
+        hops = " - ".join(str(node) for node in path)
+        widths = [flow.edge_width(a, b) for a, b in zip(path, path[1:])]
+        lines.append(f"  path: {hops}  widths={widths}")
+    branches = flow.branch_nodes()
+    if branches:
+        arities = {node: flow.fusion_arity(node) for node in branches}
+        lines.append(
+            "  branch nodes: "
+            + ", ".join(f"{n} (fuses {arities[n]})" for n in branches)
+        )
+    return lines
+
+
+def render_plan_report(
+    network: QuantumNetwork,
+    demands: DemandSet,
+    result: RoutingResult,
+    link_model: Optional[LinkModel] = None,
+    swap_model: Optional[SwapModel] = None,
+) -> str:
+    """Full plan report: per-demand blocks plus a utilisation footer."""
+    link_model = link_model or LinkModel()
+    swap_model = swap_model or SwapModel()
+    lines: List[str] = [f"=== {result.algorithm} routing plan ==="]
+    unrouted = []
+    for demand in demands:
+        flow = result.plan.flow_for(demand.demand_id)
+        if flow is None:
+            unrouted.append(demand.demand_id)
+            continue
+        lines.extend(render_flow(flow, network))
+        lines.append(
+            f"  analytic rate: {result.demand_rates[demand.demand_id]:.4f}"
+        )
+    if unrouted:
+        lines.append(f"unrouted demands: {unrouted}")
+
+    usage = result.plan.qubits_used()
+    switch_usage = {
+        node: count
+        for node, count in usage.items()
+        if network.node(node).is_switch
+    }
+    total_capacity = sum(
+        network.qubit_capacity(s) for s in network.switches()
+    )
+    used = sum(switch_usage.values())
+    table = AsciiTable(["metric", "value"])
+    table.add_row(["total entanglement rate", result.total_rate])
+    table.add_row(["demands routed", f"{result.num_routed}/{len(demands)}"])
+    table.add_row(["switch qubits used", f"{used}/{total_capacity}"])
+    table.add_row(["busiest switch", _busiest(switch_usage)])
+    lines.append(table.render())
+    return "\n".join(lines)
+
+
+def _busiest(switch_usage: Dict[int, int]) -> str:
+    if not switch_usage:
+        return "none"
+    node = max(switch_usage, key=lambda n: switch_usage[n])
+    return f"switch {node} ({switch_usage[node]} qubits)"

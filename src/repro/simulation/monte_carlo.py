@@ -1,0 +1,65 @@
+"""Monte Carlo aggregation helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.network.graph import QuantumNetwork
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.plan import RoutingPlan
+from repro.simulation.engine import EntanglementProcessSimulator
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class MonteCarloEstimate:
+    """A mean with its standard error and trial count."""
+
+    mean: float
+    stderr: float
+    trials: int
+
+    def confidence_interval(self, z: float = 1.96) -> tuple:
+        """Normal-approximation confidence interval (default 95%)."""
+        return (self.mean - z * self.stderr, self.mean + z * self.stderr)
+
+    @staticmethod
+    def from_outcomes(outcomes: Sequence[float]) -> "MonteCarloEstimate":
+        """Estimate from raw per-trial outcomes (0/1 or totals)."""
+        n = len(outcomes)
+        if n == 0:
+            raise ValueError("cannot estimate from zero outcomes")
+        mean = sum(outcomes) / n
+        if n == 1:
+            return MonteCarloEstimate(mean, float("inf"), 1)
+        variance = sum((x - mean) ** 2 for x in outcomes) / (n - 1)
+        return MonteCarloEstimate(mean, math.sqrt(variance / n), n)
+
+
+def estimate_plan_rate(
+    network: QuantumNetwork,
+    plan: RoutingPlan,
+    link_model: Optional[LinkModel] = None,
+    swap_model: Optional[SwapModel] = None,
+    trials: int = 500,
+    rng: Optional[RandomState] = None,
+) -> MonteCarloEstimate:
+    """Monte Carlo estimate of a plan's network entanglement rate.
+
+    Per trial, each flow's establishment (0/1) is summed into a network
+    total; the estimate is over per-trial totals, so its standard error
+    reflects cross-demand variance correctly.
+    """
+    rng = ensure_rng(rng)
+    simulator = EntanglementProcessSimulator(network, link_model, swap_model, rng)
+    flows = plan.flows()
+    totals = []
+    for _ in range(trials):
+        total = 0.0
+        for flow in flows:
+            sample = simulator.sampler.sample(flow)
+            total += 1.0 if simulator.establishment(flow, sample) else 0.0
+        totals.append(total)
+    return MonteCarloEstimate.from_outcomes(totals)

@@ -1,0 +1,189 @@
+"""Protocol-level Phase III simulation on the quantum substrate.
+
+Where :class:`~repro.simulation.engine.EntanglementProcessSimulator`
+decides trials by graph connectivity, this engine *executes* the protocol
+on the symbolic :class:`~repro.quantum.tracker.EntanglementTracker`:
+
+1. Every surviving channel materialises one Bell pair between per-node
+   qubits.
+2. The control plane picks a source->destination route through the
+   surviving channels and asks each route switch to GHZ-fuse its two route
+   qubits.  A fusion failure destroys the states it touched (the tracker's
+   failure semantics).
+3. Because link successes are heralded, the protocol *retries*: after a
+   failed fusion, any remaining disjoint route through still-alive
+   resources is attempted.  Retrying can only help, so this engine's
+   establishment probability dominates the reference engine's (a property
+   the test suite checks), and the two coincide exactly on single paths.
+
+The establishment criterion is genuinely quantum-mechanical bookkeeping:
+the trial succeeds iff a source qubit and a destination qubit end up in
+the same GHZ group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.network.graph import QuantumNetwork
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.quantum.tracker import EntanglementTracker
+from repro.routing.flow_graph import FlowLikeGraph
+from repro.routing.plan import RoutingPlan
+from repro.simulation.sampler import TrialSample, TrialSampler
+from repro.utils.rng import RandomState, ensure_rng
+
+EdgeKey = Tuple[int, int]
+
+
+class QuantumProtocolSimulator:
+    """Executes Phase III on the GHZ-group tracker, with heralded retries."""
+
+    def __init__(
+        self,
+        network: QuantumNetwork,
+        link_model: Optional[LinkModel] = None,
+        swap_model: Optional[SwapModel] = None,
+        rng: Optional[RandomState] = None,
+    ):
+        self.network = network
+        self.link_model = link_model or LinkModel()
+        self.swap_model = swap_model or SwapModel()
+        self._rng = ensure_rng(rng)
+        self._sampler = TrialSampler(
+            network, self.link_model, self.swap_model, self._rng
+        )
+
+    # ------------------------------------------------------------------
+
+    def establishment(self, flow: FlowLikeGraph, sample: TrialSample) -> bool:
+        """Run one trial's fusions on the tracker; True iff a source qubit
+        and a destination qubit join the same GHZ group."""
+        tracker = EntanglementTracker()
+        # One qubit id per (node, edge) endpoint role; ids are dense ints.
+        qubit_ids: Dict[Tuple[int, EdgeKey], int] = {}
+        alive_edges: Set[EdgeKey] = set()
+        next_id = 0
+        for u, v in flow.edges():
+            if not sample.channel_ok(u, v):
+                continue
+            key = (u, v)
+            for node in (u, v):
+                qubit_ids[(node, key)] = next_id
+                next_id += 1
+            tracker.create_bell_pair(qubit_ids[(u, key)], qubit_ids[(v, key)])
+            alive_edges.add(key)
+
+        attempted_switches: Set[int] = set()
+        while True:
+            route = self._find_route(flow, alive_edges, attempted_switches)
+            if route is None:
+                return False
+            success = True
+            for node in route[1:-1]:
+                attempted_switches.add(node)
+                incoming, outgoing = self._route_edges(route, node)
+                measured = [
+                    qubit_ids[(node, incoming)],
+                    qubit_ids[(node, outgoing)],
+                ]
+                fused = tracker.fuse(
+                    measured, success=sample.switch_successes.get(node, False)
+                )
+                if fused is None:
+                    # The failed fusion destroyed the states it touched:
+                    # remove every edge whose Bell pair died.
+                    for key in list(alive_edges):
+                        u, v = key
+                        if not tracker.is_entangled(qubit_ids[(u, key)]):
+                            alive_edges.discard(key)
+                    success = False
+                    break
+            if not success:
+                continue
+            if len(route) == 2:
+                # Direct user-user channel (no fusion needed).
+                key = self._ekey(route[0], route[1])
+                return tracker.same_group(
+                    qubit_ids[(route[0], key)], qubit_ids[(route[1], key)]
+                )
+            first_key = self._ekey(route[0], route[1])
+            last_key = self._ekey(route[-2], route[-1])
+            return tracker.same_group(
+                qubit_ids[(route[0], first_key)],
+                qubit_ids[(route[-1], last_key)],
+            )
+
+    def _find_route(
+        self,
+        flow: FlowLikeGraph,
+        alive_edges: Set[EdgeKey],
+        attempted_switches: Set[int],
+    ) -> Optional[List[int]]:
+        """BFS a source->destination route through alive channels avoiding
+        switches whose fusion already failed (attempted switches whose
+        resources died are unusable; successful ones consumed theirs)."""
+        adjacency: Dict[int, List[int]] = {}
+        for u, v in alive_edges:
+            adjacency.setdefault(u, []).append(v)
+            adjacency.setdefault(v, []).append(u)
+        source, destination = flow.source, flow.destination
+        if source not in adjacency:
+            return None
+        parents: Dict[int, int] = {source: source}
+        frontier = [source]
+        while frontier:
+            next_frontier: List[int] = []
+            for node in frontier:
+                for nbr in adjacency.get(node, ()):
+                    if nbr in parents:
+                        continue
+                    if nbr != destination and (
+                        self.network.node(nbr).is_user
+                        or nbr in attempted_switches
+                    ):
+                        continue
+                    parents[nbr] = node
+                    if nbr == destination:
+                        route = [destination]
+                        while route[-1] != source:
+                            route.append(parents[route[-1]])
+                        route.reverse()
+                        return route
+                    next_frontier.append(nbr)
+            frontier = next_frontier
+        return None
+
+    @staticmethod
+    def _ekey(a: int, b: int) -> EdgeKey:
+        return (a, b) if a < b else (b, a)
+
+    @staticmethod
+    def _route_edges(route: List[int], node: int) -> Tuple[EdgeKey, EdgeKey]:
+        index = route.index(node)
+        a = (route[index - 1], node)
+        b = (node, route[index + 1])
+        return (
+            (a[0], a[1]) if a[0] < a[1] else (a[1], a[0]),
+            (b[0], b[1]) if b[0] < b[1] else (b[1], b[0]),
+        )
+
+    # ------------------------------------------------------------------
+
+    def simulate_flow(self, flow: FlowLikeGraph, trials: int) -> List[bool]:
+        """Per-trial establishment outcomes for one flow."""
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        return [
+            self.establishment(flow, self._sampler.sample(flow))
+            for _ in range(trials)
+        ]
+
+    def flow_rate(self, flow: FlowLikeGraph, trials: int) -> float:
+        """Empirical establishment probability of one flow."""
+        outcomes = self.simulate_flow(flow, trials)
+        return sum(outcomes) / len(outcomes)
+
+    def plan_rate(self, plan: RoutingPlan, trials: int) -> float:
+        """Empirical network entanglement rate of a routing plan."""
+        return sum(self.flow_rate(flow, trials) for flow in plan.flows())

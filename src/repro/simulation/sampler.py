@@ -1,0 +1,73 @@
+"""Sampling one Phase III outcome for a flow-like graph.
+
+Both simulation engines consume the same :class:`TrialSample` so their
+establishment decisions can be compared draw-for-draw in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.network.graph import QuantumNetwork
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.flow_graph import FlowLikeGraph
+from repro.utils.rng import RandomState, ensure_rng
+
+EdgeKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class TrialSample:
+    """One sampled Phase III outcome for one flow-like graph.
+
+    Attributes
+    ----------
+    link_successes:
+        Per edge, how many of the channel's parallel links produced a
+        Bell pair (the channel is usable iff at least one did).
+    switch_successes:
+        Per switch in the flow, whether its GHZ fusion would succeed this
+        trial (sampled once per switch per state, the paper's model).
+    """
+
+    link_successes: Dict[EdgeKey, int]
+    switch_successes: Dict[int, bool]
+
+    def channel_ok(self, u: int, v: int) -> bool:
+        """True iff edge (*u*, *v*) delivered at least one Bell pair."""
+        key = (u, v) if u < v else (v, u)
+        return self.link_successes.get(key, 0) > 0
+
+
+class TrialSampler:
+    """Draws :class:`TrialSample` objects for a flow-like graph."""
+
+    def __init__(
+        self,
+        network: QuantumNetwork,
+        link_model: LinkModel,
+        swap_model: SwapModel,
+        rng: RandomState = None,
+    ):
+        self._network = network
+        self._link_model = link_model
+        self._swap_model = swap_model
+        self._rng = ensure_rng(rng)
+
+    def sample(self, flow: FlowLikeGraph) -> TrialSample:
+        """Sample link- and fusion-level outcomes for one trial."""
+        link_successes: Dict[EdgeKey, int] = {}
+        for (u, v), width in flow.edge_widths().items():
+            p = self._link_model.success_probability(
+                self._network.edge_length(u, v)
+            )
+            link_successes[(u, v)] = int(self._rng.binomial(width, p))
+        switch_successes: Dict[int, bool] = {}
+        for node in flow.nodes():
+            if self._network.node(node).is_switch:
+                q = self._swap_model.success_probability(
+                    flow.fusion_arity(node)
+                )
+                switch_successes[node] = bool(self._rng.uniform() < q)
+        return TrialSample(link_successes, switch_successes)

@@ -1,0 +1,29 @@
+"""Shared utilities: RNG plumbing, validation helpers, geometry, tables."""
+
+from repro.utils.rng import RandomState, ensure_rng, spawn_rng
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_type,
+)
+from repro.utils.geometry import Point, euclidean_distance
+from repro.utils.tables import AsciiTable, format_series
+
+__all__ = [
+    "RandomState",
+    "ensure_rng",
+    "spawn_rng",
+    "check_in_range",
+    "check_non_negative_int",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "check_type",
+    "Point",
+    "euclidean_distance",
+    "AsciiTable",
+    "format_series",
+]

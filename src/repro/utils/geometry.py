@@ -1,0 +1,28 @@
+"""Plane geometry helpers for node placement and link lengths."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the 2-D deployment area (units are kilometres)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance from this point to *other*."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+def euclidean_distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return a.distance_to(b)
+
+
+def bounding_box_diagonal(width: float, height: float) -> float:
+    """Diagonal length of a *width* x *height* rectangle."""
+    return math.hypot(width, height)

@@ -1,0 +1,58 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts either a seed or an
+existing generator and normalises it through :func:`ensure_rng`, so whole
+experiments are reproducible from a single integer seed.  Child generators
+for independent subsystems are derived with :func:`spawn_rng` to keep
+streams statistically independent without coupling call orders.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: The generator type used throughout the library.
+RandomState = np.random.Generator
+
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> RandomState:
+    """Normalise *seed* into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an ``int`` seed, a ``SeedSequence``,
+    or an existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer, np.random.SeedSequence)):
+        return np.random.default_rng(seed)
+    raise ConfigurationError(
+        f"seed must be None, int, SeedSequence or Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rng(rng: RandomState, n: int = 1) -> list:
+    """Derive *n* statistically independent child generators from *rng*.
+
+    The children are seeded from fresh entropy drawn out of *rng* itself,
+    so the same parent seed always yields the same family of children.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def random_subset(rng: RandomState, items: list, k: int) -> list:
+    """Choose *k* distinct items from *items* uniformly at random."""
+    if k > len(items):
+        raise ConfigurationError(
+            f"cannot choose {k} items from a population of {len(items)}"
+        )
+    idx = rng.choice(len(items), size=k, replace=False)
+    return [items[int(i)] for i in idx]

@@ -1,0 +1,64 @@
+"""Plain-text table and series formatting for the experiment harness.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+these helpers render them as aligned ASCII so the output is readable both in
+a terminal and in EXPERIMENTS.md code blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+class AsciiTable:
+    """Accumulate rows and render them as an aligned plain-text table."""
+
+    def __init__(self, headers: Sequence[str]):
+        self._headers = [str(h) for h in headers]
+        self._rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append one row; values are stringified (floats to 4 sig figs)."""
+        row = [_format_cell(v) for v in values]
+        if len(row) != len(self._headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self._headers)} columns"
+            )
+        self._rows.append(row)
+
+    def render(self) -> str:
+        """Render the table with a header rule, columns space-aligned."""
+        widths = [len(h) for h in self._headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(self._headers)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in self._rows:
+            lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """Render a figure-style sweep (one x column, one column per series)."""
+    table = AsciiTable([x_label, *series.keys()])
+    for i, x in enumerate(x_values):
+        table.add_row([x, *(values[i] for values in series.values())])
+    return table.render()

@@ -1,0 +1,72 @@
+"""Small argument-validation helpers used across the library.
+
+Each helper raises :class:`repro.exceptions.ConfigurationError` with a
+message that names the offending parameter, so user-facing errors are
+actionable without a traceback hunt.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Type
+
+from repro.exceptions import ConfigurationError
+
+
+def check_type(name: str, value: Any, expected: Type) -> None:
+    """Raise unless *value* is an instance of *expected*."""
+    if not isinstance(value, expected):
+        raise ConfigurationError(
+            f"{name} must be {expected.__name__}, got {type(value).__name__}"
+        )
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that *value* is a finite probability in [0, 1]."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {type(value).__name__}")
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that *value* is a finite number strictly greater than zero."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {type(value).__name__}")
+    if not math.isfinite(value) or value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def check_positive_int(name: str, value: int) -> int:
+    """Validate that *value* is an integer >= 1."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"{name} must be an int, got {type(value).__name__}"
+        )
+    if value < 1:
+        raise ConfigurationError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_non_negative_int(name: str, value: int) -> int:
+    """Validate that *value* is an integer >= 0."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"{name} must be an int, got {type(value).__name__}"
+        )
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Validate that *value* lies in the closed interval [*low*, *high*]."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {type(value).__name__}")
+    if not math.isfinite(value) or not low <= value <= high:
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )
+    return float(value)

@@ -1,0 +1,204 @@
+"""Unit tests for Algorithm 1 (largest entanglement rate path)."""
+
+import itertools
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.network.builder import NetworkConfig, build_network
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.alg1_largest_rate import largest_entanglement_rate_path
+from repro.routing.allocation import QubitLedger
+from repro.routing.metrics import path_entanglement_rate
+from repro.utils.rng import ensure_rng
+
+from tests.conftest import make_diamond_network, make_line_network
+
+
+@pytest.fixture
+def models():
+    return LinkModel(fixed_p=0.5), SwapModel(q=0.9)
+
+
+class TestBasics:
+    def test_line_path_found(self, line_network, models):
+        link, swap = models
+        found = largest_entanglement_rate_path(
+            line_network, link, swap, 3, 4, width=1
+        )
+        assert found is not None
+        nodes, rate = found
+        assert nodes == (3, 0, 1, 2, 4)
+        assert rate == pytest.approx(
+            path_entanglement_rate(line_network, link, swap, nodes, 1)
+        )
+
+    def test_same_endpoints_rejected(self, line_network, models):
+        link, swap = models
+        with pytest.raises(RoutingError):
+            largest_entanglement_rate_path(line_network, link, swap, 3, 3, 1)
+
+    def test_invalid_width_rejected(self, line_network, models):
+        link, swap = models
+        with pytest.raises(RoutingError):
+            largest_entanglement_rate_path(line_network, link, swap, 3, 4, 0)
+
+    def test_missing_endpoint_rejected(self, line_network, models):
+        link, swap = models
+        with pytest.raises(RoutingError):
+            largest_entanglement_rate_path(line_network, link, swap, 3, 99, 1)
+
+    def test_disconnected_returns_none(self, line_network, models):
+        link, swap = models
+        line_network.remove_edge(1, 2)
+        assert largest_entanglement_rate_path(
+            line_network, link, swap, 3, 4, 1
+        ) is None
+
+
+class TestPreferences:
+    def test_prefers_higher_rate_branch(self, diamond_network):
+        """With unequal p on the two diamond arms, Algorithm 1 must pick
+        the better arm."""
+        link = LinkModel(alpha=1e-3)  # length-sensitive
+        swap = SwapModel(q=0.9)
+        # Lower arm (4, 5) sits further out; stretch it explicitly.
+        diamond_network.remove_edge(4, 5)
+        diamond_network.add_edge(4, 5, length=5000.0)
+        found = largest_entanglement_rate_path(
+            diamond_network, link, swap, 0, 1, width=1
+        )
+        assert found is not None
+        assert found[0] == (0, 2, 3, 1)
+
+    def test_prefers_fewer_hops_when_lengths_equal(self, models):
+        """Hops cost q each, so a 2-switch route beats a 3-switch route of
+        the same total length under uniform p."""
+        link, swap = models
+        network = make_diamond_network()
+        # Add a third, longer arm with an extra switch.
+        from repro.network.node import QuantumSwitch
+        from repro.utils.geometry import Point
+
+        network.add_node(QuantumSwitch(6, Point(1500.0, 2000.0), 10))
+        network.add_edge(2, 6)
+        network.add_edge(6, 3)
+        found = largest_entanglement_rate_path(network, link, swap, 0, 1, 1)
+        assert found is not None
+        assert 6 not in found[0]
+
+    def test_never_relays_through_user(self, models):
+        link, swap = models
+        network = make_diamond_network()
+        # Give user 0 a tempting shortcut position: connect a third user
+        # that bridges the two arms.
+        from repro.network.node import QuantumUser
+        from repro.utils.geometry import Point
+
+        network.add_node(QuantumUser(6, Point(1500.0, 0.0)))
+        network.add_edge(2, 6)
+        network.add_edge(6, 5)
+        found = largest_entanglement_rate_path(network, link, swap, 0, 1, 1)
+        assert found is not None
+        assert 6 not in found[0]
+
+
+class TestCapacityConstraints:
+    def test_intermediate_needs_double_width(self, models):
+        link, swap = models
+        network = make_line_network(num_switches=3, capacity=3)
+        # Width 1 needs 2 qubits per intermediate: fine.
+        assert largest_entanglement_rate_path(network, link, swap, 3, 4, 1)
+        # Width 2 needs 4 qubits per intermediate: impossible at capacity 3.
+        assert largest_entanglement_rate_path(network, link, swap, 3, 4, 2) is None
+
+    def test_ledger_constrains_search(self, line_network, models):
+        link, swap = models
+        ledger = QubitLedger(line_network)
+        ledger.reserve(1, 9)  # 1 left at switch 1 -> cannot relay width 1
+        assert largest_entanglement_rate_path(
+            line_network, link, swap, 3, 4, 1, ledger=ledger
+        ) is None
+
+    def test_route_around_depleted_switch(self, models):
+        link, swap = models
+        network = make_diamond_network()
+        ledger = QubitLedger(network)
+        ledger.reserve(2, 10)
+        found = largest_entanglement_rate_path(
+            network, link, swap, 0, 1, 1, ledger=ledger
+        )
+        assert found is not None
+        assert found[0] == (0, 4, 5, 1)
+
+
+class TestBannedSets:
+    def test_banned_node(self, models):
+        link, swap = models
+        network = make_diamond_network()
+        found = largest_entanglement_rate_path(
+            network, link, swap, 0, 1, 1, banned_nodes=frozenset({2})
+        )
+        assert found is not None
+        assert 2 not in found[0]
+
+    def test_banned_edge(self, models):
+        link, swap = models
+        network = make_diamond_network()
+        found = largest_entanglement_rate_path(
+            network, link, swap, 0, 1, 1, banned_edges=frozenset({(0, 2)})
+        )
+        assert found is not None
+        assert found[0][:2] == (0, 4)
+
+    def test_banned_endpoint_returns_none(self, models):
+        link, swap = models
+        network = make_diamond_network()
+        assert largest_entanglement_rate_path(
+            network, link, swap, 0, 1, 1, banned_nodes=frozenset({0})
+        ) is None
+
+
+class TestOptimality:
+    def test_matches_brute_force_on_random_networks(self):
+        """Algorithm 1's result equals the best rate over all simple paths
+        (exhaustively enumerated) on small random networks."""
+        link = LinkModel(alpha=2e-4)
+        swap = SwapModel(q=0.85)
+        for seed in range(6):
+            network = build_network(
+                NetworkConfig(num_switches=8, num_users=2, average_degree=3.0),
+                ensure_rng(seed),
+            )
+            users = network.users()
+            source, destination = users[0], users[1]
+            found = largest_entanglement_rate_path(
+                network, link, swap, source, destination, width=1
+            )
+            best = _brute_force_best_rate(
+                network, link, swap, source, destination
+            )
+            if best is None:
+                assert found is None
+                continue
+            assert found is not None
+            assert found[1] == pytest.approx(best, rel=1e-9)
+
+
+def _brute_force_best_rate(network, link, swap, source, destination):
+    switches = network.switches()
+    best = None
+    direct = None
+    if network.has_edge(source, destination):
+        direct = path_entanglement_rate(
+            network, link, swap, [source, destination], 1
+        )
+        best = direct
+    for r in range(1, min(len(switches), 6) + 1):
+        for mids in itertools.permutations(switches, r):
+            nodes = [source, *mids, destination]
+            if all(network.has_edge(a, b) for a, b in zip(nodes, nodes[1:])):
+                rate = path_entanglement_rate(network, link, swap, nodes, 1)
+                if best is None or rate > best:
+                    best = rate
+    return best

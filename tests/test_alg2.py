@@ -1,0 +1,121 @@
+"""Unit tests for Algorithm 2 (Yen-based multi-width path selection)."""
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.network.builder import NetworkConfig, build_network
+from repro.network.demands import Demand
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.alg2_path_selection import default_max_width, select_paths
+from repro.routing.metrics import path_entanglement_rate
+from repro.routing.paths import validate_path
+from repro.utils.rng import ensure_rng
+
+from tests.conftest import make_diamond_network
+
+
+@pytest.fixture
+def models():
+    return LinkModel(fixed_p=0.5), SwapModel(q=0.9)
+
+
+class TestDefaultMaxWidth:
+    def test_half_capacity(self, line_network):
+        assert default_max_width(line_network) == 5
+
+    def test_at_least_one(self):
+        from tests.conftest import make_line_network
+
+        assert default_max_width(make_line_network(capacity=1)) == 1
+
+
+class TestSelection:
+    def test_widths_and_counts(self, models):
+        link, swap = models
+        network = make_diamond_network(capacity=8)
+        demand = Demand(0, 0, 1)
+        selected = select_paths(network, link, swap, demand, h=2)
+        assert set(selected) == {1, 2, 3, 4}
+        for width, paths in selected.items():
+            assert 1 <= len(paths) <= 2
+            for candidate in paths:
+                assert candidate.width == width
+                assert candidate.demand_id == 0
+                validate_path(network, candidate.nodes)
+
+    def test_paths_sorted_by_rate(self, models):
+        link, swap = models
+        network = make_diamond_network()
+        demand = Demand(0, 0, 1)
+        selected = select_paths(network, link, swap, demand, h=2, max_width=1)
+        rates = [c.rate for c in selected[1]]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_top_path_is_alg1_optimum(self, models):
+        link, swap = models
+        network = make_diamond_network()
+        demand = Demand(0, 0, 1)
+        from repro.routing.alg1_largest_rate import largest_entanglement_rate_path
+
+        best = largest_entanglement_rate_path(network, link, swap, 0, 1, 1)
+        selected = select_paths(network, link, swap, demand, h=3, max_width=1)
+        assert selected[1][0].nodes == best[0]
+        assert selected[1][0].rate == pytest.approx(best[1])
+
+    def test_paths_are_distinct(self, models):
+        link, swap = models
+        network = make_diamond_network()
+        demand = Demand(0, 0, 1)
+        selected = select_paths(network, link, swap, demand, h=4, max_width=1)
+        nodes = [c.nodes for c in selected[1]]
+        assert len(set(nodes)) == len(nodes)
+
+    def test_diamond_yields_both_arms(self, models):
+        link, swap = models
+        network = make_diamond_network()
+        demand = Demand(0, 0, 1)
+        selected = select_paths(network, link, swap, demand, h=2, max_width=1)
+        arms = {c.nodes for c in selected[1]}
+        assert arms == {(0, 2, 3, 1), (0, 4, 5, 1)}
+
+    def test_rates_recomputed_exactly(self, models):
+        link, swap = models
+        network = make_diamond_network()
+        demand = Demand(0, 0, 1)
+        selected = select_paths(network, link, swap, demand, h=2)
+        for width, paths in selected.items():
+            for candidate in paths:
+                assert candidate.rate == pytest.approx(
+                    path_entanglement_rate(
+                        network, link, swap, candidate.nodes, width
+                    )
+                )
+
+    def test_infeasible_widths_omitted(self, models):
+        link, swap = models
+        network = make_diamond_network(capacity=4)  # widths > 2 infeasible
+        demand = Demand(0, 0, 1)
+        selected = select_paths(network, link, swap, demand, h=2, max_width=5)
+        assert set(selected) <= {1, 2}
+
+    def test_h_validation(self, models, line_network, line_demand):
+        link, swap = models
+        with pytest.raises(RoutingError):
+            select_paths(line_network, link, swap, line_demand, h=0)
+
+    def test_random_networks_yield_valid_loopless_paths(self):
+        link = LinkModel(alpha=2e-4)
+        swap = SwapModel(q=0.9)
+        for seed in range(4):
+            network = build_network(
+                NetworkConfig(num_switches=20, num_users=4, average_degree=4.0),
+                ensure_rng(seed),
+            )
+            users = network.users()
+            demand = Demand(0, users[0], users[-1])
+            selected = select_paths(network, link, swap, demand, h=3)
+            for width, paths in selected.items():
+                for candidate in paths:
+                    validate_path(network, candidate.nodes)
+                    assert candidate.nodes[0] == demand.source
+                    assert candidate.nodes[-1] == demand.destination

@@ -1,0 +1,210 @@
+"""Unit tests for Algorithms 3 (paths merge) and 4 (residual qubits)."""
+
+import pytest
+
+from repro.network.demands import Demand, DemandSet
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.alg2_path_selection import select_paths
+from repro.routing.alg3_merge import (
+    admit_paths,
+    admit_paths_efficiency,
+    merge_paths,
+)
+from repro.routing.alg4_residual import assign_remaining_qubits
+from repro.routing.allocation import QubitLedger
+from repro.routing.paths import PathCandidate
+from repro.routing.plan import RoutingPlan
+
+from tests.conftest import make_diamond_network, make_line_network
+
+
+@pytest.fixture
+def models():
+    return LinkModel(fixed_p=0.5), SwapModel(q=0.9)
+
+
+def _path_sets(network, link, swap, demands, h=2, max_width=None):
+    return {
+        d.demand_id: select_paths(network, link, swap, d, h=h, max_width=max_width)
+        for d in demands
+    }
+
+
+class TestMergePaths:
+    def test_single_demand_gets_flow(self, models):
+        link, swap = models
+        network = make_diamond_network()
+        demands = DemandSet([Demand(0, 0, 1)])
+        ledger = QubitLedger(network)
+        plan = merge_paths(
+            network, link, swap, demands,
+            _path_sets(network, link, swap, demands), ledger,
+        )
+        assert 0 in plan
+        assert plan.flow_for(0).num_paths >= 1
+
+    def test_capacity_never_exceeded(self, models):
+        link, swap = models
+        network = make_diamond_network(capacity=6)
+        demands = DemandSet([Demand(0, 0, 1), Demand(1, 0, 1), Demand(2, 1, 0)])
+        ledger = QubitLedger(network)
+        plan = merge_paths(
+            network, link, swap, demands,
+            _path_sets(network, link, swap, demands), ledger,
+        )
+        usage = plan.qubits_used()
+        for switch in network.switches():
+            assert usage.get(switch, 0) <= network.qubit_capacity(switch)
+            assert ledger.remaining(switch) == (
+                network.qubit_capacity(switch) - usage.get(switch, 0)
+            )
+
+    def test_same_demand_paths_merge_into_one_flow(self, models):
+        link, swap = models
+        network = make_diamond_network()
+        demands = DemandSet([Demand(0, 0, 1)])
+        ledger = QubitLedger(network)
+        plan = merge_paths(
+            network, link, swap, demands,
+            _path_sets(network, link, swap, demands, h=2, max_width=1), ledger,
+        )
+        flow = plan.flow_for(0)
+        assert flow.num_paths == 2  # both diamond arms merged
+        assert flow.branch_nodes() == [0]
+
+    def test_shared_edges_not_double_charged(self, models):
+        """Two paths of the same demand sharing an access edge charge the
+        shared switch once."""
+        link, swap = models
+        network = make_diamond_network()
+        network.add_edge(2, 5)  # second arm out of switch 2
+        demands = DemandSet([Demand(0, 0, 1)])
+        ledger = QubitLedger(network)
+        flows = {}
+        a = PathCandidate(0, (0, 2, 3, 1), 1, 0.5)
+        b = PathCandidate(0, (0, 2, 5, 1), 1, 0.4)
+        admitted = admit_paths(
+            network, demands, {0: {1: [a, b]}}, flows, ledger
+        )
+        assert admitted == 2
+        # Edge (0, 2) is shared: switch 2 pays 1 (shared) + 1 + 1 = 3.
+        assert ledger.remaining(2) == 10 - 3
+
+    def test_unknown_demand_rejected(self, models):
+        link, swap = models
+        network = make_diamond_network()
+        demands = DemandSet([Demand(0, 0, 1)])
+        from repro.exceptions import RoutingError
+
+        with pytest.raises(RoutingError):
+            merge_paths(
+                network, link, swap, demands,
+                {99: {1: []}}, QubitLedger(network),
+            )
+
+    def test_efficiency_policy_also_respects_capacity(self, models):
+        link, swap = models
+        network = make_diamond_network(capacity=4)
+        demands = DemandSet([Demand(i, 0, 1) for i in range(4)])
+        ledger = QubitLedger(network)
+        flows = {}
+        admit_paths_efficiency(
+            network, link, swap, demands,
+            _path_sets(network, link, swap, demands), flows, ledger,
+        )
+        usage = {}
+        for flow in flows.values():
+            for (u, v), width in flow.edge_widths().items():
+                usage[u] = usage.get(u, 0) + width
+                usage[v] = usage.get(v, 0) + width
+        for switch in network.switches():
+            assert usage.get(switch, 0) <= 4
+
+    def test_efficiency_upgrades_shared_edge_width(self, models):
+        """A wider duplicate of an admitted path upgrades the channel and
+        charges only the delta."""
+        link, swap = models
+        network = make_line_network(num_switches=2, capacity=10)
+        source, dest = 2, 3
+        demands = DemandSet([Demand(0, source, dest)])
+        ledger = QubitLedger(network)
+        flows = {}
+        narrow = PathCandidate(0, (source, 0, 1, dest), 1, 0.3)
+        admit_paths_efficiency(
+            network, link, swap, demands, {0: {1: [narrow]}}, flows, ledger
+        )
+        assert flows[0].edge_width(0, 1) == 1
+        used_before = 10 - ledger.remaining(0)
+        wide = PathCandidate(0, (source, 0, 1, dest), 3, 0.7)
+        admitted = admit_paths_efficiency(
+            network, link, swap, demands, {0: {3: [wide]}}, flows, ledger
+        )
+        assert admitted == 1
+        assert flows[0].edge_width(0, 1) == 3
+        assert (10 - ledger.remaining(0)) == used_before + 2 * 2  # two edges at +2
+
+
+class TestAlg4:
+    def test_spends_residuals_on_flow_edges(self, models):
+        link, swap = models
+        network = make_line_network(num_switches=2, capacity=10)
+        plan = RoutingPlan()
+        from repro.routing.flow_graph import FlowLikeGraph
+
+        flow = FlowLikeGraph(0, 2, 3)
+        flow.add_path([2, 0, 1, 3], width=1)
+        plan.add_flow(flow)
+        ledger = QubitLedger(network)
+        for a, b in flow.edges():
+            ledger.reserve_edge(a, b, 1)
+        base = flow.entanglement_rate(network, link, swap)
+        assignments = assign_remaining_qubits(network, link, swap, plan, ledger)
+        assert assignments  # leftovers existed, so links were added
+        assert flow.entanglement_rate(network, link, swap) > base
+        # Interior switches end fully used.
+        assert ledger.remaining(0) in (0, 1)
+
+    def test_no_flows_no_assignments(self, models):
+        link, swap = models
+        network = make_line_network()
+        assignments = assign_remaining_qubits(
+            network, link, swap, RoutingPlan(), QubitLedger(network)
+        )
+        assert assignments == []
+
+    def test_never_overdraws(self, models):
+        link, swap = models
+        network = make_diamond_network(capacity=5)
+        demands = DemandSet([Demand(0, 0, 1)])
+        ledger = QubitLedger(network)
+        plan = merge_paths(
+            network, link, swap, demands,
+            _path_sets(network, link, swap, demands), ledger,
+        )
+        assign_remaining_qubits(network, link, swap, plan, ledger)
+        usage = plan.qubits_used()
+        for switch in network.switches():
+            assert usage.get(switch, 0) <= 5
+
+    def test_assignment_picks_best_demand(self, models):
+        """The extra link goes to the flow gaining the most rate."""
+        link, swap = models
+        network = make_diamond_network(capacity=10)
+        from repro.routing.flow_graph import FlowLikeGraph
+
+        plan = RoutingPlan()
+        weak = FlowLikeGraph(0, 0, 1)
+        weak.add_path([0, 2, 3, 1], width=1)
+        strong = FlowLikeGraph(1, 0, 1)
+        strong.add_path([0, 4, 5, 1], width=4)
+        plan.add_flow(weak)
+        plan.add_flow(strong)
+        ledger = QubitLedger(network)
+        for flow in (weak, strong):
+            for (a, b) in flow.edges():
+                ledger.reserve_edge(a, b, flow.edge_width(a, b))
+        assignments = assign_remaining_qubits(network, link, swap, plan, ledger)
+        # The width-1 flow has far more to gain; it receives the first
+        # extra link on every one of its edges.
+        first_edges = {edge for edge, demand in assignments if demand == 0}
+        assert first_edges  # weak flow received extra links

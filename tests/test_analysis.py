@@ -1,0 +1,126 @@
+"""Tests for the statistical analysis helpers."""
+
+import pytest
+
+from repro.analysis.comparison import ComparisonReport, compare_routers
+from repro.analysis.statistics import (
+    bootstrap_ci,
+    paired_difference_ci,
+    sign_test_p_value,
+    summarize,
+)
+from repro.exceptions import ConfigurationError
+from repro.network.builder import NetworkConfig
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.baselines import QCastRouter
+from repro.routing.nfusion import AlgNFusion
+from repro.utils.rng import ensure_rng
+
+
+class TestBootstrap:
+    def test_ci_contains_point(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        point, low, high = bootstrap_ci(samples, rng=ensure_rng(1))
+        assert point == 3.0
+        assert low <= point <= high
+
+    def test_tight_sample_tight_ci(self):
+        point, low, high = bootstrap_ci([2.0] * 30, rng=ensure_rng(2))
+        assert low == high == point == 2.0
+
+    def test_wider_confidence_wider_interval(self):
+        samples = list(range(30))
+        _, l90, h90 = bootstrap_ci(samples, confidence=0.9, rng=ensure_rng(3))
+        _, l99, h99 = bootstrap_ci(samples, confidence=0.99, rng=ensure_rng(3))
+        assert (h99 - l99) >= (h90 - l90)
+
+    def test_single_sample_degenerate(self):
+        point, low, high = bootstrap_ci([7.0], rng=ensure_rng(4))
+        assert point == low == high == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([])
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], confidence=1.5)
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], n_boot=5)
+
+
+class TestPairedStats:
+    def test_difference_ci_sign(self):
+        a = [2.0, 3.0, 4.0, 5.0, 6.0]
+        b = [1.0, 2.0, 3.0, 4.0, 5.0]
+        diff, low, high = paired_difference_ci(a, b, rng=ensure_rng(5))
+        assert diff == pytest.approx(1.0)
+        assert low > 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            paired_difference_ci([1.0], [1.0, 2.0])
+
+    def test_sign_test_strong_effect(self):
+        a = [i + 1.0 for i in range(12)]
+        b = [float(i) for i in range(12)]
+        assert sign_test_p_value(a, b) < 0.001
+
+    def test_sign_test_no_effect(self):
+        a = [1.0, 2.0, 1.0, 2.0]
+        b = [2.0, 1.0, 2.0, 1.0]
+        assert sign_test_p_value(a, b) == pytest.approx(1.0, abs=0.4)
+
+    def test_sign_test_all_ties(self):
+        assert sign_test_p_value([1.0, 1.0], [1.0, 1.0]) == 1.0
+
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats["n"] == 3
+        assert stats["mean"] == 2.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+
+class TestCompareRouters:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return compare_routers(
+            [AlgNFusion(), QCastRouter()],
+            config=NetworkConfig(num_switches=25, num_users=4),
+            num_states=4,
+            num_samples=6,
+            link_model=LinkModel(fixed_p=0.4),
+            swap_model=SwapModel(q=0.9),
+            seed=42,
+        )
+
+    def test_paired_structure(self, report):
+        assert report.algorithms() == ["ALG-N-FUSION", "Q-CAST"]
+        assert len(report.samples["ALG-N-FUSION"]) == 6
+        assert len(report.samples["Q-CAST"]) == 6
+
+    def test_alg_dominates_significantly(self, report):
+        diff, low, _ = report.difference_ci(
+            "ALG-N-FUSION", "Q-CAST", rng=ensure_rng(6)
+        )
+        assert diff > 0
+        assert report.significance("ALG-N-FUSION", "Q-CAST") < 0.05
+
+    def test_text_rendering(self, report):
+        text = report.to_text()
+        assert "ALG-N-FUSION" in text
+        assert "95% CI" in text
+        assert "p (sign)" in text
+
+    def test_unknown_names_rejected(self, report):
+        with pytest.raises(ConfigurationError):
+            report.mean_rate("nope")
+        with pytest.raises(ConfigurationError):
+            report.to_text(baseline="nope")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            compare_routers([])
+        with pytest.raises(ConfigurationError):
+            compare_routers([AlgNFusion()], num_samples=0)

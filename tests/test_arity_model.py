@@ -1,0 +1,101 @@
+"""Tests for the arity-dependent swap model across the stack.
+
+The paper assumes a single fusion success probability q independent of
+arity; ``SwapModel(per_qubit=True)`` is our ablation knob where an
+n-fusion succeeds with q^(n-1).  These tests pin the propagation of that
+choice through metrics, flow graphs, the sampler and the simulators.
+"""
+
+import pytest
+
+from repro.network.demands import Demand, DemandSet
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.flow_graph import FlowLikeGraph
+from repro.routing.nfusion import AlgNFusion
+from repro.simulation.engine import EntanglementProcessSimulator
+from repro.simulation.sampler import TrialSampler
+from repro.simulation.vectorized import VectorizedProcessSimulator
+from repro.utils.rng import ensure_rng
+
+from tests.conftest import make_diamond_network
+
+
+@pytest.fixture
+def branched_flow():
+    flow = FlowLikeGraph(0, 0, 1)
+    flow.add_path([0, 2, 3, 1], width=1)
+    flow.add_path([0, 4, 5, 1], width=1)
+    return flow
+
+
+class TestPerQubitModel:
+    def test_flow_rate_lower_under_per_qubit(self, diamond_network, branched_flow):
+        link = LinkModel(fixed_p=0.6)
+        flat = branched_flow.entanglement_rate(
+            diamond_network, link, SwapModel(q=0.8)
+        )
+        arity_aware = branched_flow.entanglement_rate(
+            diamond_network, link, SwapModel(q=0.8, per_qubit=True)
+        )
+        # All fusions here are arity 2, so q^(n-1) = q: rates coincide.
+        assert arity_aware == pytest.approx(flat)
+
+    def test_branch_node_pays_more_under_per_qubit(self, diamond_network):
+        """A width-2 flow has arity-4 fusions at its switches, which cost
+        q^3 under the per-qubit model."""
+        link = LinkModel(fixed_p=1.0)
+        flow = FlowLikeGraph(0, 0, 1)
+        flow.add_path([0, 2, 3, 1], width=2)
+        flat = flow.entanglement_rate(diamond_network, link, SwapModel(q=0.8))
+        arity_aware = flow.entanglement_rate(
+            diamond_network, link, SwapModel(q=0.8, per_qubit=True)
+        )
+        assert flat == pytest.approx(0.8**2)
+        assert arity_aware == pytest.approx((0.8**3) ** 2)
+        assert arity_aware < flat
+
+    def test_sampler_uses_arity(self, diamond_network):
+        flow = FlowLikeGraph(0, 0, 1)
+        flow.add_path([0, 2, 3, 1], width=3)  # arity 6 at each switch
+        swap = SwapModel(q=0.7, per_qubit=True)
+        sampler = TrialSampler(
+            diamond_network, LinkModel(fixed_p=1.0), swap, ensure_rng(1)
+        )
+        successes = 0
+        trials = 3000
+        for _ in range(trials):
+            sample = sampler.sample(flow)
+            successes += sample.switch_successes[2]
+        expected = 0.7**5
+        assert successes / trials == pytest.approx(expected, abs=0.03)
+
+    def test_simulators_agree_under_per_qubit(self, diamond_network, branched_flow):
+        link = LinkModel(fixed_p=0.5)
+        swap = SwapModel(q=0.7, per_qubit=True)
+        analytic = branched_flow.entanglement_rate(diamond_network, link, swap)
+        ref = EntanglementProcessSimulator(
+            diamond_network, link, swap, ensure_rng(2)
+        )
+        vec = VectorizedProcessSimulator(
+            diamond_network, link, swap, ensure_rng(3)
+        )
+        assert ref.flow_rate(branched_flow, 4000) == pytest.approx(
+            analytic, abs=0.03
+        )
+        assert vec.flow_rate(branched_flow, 12000) == pytest.approx(
+            analytic, abs=0.02
+        )
+
+    def test_router_prefers_narrower_flows_under_per_qubit(self, diamond_network):
+        """With arity-dependent fusion costs, wide channels lose value;
+        the router's chosen plan should never rate higher under the
+        per-qubit model than under the flat model."""
+        demands = DemandSet([Demand(0, 0, 1)])
+        link = LinkModel(fixed_p=0.5)
+        flat_result = AlgNFusion().route(
+            diamond_network, demands, link, SwapModel(q=0.8)
+        )
+        arity_result = AlgNFusion().route(
+            diamond_network, demands, link, SwapModel(q=0.8, per_qubit=True)
+        )
+        assert arity_result.total_rate <= flat_result.total_rate + 1e-9

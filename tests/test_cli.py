@@ -1,0 +1,73 @@
+"""Tests for the top-level command line interface."""
+
+import pytest
+
+from repro.__main__ import ROUTERS, build_parser, main
+
+
+class TestParser:
+    def test_route_defaults(self):
+        args = build_parser().parse_args(["route"])
+        assert args.command == "route"
+        assert args.algorithm == "alg-n-fusion"
+        assert args.switches == 50
+
+    def test_all_routers_registered(self):
+        assert set(ROUTERS) == {"alg-n-fusion", "q-cast", "q-cast-n", "b1", "mcf"}
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["route", "--algorithm", "dijkstra"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        assert "1.0.0" in capsys.readouterr().out
+
+    def test_route_summary(self, capsys):
+        code = main([
+            "route", "--switches", "20", "--users", "4", "--states", "3",
+            "--seed", "5", "--p", "0.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ALG-N-FUSION" in out
+        assert "total rate" in out
+
+    def test_route_report(self, capsys):
+        code = main([
+            "route", "--switches", "20", "--users", "4", "--states", "3",
+            "--seed", "5", "--p", "0.5", "--report",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "routing plan" in out
+        assert "busiest switch" in out
+
+    def test_route_save_and_simulate(self, tmp_path, capsys):
+        instance = tmp_path / "instance.json"
+        assert main([
+            "route", "--switches", "20", "--users", "4", "--states", "3",
+            "--seed", "5", "--p", "0.5", "--save", str(instance),
+        ]) == 0
+        assert instance.exists()
+        capsys.readouterr()
+        assert main([
+            "simulate", str(instance), "--trials", "500", "--p", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "analytic rate" in out
+        assert "monte carlo" in out
+
+    def test_route_alternate_algorithm(self, capsys):
+        code = main([
+            "route", "--switches", "20", "--users", "4", "--states", "3",
+            "--seed", "5", "--p", "0.5", "--algorithm", "q-cast",
+        ])
+        assert code == 0
+        assert "Q-CAST" in capsys.readouterr().out

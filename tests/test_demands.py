@@ -1,0 +1,71 @@
+"""Unit tests for demand generation."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.builder import NetworkConfig, build_network
+from repro.network.demands import Demand, DemandSet, generate_demands
+from repro.utils.rng import ensure_rng
+
+
+class TestDemand:
+    def test_pair_is_canonical(self):
+        assert Demand(0, 5, 2).pair == (2, 5)
+        assert Demand(0, 2, 5).pair == (2, 5)
+
+    def test_self_demand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Demand(0, 3, 3)
+
+
+class TestDemandSet:
+    def test_iteration_preserves_order(self):
+        demands = DemandSet([Demand(0, 1, 2), Demand(1, 3, 4)])
+        assert [d.demand_id for d in demands] == [0, 1]
+        assert len(demands) == 2
+        assert demands[1].pair == (3, 4)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DemandSet([Demand(0, 1, 2), Demand(0, 3, 4)])
+
+    def test_by_id(self):
+        demands = DemandSet([Demand(7, 1, 2)])
+        assert demands.by_id(7).source == 1
+        with pytest.raises(ConfigurationError):
+            demands.by_id(8)
+
+    def test_pairs_and_lookup(self):
+        demands = DemandSet(
+            [Demand(0, 1, 2), Demand(1, 2, 1), Demand(2, 3, 4)]
+        )
+        assert demands.pairs() == [(1, 2), (3, 4)]
+        assert len(demands.demands_for_pair(2, 1)) == 2
+
+
+class TestGenerateDemands:
+    def test_counts_and_endpoints(self):
+        net = build_network(NetworkConfig(num_switches=20, num_users=5), ensure_rng(1))
+        demands = generate_demands(net, 12, ensure_rng(2))
+        assert len(demands) == 12
+        users = set(net.users())
+        for demand in demands:
+            assert demand.source in users
+            assert demand.destination in users
+            assert demand.source != demand.destination
+
+    def test_deterministic(self):
+        net = build_network(NetworkConfig(num_switches=20, num_users=5), ensure_rng(1))
+        a = generate_demands(net, 6, ensure_rng(3))
+        b = generate_demands(net, 6, ensure_rng(3))
+        assert [d.pair for d in a] == [d.pair for d in b]
+
+    def test_needs_two_users(self):
+        net = build_network(NetworkConfig(num_switches=20, num_users=2), ensure_rng(1))
+        with pytest.raises(ConfigurationError):
+            generate_demands(net, 3, ensure_rng(0), users=[net.users()[0]])
+
+    def test_positive_count_required(self):
+        net = build_network(NetworkConfig(num_switches=20, num_users=4), ensure_rng(1))
+        with pytest.raises(ConfigurationError):
+            generate_demands(net, 0, ensure_rng(0))

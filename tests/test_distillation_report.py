@@ -1,0 +1,126 @@
+"""Tests for the distillation extension and the plan report."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.builder import NetworkConfig, build_network
+from repro.network.demands import generate_demands
+from repro.quantum.distillation import (
+    MIN_DISTILLABLE_FIDELITY,
+    bbpssw_output_fidelity,
+    bbpssw_success_probability,
+    channel_rate_fidelity_tradeoff,
+    distillation_improves,
+    pumping_schedule,
+    rounds_to_reach,
+)
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.nfusion import AlgNFusion
+from repro.routing.report import render_plan_report
+from repro.utils.rng import ensure_rng
+
+
+class TestBBPSSW:
+    def test_success_probability_bounds(self):
+        for f in (0.5, 0.7, 0.9, 0.99, 1.0):
+            p = bbpssw_success_probability(f)
+            assert 0.0 < p <= 1.0
+
+    def test_perfect_input_is_fixed_point(self):
+        assert bbpssw_output_fidelity(1.0) == pytest.approx(1.0)
+        assert bbpssw_success_probability(1.0) == pytest.approx(1.0)
+
+    def test_improvement_region(self):
+        assert distillation_improves(0.8)
+        assert distillation_improves(0.95)
+        assert not distillation_improves(0.5)
+        assert not distillation_improves(0.3)
+        assert not distillation_improves(1.0)
+
+    def test_output_fidelity_increases_above_half(self):
+        for f in (0.6, 0.75, 0.9):
+            assert bbpssw_output_fidelity(f) > f
+
+    def test_iterating_converges_to_one(self):
+        f = 0.7
+        for _ in range(30):
+            f = bbpssw_output_fidelity(f)
+        assert f > 0.999
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bbpssw_success_probability(1.5)
+
+
+class TestPumping:
+    def test_schedule_shape(self):
+        schedule = pumping_schedule(0.8, rounds=3)
+        assert [o.rounds for o in schedule] == [0, 1, 2, 3]
+        assert [o.pairs_consumed for o in schedule] == [1, 2, 4, 8]
+        fidelities = [o.fidelity for o in schedule]
+        assert fidelities == sorted(fidelities)
+        probabilities = [o.success_probability for o in schedule]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_rounds_to_reach(self):
+        assert rounds_to_reach(0.95, 0.9) == 0
+        assert rounds_to_reach(0.8, 0.9) >= 1
+        assert rounds_to_reach(0.5, 0.9) == -1
+        assert rounds_to_reach(0.4, 0.9) == -1
+
+    def test_rounds_to_reach_consistent_with_schedule(self):
+        k = rounds_to_reach(0.75, 0.92)
+        assert k > 0
+        schedule = pumping_schedule(0.75, k)
+        assert schedule[k].fidelity >= 0.92
+        assert schedule[k - 1].fidelity < 0.92
+
+
+class TestChannelTradeoff:
+    def test_options_tradeoff_shape(self):
+        options = channel_rate_fidelity_tradeoff(
+            link_success=0.6, width=8, link_fidelity=0.85, max_rounds=3
+        )
+        assert options[0][0] == 0
+        # More rounds: lower delivery probability, higher fidelity.
+        probs = [p for _, p, _ in options]
+        fids = [f for _, _, f in options]
+        assert probs == sorted(probs, reverse=True)
+        assert fids == sorted(fids)
+
+    def test_width_budget_respected(self):
+        options = channel_rate_fidelity_tradeoff(
+            link_success=0.9, width=3, link_fidelity=0.9, max_rounds=4
+        )
+        # Round 2 needs 4 pairs > width 3: only rounds 0 and 1 available.
+        assert [r for r, _, _ in options] == [0, 1]
+
+    def test_zero_width(self):
+        assert channel_rate_fidelity_tradeoff(0.5, 0, 0.9) == []
+
+
+class TestPlanReport:
+    def test_report_contents(self):
+        rng = ensure_rng(77)
+        network = build_network(NetworkConfig(num_switches=25, num_users=4), rng)
+        demands = generate_demands(network, 5, rng)
+        link, swap = LinkModel(fixed_p=0.5), SwapModel(q=0.9)
+        result = AlgNFusion().route(network, demands, link, swap)
+        report = render_plan_report(network, demands, result, link, swap)
+        assert "ALG-N-FUSION routing plan" in report
+        assert "total entanglement rate" in report
+        assert "demands routed" in report
+        for demand_id in result.demand_rates:
+            assert f"demand {demand_id}:" in report
+
+    def test_report_lists_unrouted(self):
+        rng = ensure_rng(78)
+        network = build_network(NetworkConfig(num_switches=25, num_users=4), rng)
+        demands = generate_demands(network, 5, rng)
+        # max_hops=1 makes every demand unroutable.
+        result = AlgNFusion(max_hops=1).route(
+            network, demands, LinkModel(fixed_p=0.5), SwapModel()
+        )
+        report = render_plan_report(network, demands, result)
+        assert "unrouted demands" in report
+        assert "busiest switch" in report and "none" in report

@@ -1,0 +1,103 @@
+"""Tests for the experiment harness (configs, runner, figures, tables)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentSetting, is_full_run
+from repro.experiments.runner import (
+    SweepResult,
+    run_setting,
+    run_sweep,
+    standard_routers,
+)
+from repro.network.builder import NetworkConfig
+
+
+def tiny_setting(**kwargs):
+    defaults = dict(
+        network=NetworkConfig(num_switches=20, num_users=4),
+        num_states=4,
+        num_networks=1,
+        fixed_p=0.5,
+        seed=77,
+    )
+    defaults.update(kwargs)
+    return ExperimentSetting(**defaults)
+
+
+class TestSetting:
+    def test_defaults_match_paper(self):
+        s = ExperimentSetting()
+        assert s.network.num_switches == 100
+        assert s.network.qubit_capacity == 10
+        assert s.num_states == 20
+        assert s.swap_q == 0.9
+        assert s.num_networks == 5
+
+    def test_models(self):
+        s = tiny_setting()
+        assert s.link_model().fixed_p == 0.5
+        assert s.swap_model().q == 0.9
+
+    def test_quick_scaling(self):
+        s = ExperimentSetting().scaled_for_quick_run()
+        assert s.network.num_switches == 50
+        assert s.num_networks <= 2
+
+    def test_is_full_run_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not is_full_run()
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert is_full_run()
+        monkeypatch.setenv("REPRO_FULL", "0")
+        assert not is_full_run()
+
+
+class TestRunner:
+    def test_run_setting_returns_all_algorithms(self):
+        rates = run_setting(tiny_setting())
+        assert set(rates) == {"ALG-N-FUSION", "Q-CAST", "Q-CAST-N", "B1"}
+        for value in rates.values():
+            assert value >= 0.0
+
+    def test_run_setting_deterministic(self):
+        a = run_setting(tiny_setting())
+        b = run_setting(tiny_setting())
+        assert a == pytest.approx(b)
+
+    def test_standard_routers_order(self):
+        names = [r.name for r in standard_routers()]
+        assert names == ["ALG-N-FUSION", "Q-CAST", "Q-CAST-N", "B1"]
+        assert len(standard_routers(include_alg3_only=True)) == 5
+
+    def test_run_sweep(self):
+        settings = [tiny_setting(fixed_p=p) for p in (0.3, 0.6)]
+        sweep = run_sweep("t", "p", [0.3, 0.6], settings)
+        assert sweep.x_values == [0.3, 0.6]
+        for series in sweep.series.values():
+            assert len(series) == 2
+        text = sweep.to_text()
+        assert "ALG-N-FUSION" in text and "0.6" in text
+
+    def test_run_sweep_length_mismatch(self):
+        with pytest.raises(ValueError):
+            run_sweep("t", "p", [0.1], [])
+
+    def test_rates_increase_with_p(self):
+        settings = [tiny_setting(fixed_p=p) for p in (0.2, 0.8)]
+        sweep = run_sweep("t", "p", [0.2, 0.8], settings)
+        low, high = sweep.series_for("ALG-N-FUSION")
+        assert high >= low
+
+    def test_rates_increase_with_q(self):
+        settings = [tiny_setting(swap_q=q) for q in (0.3, 0.9)]
+        sweep = run_sweep("t", "q", [0.3, 0.9], settings)
+        low, high = sweep.series_for("ALG-N-FUSION")
+        assert high >= low
+
+
+class TestSweepResult:
+    def test_add_point_and_series(self):
+        sweep = SweepResult("t", "x", [1, 2])
+        sweep.add_point({"a": 0.5})
+        sweep.add_point({"a": 0.7})
+        assert sweep.series_for("a") == [0.5, 0.7]

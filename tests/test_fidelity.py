@@ -1,0 +1,103 @@
+"""Unit tests for the fidelity extension."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.builder import NetworkConfig, build_network
+from repro.network.demands import generate_demands
+from repro.quantum.fidelity import FidelityModel
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.flow_graph import FlowLikeGraph
+from repro.routing.nfusion import AlgNFusion
+from repro.utils.rng import ensure_rng
+
+
+class TestFidelityModel:
+    def test_path_fidelity_formula(self):
+        model = FidelityModel(link_fidelity=0.9, fusion_fidelity=0.8)
+        assert model.path_fidelity(1) == pytest.approx(0.9)
+        assert model.path_fidelity(3) == pytest.approx(0.9**3 * 0.8**2)
+
+    def test_path_fidelity_monotone(self):
+        model = FidelityModel()
+        values = [model.path_fidelity(z) for z in range(1, 10)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_hops(self):
+        with pytest.raises(ConfigurationError):
+            FidelityModel().path_fidelity(0)
+
+    def test_invalid_fidelities(self):
+        with pytest.raises(ConfigurationError):
+            FidelityModel(link_fidelity=1.2)
+        with pytest.raises(ConfigurationError):
+            FidelityModel(fusion_fidelity=-0.1)
+
+    def test_max_hops(self):
+        model = FidelityModel(link_fidelity=0.9, fusion_fidelity=1.0)
+        # 0.9^z >= 0.7 -> z <= 3 (0.9^3 = 0.729, 0.9^4 = 0.656).
+        assert model.max_hops(0.7) == 3
+        assert model.max_hops(0.95) == 0
+        assert model.max_hops(0.0) >= 10**6
+
+    def test_max_hops_perfect_hardware(self):
+        assert FidelityModel(1.0, 1.0).max_hops(0.99) >= 10**6
+
+    def test_flow_bounds(self):
+        flow = FlowLikeGraph(0, 0, 1)
+        flow.add_path([0, 2, 3, 1], width=1)   # 3 hops
+        flow.add_path([0, 4, 1], width=1)      # 2 hops
+        model = FidelityModel(link_fidelity=0.9, fusion_fidelity=0.9)
+        worst, best = model.flow_fidelity_bounds(flow)
+        assert worst == pytest.approx(model.path_fidelity(3))
+        assert best == pytest.approx(model.path_fidelity(2))
+        assert model.meets_threshold(flow, worst)
+        assert not model.meets_threshold(flow, best + 1e-6)
+
+    def test_empty_flow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FidelityModel().flow_fidelity_bounds(FlowLikeGraph(0, 0, 1))
+
+
+class TestFidelityConstrainedRouting:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        rng = ensure_rng(321)
+        network = build_network(
+            NetworkConfig(num_switches=40, num_users=6), rng
+        )
+        demands = generate_demands(network, 8, rng)
+        return network, demands
+
+    def test_constraint_bounds_hops(self, instance):
+        network, demands = instance
+        model = FidelityModel(link_fidelity=0.96, fusion_fidelity=0.98)
+        min_fidelity = 0.85
+        cap = model.max_hops(min_fidelity)
+        router = AlgNFusion().with_fidelity_constraint(model, min_fidelity)
+        assert router.max_hops == cap
+        result = router.route(
+            network, demands, LinkModel(fixed_p=0.5), SwapModel()
+        )
+        for flow in result.plan.flows():
+            for path in flow.paths:
+                assert len(path) - 1 <= cap
+            assert model.meets_threshold(flow, min_fidelity)
+
+    def test_tighter_constraint_never_raises_rate(self, instance):
+        network, demands = instance
+        link, swap = LinkModel(fixed_p=0.5), SwapModel()
+        free = AlgNFusion().route(network, demands, link, swap).total_rate
+        constrained = AlgNFusion(max_hops=3).route(
+            network, demands, link, swap
+        ).total_rate
+        assert constrained <= free + 1e-9
+
+    def test_impossible_constraint_routes_nothing_beyond_direct(self, instance):
+        network, demands = instance
+        result = AlgNFusion(max_hops=1).route(
+            network, demands, LinkModel(fixed_p=0.5), SwapModel()
+        )
+        # Users never share an edge in generated networks, so max_hops=1
+        # leaves every demand unroutable.
+        assert result.num_routed == 0

@@ -1,0 +1,130 @@
+"""Structure tests for the per-figure experiment definitions.
+
+``run_setting`` is stubbed so each figure's sweep structure (x values,
+titles, settings wiring) is checked without paying for real routing.
+"""
+
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.experiments.config import ExperimentSetting
+from repro.experiments.figures import (
+    fig7_generators,
+    fig8a_link_probability,
+    fig8b_swap_probability,
+    fig9a_qubits,
+    fig9b_switches,
+    fig9c_states,
+    fig9d_degree,
+)
+from repro.experiments.tables import headline_settings
+
+
+@pytest.fixture
+def stub_runner(monkeypatch):
+    """Replace run_setting with a recorder returning fixed rates."""
+    calls = []
+
+    def fake_run_setting(setting, routers=None):
+        calls.append(setting)
+        return {
+            "ALG-N-FUSION": 2.0,
+            "Q-CAST": 1.0,
+            "Q-CAST-N": 1.5,
+            "B1": 1.2,
+        }
+
+    monkeypatch.setattr(runner_module, "run_setting", fake_run_setting)
+    return calls
+
+
+class TestFigureDefinitions:
+    def test_fig7_sweeps_generators(self, stub_runner):
+        sweep = fig7_generators(quick=True)
+        assert sweep.x_values == ["waxman", "watts_strogatz", "aiello"]
+        generators = [s.network.generator for s in stub_runner]
+        assert generators == ["waxman", "watts_strogatz", "aiello"]
+        assert "Figure 7" in sweep.title
+
+    def test_fig8a_sweeps_p(self, stub_runner):
+        sweep = fig8a_link_probability(quick=True)
+        assert sweep.x_values == [0.1, 0.2, 0.3, 0.4]
+        assert [s.fixed_p for s in stub_runner] == [0.1, 0.2, 0.3, 0.4]
+
+    def test_fig8b_sweeps_q(self, stub_runner):
+        sweep = fig8b_swap_probability(quick=True)
+        assert sweep.x_values == [0.3, 0.5, 0.7, 0.9]
+        assert [s.swap_q for s in stub_runner] == [0.3, 0.5, 0.7, 0.9]
+
+    def test_fig9a_sweeps_capacity(self, stub_runner):
+        sweep = fig9a_qubits(quick=True)
+        assert sweep.x_values == [6, 8, 10, 12]
+        assert [s.network.qubit_capacity for s in stub_runner] == [6, 8, 10, 12]
+
+    def test_fig9b_keeps_paper_switch_counts(self, stub_runner):
+        sweep = fig9b_switches(quick=True)
+        assert sweep.x_values == [50, 100, 200, 400]
+        assert [s.network.num_switches for s in stub_runner] == [50, 100, 200, 400]
+        # Quick mode shrinks averaging, never the sweep itself.
+        assert all(s.num_networks == 1 for s in stub_runner)
+
+    def test_fig9c_sweeps_states(self, stub_runner):
+        sweep = fig9c_states(quick=True)
+        assert sweep.x_values == [10, 20, 30, 40]
+        assert [s.num_states for s in stub_runner] == [10, 20, 30, 40]
+
+    def test_fig9d_sweeps_degree(self, stub_runner):
+        sweep = fig9d_degree(quick=True)
+        assert sweep.x_values == [5, 10, 15, 20]
+        assert [s.network.average_degree for s in stub_runner] == [
+            5.0, 10.0, 15.0, 20.0,
+        ]
+
+    def test_quick_mode_shrinks_networks(self, stub_runner):
+        fig8a_link_probability(quick=True)
+        assert all(s.network.num_switches == 50 for s in stub_runner)
+
+    def test_full_mode_uses_paper_scale(self, stub_runner):
+        fig8a_link_probability(quick=False)
+        assert all(s.network.num_switches == 100 for s in stub_runner)
+        assert all(s.num_networks == 5 for s in stub_runner)
+
+    def test_series_recorded_per_point(self, stub_runner):
+        sweep = fig8b_swap_probability(quick=True)
+        for series in sweep.series.values():
+            assert len(series) == 4
+
+
+class TestHeadlineSettings:
+    def test_covers_default_and_corners(self):
+        settings = headline_settings(quick=True)
+        assert len(settings) == 4
+        assert settings[0].fixed_p is None
+        assert settings[1].fixed_p == 0.1
+        assert settings[2].fixed_p == 0.2
+        assert settings[3].swap_q == 0.5
+
+    def test_full_mode_scale(self):
+        settings = headline_settings(quick=False)
+        assert settings[0].network.num_switches == 100
+
+
+class TestExperimentsCliAll:
+    def test_all_runs_every_experiment(self, monkeypatch, capsys):
+        import repro.experiments.__main__ as cli
+
+        ran = []
+
+        class FakeResult:
+            def to_text(self):
+                return "fake"
+
+        fake = {name: (lambda n=name: (ran.append(n), FakeResult())[1])
+                for name in cli.EXPERIMENTS}
+        for name in fake:
+            monkeypatch.setitem(
+                cli.EXPERIMENTS, name,
+                lambda quick, n=name: (ran.append(n), FakeResult())[1],
+            )
+        assert cli.main(["all"]) == 0
+        assert set(ran) == set(cli.EXPERIMENTS)

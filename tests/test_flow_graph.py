@@ -1,0 +1,189 @@
+"""Unit tests for flow-like graphs and the Equation 1 rate recursion."""
+
+import itertools
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.flow_graph import FlowLikeGraph
+
+from tests.conftest import make_diamond_network, make_line_network
+
+
+class TestConstruction:
+    def test_single_path(self, line_network):
+        flow = FlowLikeGraph(0, 3, 4)
+        flow.add_path([3, 0, 1, 2, 4], width=2)
+        assert flow.num_paths == 1
+        assert flow.edges() == [(0, 1), (0, 3), (1, 2), (2, 4)]
+        assert flow.edge_width(0, 1) == 2
+        assert flow.branch_nodes() == []
+
+    def test_wrong_endpoints_rejected(self):
+        flow = FlowLikeGraph(0, 3, 4)
+        with pytest.raises(RoutingError):
+            flow.add_path([3, 0, 1], width=1)
+
+    def test_loop_rejected(self):
+        flow = FlowLikeGraph(0, 3, 4)
+        with pytest.raises(RoutingError):
+            flow.add_path([3, 0, 3, 4], width=1)
+
+    def test_branch_detection(self, diamond_network):
+        flow = FlowLikeGraph(0, 0, 1)
+        flow.add_path([0, 2, 3, 1], width=1)
+        flow.add_path([0, 4, 5, 1], width=1)
+        assert flow.branch_nodes() == [0]
+        assert flow.children_of(0) == [2, 4]
+
+    def test_shared_edge_keeps_larger_width(self, diamond_network):
+        diamond_network.add_edge(2, 5)
+        flow = FlowLikeGraph(0, 0, 1)
+        flow.add_path([0, 2, 3, 1], width=3)
+        flow.add_path([0, 2, 5, 1], width=1)
+        assert flow.edge_width(0, 2) == 3  # shared, keeps 3
+        assert flow.edge_width(2, 5) == 1
+        # Upgrading: a wider path over the same shared edge lifts it.
+        flow.add_path([0, 2, 3, 1], width=4)
+        assert flow.edge_width(0, 2) == 4
+
+    def test_cycle_merge_rejected(self, diamond_network):
+        diamond_network.add_edge(2, 4)
+        flow = FlowLikeGraph(0, 0, 1)
+        flow.add_path([0, 2, 4, 5, 1], width=1)
+        with pytest.raises(RoutingError):
+            flow.add_path([0, 4, 2, 3, 1], width=1)
+
+    def test_widen_edge(self, line_network):
+        flow = FlowLikeGraph(0, 3, 4)
+        flow.add_path([3, 0, 1, 2, 4], width=1)
+        flow.widen_edge(0, 1)
+        assert flow.edge_width(0, 1) == 2
+        with pytest.raises(RoutingError):
+            flow.widen_edge(0, 2)
+
+    def test_fusion_arity_counts_widths(self, diamond_network):
+        flow = FlowLikeGraph(0, 0, 1)
+        flow.add_path([0, 2, 3, 1], width=2)
+        assert flow.fusion_arity(2) == 4  # two incident edges of width 2
+        assert flow.qubits_used_at(3) == 4
+
+    def test_copy_is_independent(self, line_network):
+        flow = FlowLikeGraph(0, 3, 4)
+        flow.add_path([3, 0, 1, 2, 4], width=1)
+        clone = flow.copy()
+        clone.widen_edge(0, 1)
+        assert flow.edge_width(0, 1) == 1
+
+
+class TestRateSinglePath:
+    def test_matches_path_formula(self, line_network):
+        link = LinkModel(fixed_p=0.5)
+        swap = SwapModel(q=0.9)
+        flow = FlowLikeGraph(0, 3, 4)
+        flow.add_path([3, 0, 1, 2, 4], width=1)
+        assert flow.entanglement_rate(line_network, link, swap) == pytest.approx(
+            (0.5**4) * (0.9**3)
+        )
+
+    def test_empty_flow_has_zero_rate(self, line_network):
+        flow = FlowLikeGraph(0, 3, 4)
+        assert flow.entanglement_rate(line_network, LinkModel(), SwapModel()) == 0.0
+
+    def test_extra_widths_do_not_mutate(self, line_network):
+        link = LinkModel(fixed_p=0.5)
+        swap = SwapModel(q=0.9)
+        flow = FlowLikeGraph(0, 3, 4)
+        flow.add_path([3, 0, 1, 2, 4], width=1)
+        base = flow.entanglement_rate(line_network, link, swap)
+        widened = flow.entanglement_rate(
+            line_network, link, swap, extra_widths={(0, 1): 1}
+        )
+        assert widened > base
+        assert flow.entanglement_rate(line_network, link, swap) == base
+
+
+class TestRateBranching:
+    def test_disjoint_branches_formula(self, diamond_network):
+        """Equation 1 on two edge-disjoint paths: the exact expression is
+        1 - (1 - r1)(1 - r2) with r = p^3 q^2 per path."""
+        link = LinkModel(fixed_p=0.6)
+        swap = SwapModel(q=0.8)
+        flow = FlowLikeGraph(0, 0, 1)
+        flow.add_path([0, 2, 3, 1], width=1)
+        flow.add_path([0, 4, 5, 1], width=1)
+        r = (0.6**3) * (0.8**2)
+        assert flow.entanglement_rate(diamond_network, link, swap) == pytest.approx(
+            1 - (1 - r) ** 2
+        )
+
+    def test_branching_beats_single_path(self, diamond_network):
+        link = LinkModel(fixed_p=0.5)
+        swap = SwapModel(q=0.9)
+        single = FlowLikeGraph(0, 0, 1)
+        single.add_path([0, 2, 3, 1], width=1)
+        double = FlowLikeGraph(1, 0, 1)
+        double.add_path([0, 2, 3, 1], width=1)
+        double.add_path([0, 4, 5, 1], width=1)
+        assert double.entanglement_rate(
+            diamond_network, link, swap
+        ) > single.entanglement_rate(diamond_network, link, swap)
+
+    def test_exact_against_brute_force_on_tree_flows(self, diamond_network):
+        """For tree-shaped flows (disjoint branches), Equation 1 is exact:
+        compare against full enumeration of channel/switch outcomes."""
+        link = LinkModel(fixed_p=0.42)
+        swap = SwapModel(q=0.77)
+        flow = FlowLikeGraph(0, 0, 1)
+        flow.add_path([0, 2, 3, 1], width=2)
+        flow.add_path([0, 4, 5, 1], width=1)
+        analytic = flow.entanglement_rate(diamond_network, link, swap)
+        exact = brute_force_rate(diamond_network, flow, link, swap)
+        assert analytic == pytest.approx(exact, abs=1e-12)
+
+
+def brute_force_rate(network, flow, link, swap):
+    """Exact establishment probability by enumerating every outcome."""
+    edges = flow.edges()
+    switches = [n for n in flow.nodes() if network.node(n).is_switch]
+    total = 0.0
+    for edge_bits in itertools.product([0, 1], repeat=len(edges)):
+        for switch_bits in itertools.product([0, 1], repeat=len(switches)):
+            prob = 1.0
+            for (u, v), bit in zip(edges, edge_bits):
+                p = link.success_probability(network.edge_length(u, v))
+                ok = 1 - (1 - p) ** flow.edge_width(u, v)
+                prob *= ok if bit else (1 - ok)
+            for node, bit in zip(switches, switch_bits):
+                q = swap.success_probability(flow.fusion_arity(node))
+                prob *= q if bit else (1 - q)
+            if prob == 0.0:
+                continue
+            alive_switches = {
+                node for node, bit in zip(switches, switch_bits) if bit
+            }
+            adjacency = {}
+            for (u, v), bit in zip(edges, edge_bits):
+                if not bit:
+                    continue
+                if network.node(u).is_switch and u not in alive_switches:
+                    continue
+                if network.node(v).is_switch and v not in alive_switches:
+                    continue
+                adjacency.setdefault(u, set()).add(v)
+                adjacency.setdefault(v, set()).add(u)
+            frontier, seen = [flow.source], {flow.source}
+            reached = False
+            while frontier:
+                node = frontier.pop()
+                if node == flow.destination:
+                    reached = True
+                    break
+                for nbr in adjacency.get(node, ()):
+                    if nbr not in seen:
+                        seen.add(nbr)
+                        frontier.append(nbr)
+            if reached:
+                total += prob
+    return total

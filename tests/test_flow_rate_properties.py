@@ -1,0 +1,125 @@
+"""Property-based agreement tests for the three rate evaluators.
+
+For randomly merged flow-like graphs on a small grid:
+
+* the exact enumerator and the vectorised Monte Carlo agree (statistics);
+* Equation 1 equals the exact value whenever the flow DAG is a tree
+  (each node has at most one parent), and stays within a bounded error
+  otherwise;
+* all evaluators produce probabilities.
+"""
+
+import itertools
+
+import networkx as nx
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.exceptions import RoutingError
+from repro.network.graph import QuantumNetwork
+from repro.network.node import QuantumSwitch, QuantumUser
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.flow_graph import FlowLikeGraph
+from repro.simulation.exact import exact_flow_rate
+from repro.simulation.vectorized import VectorizedProcessSimulator
+from repro.utils.geometry import Point
+from repro.utils.rng import ensure_rng
+
+
+def grid_with_users(side=3):
+    """A side x side switch grid plus users attached to two corners."""
+    network = QuantumNetwork()
+    for row in range(side):
+        for col in range(side):
+            network.add_node(
+                QuantumSwitch(row * side + col,
+                              Point(1000.0 * col, 1000.0 * row), 50)
+            )
+    for row in range(side):
+        for col in range(side):
+            here = row * side + col
+            if col + 1 < side:
+                network.add_edge(here, here + 1)
+            if row + 1 < side:
+                network.add_edge(here, here + side)
+    source = side * side
+    destination = side * side + 1
+    network.add_node(QuantumUser(source, Point(-1000.0, 0.0)))
+    network.add_node(QuantumUser(destination,
+                                 Point(1000.0 * side, 1000.0 * (side - 1))))
+    network.add_edge(source, 0)
+    network.add_edge(destination, side * side - 1)
+    return network, source, destination
+
+
+NETWORK, SOURCE, DESTINATION = grid_with_users()
+
+# All simple S->D paths of bounded length, as a reusable pool.
+_GRAPH = nx.Graph()
+for edge in NETWORK.edges():
+    _GRAPH.add_edge(edge.u, edge.v)
+PATH_POOL = [
+    tuple(p)
+    for p in nx.all_simple_paths(_GRAPH, SOURCE, DESTINATION, cutoff=6)
+]
+
+
+def is_tree_flow(flow: FlowLikeGraph) -> bool:
+    """True iff every node has at most one parent in the flow DAG."""
+    parents = {}
+    for node in flow.nodes():
+        for child in flow.children_of(node):
+            parents.setdefault(child, set()).add(node)
+    return all(len(p) <= 1 for p in parents.values())
+
+
+@st.composite
+def random_flows(draw):
+    count = draw(st.integers(min_value=1, max_value=3))
+    indices = draw(
+        st.lists(
+            st.integers(0, len(PATH_POOL) - 1),
+            min_size=count, max_size=count, unique=True,
+        )
+    )
+    width = draw(st.integers(min_value=1, max_value=3))
+    flow = FlowLikeGraph(0, SOURCE, DESTINATION)
+    added = 0
+    for index in indices:
+        try:
+            flow.add_path(PATH_POOL[index], width=width)
+            added += 1
+        except RoutingError:
+            continue
+    assume(added >= 1)
+    p = draw(st.floats(min_value=0.2, max_value=0.9))
+    q = draw(st.floats(min_value=0.3, max_value=1.0))
+    return flow, p, q
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_flows())
+def test_equation1_vs_exact(case):
+    flow, p, q = case
+    link, swap = LinkModel(fixed_p=p), SwapModel(q=q)
+    exact = exact_flow_rate(NETWORK, flow, link, swap, max_elements=26)
+    analytic = flow.entanglement_rate(NETWORK, link, swap)
+    assert 0.0 <= exact <= 1.0
+    assert 0.0 <= analytic <= 1.0
+    if is_tree_flow(flow):
+        assert analytic == pytest.approx(exact, abs=1e-9)
+    else:
+        # Reconvergent flows: Equation 1 is an approximation; its error
+        # stays bounded on these small graphs.
+        assert analytic == pytest.approx(exact, abs=0.2)
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_flows())
+def test_vectorized_vs_exact(case):
+    flow, p, q = case
+    link, swap = LinkModel(fixed_p=p), SwapModel(q=q)
+    exact = exact_flow_rate(NETWORK, flow, link, swap, max_elements=26)
+    engine = VectorizedProcessSimulator(NETWORK, link, swap, ensure_rng(123))
+    empirical = engine.flow_rate(flow, trials=6000)
+    assert empirical == pytest.approx(exact, abs=0.035)

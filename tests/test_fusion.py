@@ -1,0 +1,175 @@
+"""Unit tests for circuit-level fusion operations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FusionError
+from repro.quantum.fusion import (
+    apply_fusion_corrections,
+    bell_state_measurement,
+    ghz_measurement,
+    pauli_x_removal,
+    prepare_bell_pair,
+    prepare_ghz,
+)
+from repro.quantum.stabilizer import StabilizerTableau
+
+
+def make(n, seed=0):
+    return StabilizerTableau(n, np.random.default_rng(seed))
+
+
+class TestPreparation:
+    def test_bell_pair(self):
+        t = make(2)
+        prepare_bell_pair(t, 0, 1)
+        assert t.is_bell_pair_up_to_pauli(0, 1)
+
+    def test_ghz_various_sizes(self):
+        for n in (2, 3, 4, 6):
+            t = make(n)
+            prepare_ghz(t, list(range(n)))
+            assert t.is_ghz_up_to_pauli(list(range(n)))
+
+    def test_ghz_rejects_single_qubit(self):
+        t = make(2)
+        with pytest.raises(FusionError):
+            prepare_ghz(t, [0])
+
+    def test_ghz_rejects_duplicates(self):
+        t = make(3)
+        with pytest.raises(FusionError):
+            prepare_ghz(t, [0, 0, 1])
+
+    def test_ghz_perfect_correlation(self):
+        for seed in range(8):
+            t = make(4, seed)
+            prepare_ghz(t, [0, 1, 2, 3])
+            outcomes = [t.measure_z(i) for i in range(4)]
+            assert len(set(outcomes)) == 1
+
+
+class TestSwapping:
+    def test_bsm_swap_chain_of_two(self):
+        t = make(4, seed=1)
+        prepare_bell_pair(t, 0, 1)
+        prepare_bell_pair(t, 2, 3)
+        bell_state_measurement(t, 1, 2)
+        assert t.is_bell_pair_up_to_pauli(0, 3)
+
+    def test_bsm_repeater_chain(self):
+        # 4 Bell pairs in a chain, 3 successive swaps -> end-to-end Bell.
+        t = make(8, seed=2)
+        for i in range(4):
+            prepare_bell_pair(t, 2 * i, 2 * i + 1)
+        bell_state_measurement(t, 1, 2)
+        bell_state_measurement(t, 3, 4)
+        bell_state_measurement(t, 5, 6)
+        assert t.is_bell_pair_up_to_pauli(0, 7)
+
+    def test_measured_qubits_are_disentangled(self):
+        t = make(4, seed=3)
+        prepare_bell_pair(t, 0, 1)
+        prepare_bell_pair(t, 2, 3)
+        ghz_measurement(t, [1, 2])
+        assert t.is_product_z_eigenstate(1)
+        assert t.is_product_z_eigenstate(2)
+
+
+class TestNFusion:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_star_fusion_of_n_bell_pairs(self, n):
+        """Fusing one qubit of each of n Bell pairs leaves the n partners
+        in an n-GHZ state — the paper's Figure 2 operation."""
+        t = make(2 * n, seed=n)
+        switch_qubits = []
+        remote_qubits = []
+        for i in range(n):
+            a, b = 2 * i, 2 * i + 1
+            prepare_bell_pair(t, a, b)
+            switch_qubits.append(a)
+            remote_qubits.append(b)
+        outcomes = ghz_measurement(t, switch_qubits)
+        assert len(outcomes) == n
+        assert t.is_ghz_up_to_pauli(remote_qubits)
+
+    def test_fusing_ghz_with_bell(self):
+        t = make(5, seed=9)
+        prepare_ghz(t, [0, 1, 2])
+        prepare_bell_pair(t, 3, 4)
+        ghz_measurement(t, [2, 3])
+        assert t.is_ghz_up_to_pauli([0, 1, 4])
+
+    def test_fusing_two_ghz_states(self):
+        t = make(6, seed=10)
+        prepare_ghz(t, [0, 1, 2])
+        prepare_ghz(t, [3, 4, 5])
+        ghz_measurement(t, [2, 3])
+        assert t.is_ghz_up_to_pauli([0, 1, 4, 5])
+
+    def test_three_fusion_of_mixed_states(self):
+        # GHZ-3 + Bell + Bell through a 3-fusion -> GHZ-4.
+        t = make(7, seed=11)
+        prepare_ghz(t, [0, 1, 2])
+        prepare_bell_pair(t, 3, 4)
+        prepare_bell_pair(t, 5, 6)
+        ghz_measurement(t, [2, 3, 5])
+        assert t.is_ghz_up_to_pauli([0, 1, 4, 6])
+
+    def test_rejects_single_qubit(self):
+        t = make(2)
+        with pytest.raises(FusionError):
+            ghz_measurement(t, [0])
+
+    def test_rejects_duplicates(self):
+        t = make(3)
+        with pytest.raises(FusionError):
+            ghz_measurement(t, [0, 0])
+
+
+class TestPauliRemoval:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_removal_shrinks_ghz(self, n):
+        t = make(n, seed=n)
+        prepare_ghz(t, list(range(n)))
+        pauli_x_removal(t, 0)
+        assert t.is_ghz_up_to_pauli(list(range(1, n)))
+
+    def test_removal_from_bell_leaves_product(self):
+        t = make(2, seed=1)
+        prepare_bell_pair(t, 0, 1)
+        pauli_x_removal(t, 0)
+        # Partner ends in |+> or |->; X measurement on it is deterministic.
+        assert t.measure_x(1) in (0, 1)
+        assert not t.is_bell_pair_up_to_pauli(0, 1)
+
+
+class TestCorrections:
+    def test_corrections_give_canonical_ghz(self):
+        """After corrections, the survivors are stabilized by +XX..X and
+        +ZZ pairs exactly (not just up to sign)."""
+        for seed in range(6):
+            n = 3
+            t = make(2 * n, seed=seed)
+            switch_qubits, remote_qubits = [], []
+            for i in range(n):
+                prepare_bell_pair(t, 2 * i, 2 * i + 1)
+                switch_qubits.append(2 * i)
+                remote_qubits.append(2 * i + 1)
+            outcomes = ghz_measurement(t, switch_qubits)
+            apply_fusion_corrections(t, remote_qubits, outcomes)
+            x_all = [0] * (2 * n)
+            z_none = [0] * (2 * n)
+            for q in remote_qubits:
+                x_all[q] = 1
+            assert t.contains_pauli(x_all, z_none, up_to_sign=False)
+            for a, b in zip(remote_qubits, remote_qubits[1:]):
+                zz = [0] * (2 * n)
+                zz[a] = 1
+                zz[b] = 1
+                assert t.contains_pauli([0] * (2 * n), zz, up_to_sign=False)
+
+    def test_corrections_length_mismatch_raises(self):
+        t = make(4)
+        with pytest.raises(FusionError):
+            apply_fusion_corrections(t, [0, 1], [0])

@@ -1,0 +1,97 @@
+"""End-to-end integration tests over the public API.
+
+These run the full pipeline — topology generation, demand sampling,
+routing, analytic rates and Monte Carlo validation — at small scale, and
+assert the paper's qualitative claims hold on the result.
+"""
+
+import pytest
+
+import repro
+from repro import (
+    AlgNFusion,
+    B1Router,
+    EntanglementProcessSimulator,
+    LinkModel,
+    NetworkConfig,
+    QCastNRouter,
+    QCastRouter,
+    SwapModel,
+    build_network,
+    estimate_plan_rate,
+    generate_demands,
+)
+from repro.utils.rng import ensure_rng
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_snippet(self):
+        """The docstring quickstart must work verbatim."""
+        network = build_network(NetworkConfig(num_switches=50), rng=1)
+        demands = generate_demands(network, num_states=10, rng=2)
+        result = AlgNFusion().route(network, demands)
+        assert result.total_rate > 0
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        rng = ensure_rng(2024)
+        network = build_network(
+            NetworkConfig(num_switches=40, num_users=6), rng
+        )
+        demands = generate_demands(network, 10, rng)
+        link, swap = LinkModel(fixed_p=0.35), SwapModel(q=0.9)
+        results = {
+            router.name: router.route(network, demands, link, swap)
+            for router in [AlgNFusion(), QCastRouter(), QCastNRouter(), B1Router()]
+        }
+        return network, demands, link, swap, results
+
+    def test_nfusion_improves_over_classic(self, pipeline):
+        _, _, _, _, results = pipeline
+        assert results["ALG-N-FUSION"].total_rate > results["Q-CAST"].total_rate
+
+    def test_analytic_close_to_monte_carlo_for_all_routers(self, pipeline):
+        network, _, link, swap, results = pipeline
+        for name, result in results.items():
+            if result.total_rate == 0:
+                continue
+            estimate = estimate_plan_rate(
+                network, result.plan, link, swap, trials=1500,
+                rng=ensure_rng(5),
+            )
+            # Eq. 1 is exact on trees and a mild approximation otherwise;
+            # allow 10% + CI slack.
+            assert estimate.mean == pytest.approx(
+                result.total_rate, rel=0.10, abs=3 * estimate.stderr + 0.05
+            ), name
+
+    def test_demand_level_agreement(self, pipeline):
+        network, _, link, swap, results = pipeline
+        sim = EntanglementProcessSimulator(network, link, swap, ensure_rng(9))
+        result = results["ALG-N-FUSION"]
+        for flow in result.plan.flows()[:4]:
+            analytic = result.demand_rates[flow.demand_id]
+            empirical = sim.flow_rate(flow, trials=2000)
+            assert empirical == pytest.approx(analytic, abs=0.06)
+
+    def test_resources_accounted(self, pipeline):
+        network, _, _, _, results = pipeline
+        total_capacity = sum(
+            network.qubit_capacity(s) for s in network.switches()
+        )
+        for result in results.values():
+            used = sum(
+                count
+                for node, count in result.plan.qubits_used().items()
+                if network.node(node).is_switch
+            )
+            assert used + result.remaining_qubits == total_capacity

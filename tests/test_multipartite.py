@@ -1,0 +1,136 @@
+"""Tests for multipartite GHZ-state routing (star fusion extension)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.builder import NetworkConfig, build_network
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.allocation import QubitLedger
+from repro.routing.multipartite import (
+    MultipartiteDemand,
+    MultipartiteRouter,
+    StarRoute,
+)
+from repro.utils.rng import ensure_rng
+
+from tests.conftest import make_diamond_network
+
+
+@pytest.fixture
+def network():
+    return build_network(
+        NetworkConfig(num_switches=36, num_users=6), ensure_rng(888)
+    )
+
+
+@pytest.fixture
+def models():
+    return LinkModel(fixed_p=0.6), SwapModel(q=0.9)
+
+
+class TestMultipartiteDemand:
+    def test_basic(self):
+        demand = MultipartiteDemand(0, [5, 3, 9])
+        assert demand.size == 3
+        assert demand.users == (5, 3, 9)
+
+    def test_rejects_duplicates_and_small(self):
+        with pytest.raises(ConfigurationError):
+            MultipartiteDemand(0, [1, 1, 2])
+        with pytest.raises(ConfigurationError):
+            MultipartiteDemand(0, [1])
+
+
+class TestStarRouting:
+    def test_three_user_ghz(self, network, models):
+        link, swap = models
+        users = network.users()[:3]
+        demand = MultipartiteDemand(0, users)
+        star = MultipartiteRouter().route_demand(network, demand, link, swap)
+        assert star is not None
+        assert star.fusion_arity == 3
+        assert set(star.arms) == set(users)
+        for user, nodes in star.arms.items():
+            assert nodes[0] == user
+            assert nodes[-1] == star.center
+            for a, b in zip(nodes, nodes[1:]):
+                assert network.has_edge(a, b)
+        assert 0.0 < star.rate <= 1.0
+
+    def test_rate_includes_center_fusion(self, network, models):
+        """With perfect links, the star rate is q^(relays) * q_center."""
+        link = LinkModel(fixed_p=1.0)
+        swap = SwapModel(q=0.5)
+        users = network.users()[:2]
+        demand = MultipartiteDemand(0, users)
+        star = MultipartiteRouter().route_demand(network, demand, link, swap)
+        assert star is not None
+        relays = sum(len(nodes) - 2 for nodes in star.arms.values())
+        assert star.rate == pytest.approx(0.5 ** (relays + 1))
+
+    def test_arms_internally_disjoint(self, network, models):
+        link, swap = models
+        users = network.users()[:4]
+        demand = MultipartiteDemand(0, users)
+        star = MultipartiteRouter().route_demand(network, demand, link, swap)
+        assert star is not None
+        interiors = []
+        for nodes in star.arms.values():
+            interiors.append(set(nodes[1:-1]))
+        for i in range(len(interiors)):
+            for j in range(i + 1, len(interiors)):
+                assert not (interiors[i] & interiors[j])
+
+    def test_bigger_group_has_lower_rate(self, network, models):
+        link, swap = models
+        users = network.users()
+        small = MultipartiteRouter().route_demand(
+            network, MultipartiteDemand(0, users[:2]), link, swap
+        )
+        large = MultipartiteRouter().route_demand(
+            network, MultipartiteDemand(1, users[:5]), link, swap
+        )
+        assert small is not None and large is not None
+        assert large.rate <= small.rate
+
+    def test_ledger_is_charged(self, network, models):
+        link, swap = models
+        users = network.users()[:3]
+        ledger = QubitLedger(network)
+        before = ledger.total_free_switch_qubits()
+        star = MultipartiteRouter().route_demand(
+            network, MultipartiteDemand(0, users), link, swap, ledger
+        )
+        assert star is not None
+        assert ledger.total_free_switch_qubits() < before
+
+    def test_route_all_respects_capacity(self, network, models):
+        link, swap = models
+        users = network.users()
+        demands = [
+            MultipartiteDemand(i, users[i : i + 3]) for i in range(3)
+        ]
+        routes = MultipartiteRouter().route_all(network, demands, link, swap)
+        usage = {}
+        for star in routes.values():
+            for nodes in star.arms.values():
+                for a, b in zip(nodes, nodes[1:]):
+                    usage[a] = usage.get(a, 0) + 1
+                    usage[b] = usage.get(b, 0) + 1
+        for switch in network.switches():
+            assert usage.get(switch, 0) <= network.qubit_capacity(switch)
+
+    def test_infeasible_when_capacity_exhausted(self, models):
+        link, swap = models
+        network = make_diamond_network(capacity=2)
+        # Capacity 2 cannot host a 3-arm star (needs 3 center qubits).
+        demand = MultipartiteDemand(0, [0, 1])
+        ledger = QubitLedger(network)
+        ledger.reserve(2, 2)
+        ledger.reserve(3, 2)
+        ledger.reserve(4, 2)
+        ledger.reserve(5, 2)
+        star = MultipartiteRouter().route_demand(
+            network, demand, link, swap, ledger
+        )
+        assert star is None

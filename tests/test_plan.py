@@ -1,0 +1,77 @@
+"""Unit tests for RoutingPlan and the experiments CLI."""
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.flow_graph import FlowLikeGraph
+from repro.routing.plan import RoutingPlan
+
+from tests.conftest import make_diamond_network
+
+
+def flow_on_diamond(demand_id=0, arm="upper", width=1):
+    flow = FlowLikeGraph(demand_id, 0, 1)
+    nodes = [0, 2, 3, 1] if arm == "upper" else [0, 4, 5, 1]
+    flow.add_path(nodes, width=width)
+    return flow
+
+
+class TestRoutingPlan:
+    def test_add_and_lookup(self):
+        plan = RoutingPlan()
+        plan.add_flow(flow_on_diamond(0))
+        plan.add_flow(flow_on_diamond(1, arm="lower"))
+        assert len(plan) == 2
+        assert 0 in plan and 2 not in plan
+        assert plan.flow_for(0).demand_id == 0
+        assert plan.flow_for(5) is None
+        assert plan.routed_demand_ids() == [0, 1]
+
+    def test_duplicate_demand_rejected(self):
+        plan = RoutingPlan()
+        plan.add_flow(flow_on_diamond(0))
+        with pytest.raises(RoutingError):
+            plan.add_flow(flow_on_diamond(0, arm="lower"))
+
+    def test_rates(self, diamond_network):
+        link, swap = LinkModel(fixed_p=0.5), SwapModel(q=0.9)
+        plan = RoutingPlan()
+        plan.add_flow(flow_on_diamond(0))
+        plan.add_flow(flow_on_diamond(1, arm="lower"))
+        rates = plan.demand_rates(diamond_network, link, swap)
+        assert set(rates) == {0, 1}
+        assert plan.total_rate(diamond_network, link, swap) == pytest.approx(
+            sum(rates.values())
+        )
+
+    def test_qubits_used(self):
+        plan = RoutingPlan()
+        plan.add_flow(flow_on_diamond(0, width=2))
+        usage = plan.qubits_used()
+        # Switch 2: edges (0,2) and (2,3), width 2 each -> 4 qubits.
+        assert usage[2] == 4
+        assert usage[3] == 4
+        # Users appear too (their ledger is unlimited, but usage counts).
+        assert usage[0] == 2
+
+    def test_flows_sorted_by_demand(self):
+        plan = RoutingPlan()
+        plan.add_flow(flow_on_diamond(3))
+        plan.add_flow(flow_on_diamond(1, arm="lower"))
+        assert [f.demand_id for f in plan.flows()] == [1, 3]
+
+
+class TestExperimentsCli:
+    def test_list(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8a" in out and "ablation" in out
+
+    def test_parser_rejects_unknown(self):
+        from repro.experiments.__main__ import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])

@@ -1,0 +1,222 @@
+"""Tests for the event-driven protocol simulator."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.network.builder import NetworkConfig, build_network
+from repro.network.demands import generate_demands
+from repro.protocol.events import Event, EventQueue
+from repro.protocol.hardware import HardwareTimings
+from repro.protocol.simulator import ProtocolSimulator
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.flow_graph import FlowLikeGraph
+from repro.routing.nfusion import AlgNFusion
+from repro.utils.rng import ensure_rng
+
+from tests.conftest import make_diamond_network, make_line_network
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.schedule_at(2.0, "b")
+        queue.schedule_at(1.0, "a")
+        queue.schedule_at(3.0, "c")
+        kinds = [queue.pop().kind for _ in range(3)]
+        assert kinds == ["a", "b", "c"]
+
+    def test_fifo_on_ties(self):
+        queue = EventQueue()
+        queue.schedule_at(1.0, "first")
+        queue.schedule_at(1.0, "second")
+        assert queue.pop().kind == "first"
+        assert queue.pop().kind == "second"
+
+    def test_rejects_past_scheduling(self):
+        queue = EventQueue()
+        queue.schedule_at(5.0, "x")
+        queue.pop()
+        with pytest.raises(SimulationError):
+            queue.schedule_at(1.0, "late")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            Event(-1.0, "x")
+
+    def test_drain_until(self):
+        queue = EventQueue()
+        for t in (1.0, 2.0, 3.0):
+            queue.schedule_at(t, "tick")
+        seen = []
+        handled = queue.drain(lambda e: seen.append(e.time), until=2.5)
+        assert handled == 2
+        assert seen == [1.0, 2.0]
+        assert len(queue) == 1
+
+    def test_handler_can_schedule(self):
+        queue = EventQueue()
+        queue.schedule_at(1.0, "spawn")
+        seen = []
+
+        def handler(event):
+            seen.append(event.kind)
+            if event.kind == "spawn":
+                queue.schedule_at(2.0, "child")
+
+        queue.drain(handler)
+        assert seen == ["spawn", "child"]
+
+
+class TestHardwareTimings:
+    def test_propagation_delay(self):
+        t = HardwareTimings(light_speed_km_s=2e5)
+        assert t.propagation_delay(200.0) == pytest.approx(1e-3)
+
+    def test_attempt_duration_is_round_trip(self):
+        t = HardwareTimings(attempt_overhead_s=1e-6, light_speed_km_s=2e5)
+        assert t.attempt_duration(100.0) == pytest.approx(1e-3 + 1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HardwareTimings(coherence_time_s=0.0)
+        with pytest.raises(ConfigurationError):
+            HardwareTimings().propagation_delay(-1.0)
+
+
+def single_attempt_timings(network, flow, coherence=100.0):
+    """A slot that admits exactly one attempt per link of *flow*."""
+    longest = max(network.edge_length(u, v) for u, v in flow.edges())
+    timings = HardwareTimings(attempt_overhead_s=1e-9,
+                              coherence_time_s=coherence,
+                              slot_duration_s=1.0)
+    one_attempt = timings.attempt_duration(longest)
+    return HardwareTimings(
+        attempt_overhead_s=1e-9,
+        coherence_time_s=coherence,
+        slot_duration_s=one_attempt * 1.2,
+    )
+
+
+class TestProtocolSimulator:
+    def test_single_attempt_matches_analytic_path_rate(self):
+        """With one attempt per link and generous memories, the protocol
+        establishment probability equals the analytic path rate."""
+        network = make_line_network(num_switches=3, spacing=100.0)
+        flow = FlowLikeGraph(0, 3, 4)
+        flow.add_path([3, 0, 1, 2, 4], width=1)
+        link, swap = LinkModel(fixed_p=0.7), SwapModel(q=0.9)
+        analytic = flow.entanglement_rate(network, link, swap)
+        sim = ProtocolSimulator(
+            network, link, swap,
+            single_attempt_timings(network, flow), ensure_rng(1),
+        )
+        stats = sim.run(flow, 4000)
+        assert stats.establishment_rate == pytest.approx(analytic, abs=0.03)
+
+    def test_time_multiplexing_beats_single_attempt(self):
+        """Longer slots allow link retries, raising establishment above
+        the single-attempt analytic rate (the [21] space-time effect)."""
+        network = make_line_network(num_switches=3, spacing=100.0)
+        flow = FlowLikeGraph(0, 3, 4)
+        flow.add_path([3, 0, 1, 2, 4], width=1)
+        link, swap = LinkModel(fixed_p=0.3), SwapModel(q=0.95)
+        analytic = flow.entanglement_rate(network, link, swap)
+        generous = HardwareTimings(coherence_time_s=100.0,
+                                   slot_duration_s=1.0)
+        sim = ProtocolSimulator(network, link, swap, generous, ensure_rng(2))
+        stats = sim.run(flow, 1500)
+        assert stats.establishment_rate > analytic + 0.2
+
+    def test_short_memory_causes_expiry_failures(self):
+        network = make_line_network(num_switches=3, spacing=1000.0)
+        flow = FlowLikeGraph(0, 3, 4)
+        flow.add_path([3, 0, 1, 2, 4], width=1)
+        link, swap = LinkModel(fixed_p=0.8), SwapModel(q=1.0)
+        tight = HardwareTimings(coherence_time_s=1e-6, slot_duration_s=1.0)
+        sim = ProtocolSimulator(network, link, swap, tight, ensure_rng(3))
+        stats = sim.run(flow, 300)
+        assert stats.establishment_rate < 0.2
+        assert stats.failures["memory_expiry"] > 0
+
+    def test_dead_links_time_out(self):
+        network = make_line_network(num_switches=2, spacing=500.0)
+        flow = FlowLikeGraph(0, 2, 3)
+        flow.add_path([2, 0, 1, 3], width=1)
+        sim = ProtocolSimulator(
+            network, LinkModel(fixed_p=0.0), SwapModel(q=1.0),
+            HardwareTimings(slot_duration_s=0.01), ensure_rng(4),
+        )
+        stats = sim.run(flow, 100)
+        assert stats.establishment_rate == 0.0
+        assert stats.failures["link_timeout"] == 100
+
+    def test_fusion_failures_classified(self):
+        network = make_line_network(num_switches=2, spacing=100.0)
+        flow = FlowLikeGraph(0, 2, 3)
+        flow.add_path([2, 0, 1, 3], width=1)
+        sim = ProtocolSimulator(
+            network, LinkModel(fixed_p=1.0), SwapModel(q=0.0),
+            HardwareTimings(coherence_time_s=10.0, slot_duration_s=1.0),
+            ensure_rng(5),
+        )
+        stats = sim.run(flow, 100)
+        assert stats.establishment_rate == 0.0
+        assert stats.failures["fusion_failure"] == 100
+
+    def test_branching_flow_uses_surviving_arm(self):
+        """If one diamond arm's channel cannot deliver, the other arm can
+        still establish the state (fusing at the deadline)."""
+        network = make_diamond_network()
+        flow = FlowLikeGraph(0, 0, 1)
+        flow.add_path([0, 2, 3, 1], width=1)
+        flow.add_path([0, 4, 5, 1], width=1)
+        link, swap = LinkModel(fixed_p=0.5), SwapModel(q=0.95)
+        generous = HardwareTimings(coherence_time_s=100.0,
+                                   slot_duration_s=0.2)
+        sim = ProtocolSimulator(network, link, swap, generous, ensure_rng(6))
+        single = FlowLikeGraph(1, 0, 1)
+        single.add_path([0, 2, 3, 1], width=1)
+        sim_single = ProtocolSimulator(
+            network, link, swap, generous, ensure_rng(6)
+        )
+        branched = sim.run(flow, 800).establishment_rate
+        lone = sim_single.run(single, 800).establishment_rate
+        assert branched > lone
+
+    def test_latency_reported_for_successes(self):
+        network = make_line_network(num_switches=2, spacing=100.0)
+        flow = FlowLikeGraph(0, 2, 3)
+        flow.add_path([2, 0, 1, 3], width=1)
+        sim = ProtocolSimulator(
+            network, LinkModel(fixed_p=1.0), SwapModel(q=1.0),
+            HardwareTimings(coherence_time_s=10.0, slot_duration_s=1.0),
+            ensure_rng(7),
+        )
+        stats = sim.run(flow, 10)
+        assert stats.establishment_rate == 1.0
+        assert stats.mean_latency_s is not None
+        assert stats.mean_latency_s > 0.0
+
+    def test_slots_validation(self):
+        network = make_line_network()
+        flow = FlowLikeGraph(0, 3, 4)
+        flow.add_path([3, 0, 1, 2, 4], width=1)
+        sim = ProtocolSimulator(network, rng=ensure_rng(1))
+        with pytest.raises(SimulationError):
+            sim.run(flow, 0)
+
+    def test_integration_with_router(self):
+        rng = ensure_rng(55)
+        network = build_network(NetworkConfig(num_switches=30, num_users=4), rng)
+        demands = generate_demands(network, 4, rng)
+        link, swap = LinkModel(fixed_p=0.5), SwapModel(q=0.9)
+        result = AlgNFusion().route(network, demands, link, swap)
+        sim = ProtocolSimulator(
+            network, link, swap,
+            HardwareTimings(coherence_time_s=10.0, slot_duration_s=0.5),
+            ensure_rng(8),
+        )
+        for flow in result.plan.flows()[:3]:
+            stats = sim.run(flow, 200)
+            assert 0.0 <= stats.establishment_rate <= 1.0
+            assert stats.slots == 200

@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) for the quantum substrate.
+
+The central invariant: the symbolic tracker and the exact stabilizer
+simulator agree on every fusion sequence — whatever GHZ groups the tracker
+reports must be exact GHZ states (up to local Paulis) in the tableau.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.quantum.fusion import ghz_measurement, prepare_bell_pair
+from repro.quantum.stabilizer import StabilizerTableau
+from repro.quantum.tracker import EntanglementTracker
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_pairs=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_star_fusion_any_arity(num_pairs, seed):
+    """n-fusion of n Bell pairs yields an n-GHZ on the partners."""
+    t = StabilizerTableau(2 * num_pairs, np.random.default_rng(seed))
+    switch, remote = [], []
+    for i in range(num_pairs):
+        prepare_bell_pair(t, 2 * i, 2 * i + 1)
+        switch.append(2 * i)
+        remote.append(2 * i + 1)
+    ghz_measurement(t, switch)
+    assert t.is_ghz_up_to_pauli(remote)
+    for q in switch:
+        assert t.is_product_z_eigenstate(q)
+
+
+@st.composite
+def fusion_scenarios(draw):
+    """A random line of Bell pairs plus a random sequence of fusions.
+
+    Qubits 2i / 2i+1 form pair i.  Each fusion step picks 2-3 distinct
+    live groups and measures one qubit of each at a virtual switch.
+    """
+    num_pairs = draw(st.integers(min_value=2, max_value=7))
+    steps = []
+    # Track group membership symbolically while generating, so the drawn
+    # steps are always legal.
+    groups = {i: [2 * i, 2 * i + 1] for i in range(num_pairs)}
+    num_steps = draw(st.integers(min_value=1, max_value=3))
+    for _ in range(num_steps):
+        if len(groups) < 2:
+            break
+        group_ids = sorted(groups)
+        k = draw(st.integers(min_value=2, max_value=min(3, len(group_ids))))
+        chosen = draw(
+            st.lists(
+                st.sampled_from(group_ids), min_size=k, max_size=k, unique=True
+            )
+        )
+        measured = []
+        for gid in chosen:
+            members = groups[gid]
+            index = draw(st.integers(min_value=0, max_value=len(members) - 1))
+            measured.append(members[index])
+        survivors = [
+            q for gid in chosen for q in groups[gid] if q not in measured
+        ]
+        if len(survivors) < 2:
+            continue
+        for gid in chosen:
+            del groups[gid]
+        new_gid = max(groups, default=-1) + 1 + num_pairs
+        groups[new_gid] = survivors
+        steps.append(measured)
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return num_pairs, steps, seed
+
+
+@settings(max_examples=40, deadline=None)
+@given(fusion_scenarios())
+def test_tracker_matches_stabilizer_on_random_fusions(scenario):
+    """After any legal fusion sequence, every tracker group is an exact
+    GHZ state in the tableau, and measured qubits are disentangled."""
+    num_pairs, steps, seed = scenario
+    tableau = StabilizerTableau(2 * num_pairs, np.random.default_rng(seed))
+    tracker = EntanglementTracker()
+    for i in range(num_pairs):
+        prepare_bell_pair(tableau, 2 * i, 2 * i + 1)
+        tracker.create_bell_pair(2 * i, 2 * i + 1)
+    all_measured = set()
+    for measured in steps:
+        ghz_measurement(tableau, measured)
+        tracker.fuse(measured, success=True)
+        all_measured.update(measured)
+    for group in tracker.groups():
+        assert tableau.is_ghz_up_to_pauli(list(group.sorted_qubits()))
+    for q in all_measured:
+        assert not tracker.is_entangled(q)
+        assert tableau.is_product_z_eigenstate(q)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    chain_length=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_repeater_chain_always_connects_ends(chain_length, seed):
+    """Swapping along a chain of any length yields an end-to-end pair."""
+    t = StabilizerTableau(2 * chain_length, np.random.default_rng(seed))
+    tracker = EntanglementTracker()
+    for i in range(chain_length):
+        prepare_bell_pair(t, 2 * i, 2 * i + 1)
+        tracker.create_bell_pair(2 * i, 2 * i + 1)
+    for i in range(chain_length - 1):
+        ghz_measurement(t, [2 * i + 1, 2 * i + 2])
+        tracker.fuse([2 * i + 1, 2 * i + 2], success=True)
+    assert tracker.same_group(0, 2 * chain_length - 1)
+    assert t.is_bell_pair_up_to_pauli(0, 2 * chain_length - 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    gates=st.lists(
+        st.tuples(st.sampled_from(["h", "s", "x", "z", "cnot", "cz"]),
+                  st.integers(0, 3), st.integers(0, 3)),
+        min_size=0,
+        max_size=25,
+    ),
+)
+def test_measurement_idempotence_after_random_clifford(seed, gates):
+    """After any Clifford circuit, re-measuring a qubit repeats its value."""
+    t = StabilizerTableau(4, np.random.default_rng(seed))
+    for name, a, b in gates:
+        if name in ("cnot", "cz") and a == b:
+            continue
+        if name == "cnot":
+            t.cnot(a, b)
+        elif name == "cz":
+            t.cz(a, b)
+        else:
+            getattr(t, name)(a)
+    for q in range(4):
+        first = t.measure_z(q)
+        assert t.measure_z(q) == first

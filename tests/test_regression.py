@@ -1,0 +1,53 @@
+"""Pinned-instance regression tests.
+
+``tests/data/regression_instance.json`` is a frozen topology + demand
+set; the rates below were produced by the reviewed implementation.  Any
+change to the routing algorithms that shifts these numbers is either a
+bug or a deliberate algorithmic change — in the latter case regenerate
+the pins and document the change.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.network.serialization import load_instance
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.baselines import B1Router, QCastNRouter, QCastRouter
+from repro.routing.nfusion import AlgNFusion
+
+INSTANCE = pathlib.Path(__file__).parent / "data" / "regression_instance.json"
+
+PINNED_RATES = {
+    "ALG-N-FUSION": 3.6787172133298744,
+    "Q-CAST": 0.50688,
+    "Q-CAST-N": 3.8342518189243773,
+    "B1": 2.293470198377114,
+}
+
+ROUTERS = {
+    "ALG-N-FUSION": AlgNFusion,
+    "Q-CAST": QCastRouter,
+    "Q-CAST-N": QCastNRouter,
+    "B1": B1Router,
+}
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return load_instance(INSTANCE)
+
+
+@pytest.mark.parametrize("name", sorted(PINNED_RATES))
+def test_pinned_rate(name, instance):
+    network, demands = instance
+    link, swap = LinkModel(fixed_p=0.4), SwapModel(q=0.9)
+    result = ROUTERS[name]().route(network, demands, link, swap)
+    assert result.total_rate == pytest.approx(PINNED_RATES[name], rel=1e-9)
+
+
+def test_instance_is_stable(instance):
+    network, demands = instance
+    assert network.num_nodes == 36
+    assert len(demands) == 8
+    assert network.is_connected()

@@ -1,0 +1,88 @@
+"""Tests for the extra topology generators and the lattice study."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.node import NodeKind
+from repro.network.topology.scale_free import (
+    barabasi_albert_network,
+    random_geometric_network,
+)
+from repro.experiments.lattice import corner_pair_grid, lattice_distance_study
+from repro.utils.rng import ensure_rng
+
+
+class TestBarabasiAlbert:
+    def test_connected_and_sized(self):
+        net = barabasi_albert_network(num_switches=60, rng=ensure_rng(1))
+        assert net.is_connected()
+        assert len(net.switches()) == 60
+
+    def test_average_degree_tracks_attachments(self):
+        net = barabasi_albert_network(
+            num_switches=100, attachments=4, rng=ensure_rng(2)
+        )
+        assert net.average_degree(NodeKind.SWITCH) == pytest.approx(8.0, rel=0.3)
+
+    def test_hubs_exist(self):
+        net = barabasi_albert_network(
+            num_switches=150, attachments=3, rng=ensure_rng(3)
+        )
+        degrees = [net.degree(s) for s in net.switches()]
+        assert max(degrees) > 3 * (sum(degrees) / len(degrees))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert_network(num_switches=10, attachments=0)
+        with pytest.raises(ConfigurationError):
+            barabasi_albert_network(num_switches=10, attachments=10)
+
+
+class TestRandomGeometric:
+    def test_connected_after_repair(self):
+        net = random_geometric_network(num_switches=60, rng=ensure_rng(4))
+        assert net.is_connected()
+
+    def test_radius_bounds_edge_lengths(self):
+        radius = 3000.0
+        net = random_geometric_network(
+            num_switches=60, radius=radius, rng=ensure_rng(5)
+        )
+        switch_set = set(net.switches())
+        long_edges = [
+            e for e in net.edges()
+            if e.u in switch_set and e.v in switch_set and e.length > radius
+        ]
+        # Only connectivity-repair edges may exceed the radius; they are
+        # rare in a reasonably dense sample.
+        assert len(long_edges) <= 3
+
+    def test_invalid_radius(self):
+        with pytest.raises(ConfigurationError):
+            random_geometric_network(num_switches=10, radius=-1.0)
+
+
+class TestLatticeStudy:
+    def test_corner_pair_grid_structure(self):
+        network, demand = corner_pair_grid(side=4)
+        assert network.node(demand.source).is_user
+        assert network.node(demand.destination).is_user
+        assert network.degree(demand.source) >= 1
+        assert network.is_connected()
+
+    def test_distance_study_shapes(self):
+        sweep = lattice_distance_study(quick=True)
+        alg = sweep.series_for("ALG-N-FUSION")
+        qcast = sweep.series_for("Q-CAST")
+        advantage = sweep.series_for("advantage")
+        # Classic swapping decays fast with distance; n-fusion much slower,
+        # so the advantage grows monotonically with the grid side.
+        assert qcast == sorted(qcast, reverse=True)
+        assert advantage == sorted(advantage)
+        assert all(a >= c for a, c in zip(alg, qcast))
+
+    def test_text_rendering(self):
+        sweep = lattice_distance_study(quick=True)
+        text = sweep.to_text()
+        assert "Lattice distance study" in text
+        assert "advantage" in text

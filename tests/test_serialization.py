@@ -1,0 +1,95 @@
+"""Round-trip tests for network/demand serialization."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.builder import NetworkConfig, build_network
+from repro.network.demands import generate_demands
+from repro.network.serialization import (
+    demands_from_dict,
+    demands_to_dict,
+    load_instance,
+    network_from_dict,
+    network_to_dict,
+    save_instance,
+)
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.nfusion import AlgNFusion
+from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture
+def instance():
+    rng = ensure_rng(404)
+    network = build_network(NetworkConfig(num_switches=20, num_users=4), rng)
+    demands = generate_demands(network, 5, rng)
+    return network, demands
+
+
+class TestNetworkRoundTrip:
+    def test_structure_preserved(self, instance):
+        network, _ = instance
+        clone = network_from_dict(network_to_dict(network))
+        assert clone.nodes() == network.nodes()
+        assert clone.edge_keys() == network.edge_keys()
+        assert clone.users() == network.users()
+        for u, v in network.edge_keys():
+            assert clone.edge_length(u, v) == network.edge_length(u, v)
+        for node in network.nodes():
+            assert clone.qubit_capacity(node) == network.qubit_capacity(node)
+            assert clone.position(node) == network.position(node)
+
+    def test_json_serialisable(self, instance):
+        network, _ = instance
+        text = json.dumps(network_to_dict(network))
+        clone = network_from_dict(json.loads(text))
+        assert clone.num_edges == network.num_edges
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ConfigurationError):
+            network_from_dict({"format_version": 99, "nodes": [], "edges": []})
+
+    def test_malformed_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            network_from_dict(
+                {"format_version": 1, "nodes": [{"id": "x"}], "edges": []}
+            )
+
+
+class TestDemandsRoundTrip:
+    def test_preserved(self, instance):
+        _, demands = instance
+        clone = demands_from_dict(demands_to_dict(demands))
+        assert len(clone) == len(demands)
+        for a, b in zip(clone, demands):
+            assert (a.demand_id, a.source, a.destination) == (
+                b.demand_id,
+                b.source,
+                b.destination,
+            )
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ConfigurationError):
+            demands_from_dict({"format_version": 0, "demands": []})
+
+
+class TestInstanceFile:
+    def test_save_load_and_route_equivalence(self, instance, tmp_path):
+        """Routing the loaded instance gives identical results."""
+        network, demands = instance
+        path = tmp_path / "instance.json"
+        save_instance(path, network, demands)
+        loaded_network, loaded_demands = load_instance(path)
+        link, swap = LinkModel(fixed_p=0.5), SwapModel(q=0.9)
+        original = AlgNFusion().route(network, demands, link, swap)
+        reloaded = AlgNFusion().route(loaded_network, loaded_demands, link, swap)
+        assert reloaded.total_rate == pytest.approx(original.total_rate)
+        assert reloaded.demand_rates == pytest.approx(original.demand_rates)
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"oops": 1}))
+        with pytest.raises(ConfigurationError):
+            load_instance(path)

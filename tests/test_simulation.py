@@ -1,0 +1,171 @@
+"""Unit tests for the Phase III Monte Carlo engines."""
+
+import pytest
+
+from repro.network.demands import Demand, DemandSet
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.flow_graph import FlowLikeGraph
+from repro.routing.nfusion import AlgNFusion
+from repro.routing.plan import RoutingPlan
+from repro.simulation.engine import EntanglementProcessSimulator
+from repro.simulation.monte_carlo import MonteCarloEstimate, estimate_plan_rate
+from repro.simulation.quantum_engine import QuantumProtocolSimulator
+from repro.simulation.sampler import TrialSample, TrialSampler
+from repro.utils.rng import ensure_rng
+
+from tests.conftest import make_diamond_network, make_line_network
+
+
+def line_flow(width=1):
+    flow = FlowLikeGraph(0, 3, 4)
+    flow.add_path([3, 0, 1, 2, 4], width=width)
+    return flow
+
+
+def diamond_flow():
+    flow = FlowLikeGraph(0, 0, 1)
+    flow.add_path([0, 2, 3, 1], width=1)
+    flow.add_path([0, 4, 5, 1], width=1)
+    return flow
+
+
+class TestSampler:
+    def test_sample_shape(self, line_network):
+        sampler = TrialSampler(
+            line_network, LinkModel(fixed_p=0.5), SwapModel(q=0.9), ensure_rng(1)
+        )
+        flow = line_flow(width=3)
+        sample = sampler.sample(flow)
+        assert set(sample.link_successes) == set(flow.edges())
+        assert set(sample.switch_successes) == {0, 1, 2}
+        for count in sample.link_successes.values():
+            assert 0 <= count <= 3
+
+    def test_extreme_probabilities(self, line_network):
+        sampler = TrialSampler(
+            line_network, LinkModel(fixed_p=1.0), SwapModel(q=1.0), ensure_rng(1)
+        )
+        sample = sampler.sample(line_flow())
+        assert all(v == 1 for v in sample.link_successes.values())
+        assert all(sample.switch_successes.values())
+
+    def test_channel_ok(self):
+        sample = TrialSample({(0, 1): 2, (1, 2): 0}, {})
+        assert sample.channel_ok(1, 0)
+        assert not sample.channel_ok(1, 2)
+        assert not sample.channel_ok(5, 6)
+
+
+class TestConnectivityEngine:
+    def test_perfect_world_always_succeeds(self, line_network):
+        sim = EntanglementProcessSimulator(
+            line_network, LinkModel(fixed_p=1.0), SwapModel(q=1.0), ensure_rng(1)
+        )
+        assert sim.flow_rate(line_flow(), trials=20) == 1.0
+
+    def test_dead_link_always_fails(self, line_network):
+        sim = EntanglementProcessSimulator(
+            line_network, LinkModel(fixed_p=0.0), SwapModel(q=1.0), ensure_rng(1)
+        )
+        assert sim.flow_rate(line_flow(), trials=20) == 0.0
+
+    def test_dead_switches_always_fail(self, line_network):
+        sim = EntanglementProcessSimulator(
+            line_network, LinkModel(fixed_p=1.0), SwapModel(q=0.0), ensure_rng(1)
+        )
+        assert sim.flow_rate(line_flow(), trials=20) == 0.0
+
+    def test_single_path_matches_analytic_exactly(self, line_network):
+        """On a simple path Eq. 1 is exact, so the MC must converge to it."""
+        link, swap = LinkModel(fixed_p=0.7), SwapModel(q=0.9)
+        sim = EntanglementProcessSimulator(line_network, link, swap, ensure_rng(2))
+        flow = line_flow(width=2)
+        analytic = flow.entanglement_rate(line_network, link, swap)
+        empirical = sim.flow_rate(flow, trials=4000)
+        assert empirical == pytest.approx(analytic, abs=0.03)
+
+    def test_diamond_matches_analytic(self, diamond_network):
+        link, swap = LinkModel(fixed_p=0.5), SwapModel(q=0.8)
+        sim = EntanglementProcessSimulator(diamond_network, link, swap, ensure_rng(3))
+        flow = diamond_flow()
+        analytic = flow.entanglement_rate(diamond_network, link, swap)
+        empirical = sim.flow_rate(flow, trials=4000)
+        assert empirical == pytest.approx(analytic, abs=0.03)
+
+    def test_trials_validation(self, line_network):
+        sim = EntanglementProcessSimulator(line_network, rng=ensure_rng(1))
+        with pytest.raises(ValueError):
+            sim.simulate_flow(line_flow(), trials=0)
+
+
+class TestQuantumEngine:
+    def test_agrees_with_connectivity_on_single_path(self, line_network):
+        """Per-draw equivalence on simple paths: same sample, same verdict."""
+        link, swap = LinkModel(fixed_p=0.6), SwapModel(q=0.8)
+        conn = EntanglementProcessSimulator(line_network, link, swap, ensure_rng(4))
+        quantum = QuantumProtocolSimulator(line_network, link, swap, ensure_rng(4))
+        flow = line_flow()
+        sampler = TrialSampler(line_network, link, swap, ensure_rng(5))
+        for _ in range(300):
+            sample = sampler.sample(flow)
+            assert conn.establishment(flow, sample) == quantum.establishment(
+                flow, sample
+            )
+
+    def test_retry_dominance_on_branching_flows(self, diamond_network):
+        """With heralded retries the protocol engine can only do better
+        than plain survival connectivity, never worse."""
+        link, swap = LinkModel(fixed_p=0.5), SwapModel(q=0.6)
+        conn = EntanglementProcessSimulator(diamond_network, link, swap)
+        quantum = QuantumProtocolSimulator(diamond_network, link, swap)
+        flow = diamond_flow()
+        sampler = TrialSampler(diamond_network, link, swap, ensure_rng(6))
+        conn_wins, quantum_wins = 0, 0
+        for _ in range(500):
+            sample = sampler.sample(flow)
+            c = conn.establishment(flow, sample)
+            q = quantum.establishment(flow, sample)
+            conn_wins += c
+            quantum_wins += q
+            if c:
+                assert q  # connectivity success implies protocol success
+        assert quantum_wins >= conn_wins
+
+    def test_perfect_world(self, diamond_network):
+        sim = QuantumProtocolSimulator(
+            diamond_network, LinkModel(fixed_p=1.0), SwapModel(q=1.0), ensure_rng(1)
+        )
+        assert sim.flow_rate(diamond_flow(), trials=10) == 1.0
+
+    def test_trials_validation(self, line_network):
+        sim = QuantumProtocolSimulator(line_network, rng=ensure_rng(1))
+        with pytest.raises(ValueError):
+            sim.simulate_flow(line_flow(), trials=0)
+
+
+class TestMonteCarloEstimate:
+    def test_from_outcomes(self):
+        est = MonteCarloEstimate.from_outcomes([1.0, 0.0, 1.0, 1.0])
+        assert est.mean == 0.75
+        assert est.trials == 4
+        low, high = est.confidence_interval()
+        assert low < 0.75 < high
+
+    def test_single_outcome_infinite_error(self):
+        est = MonteCarloEstimate.from_outcomes([1.0])
+        assert est.stderr == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MonteCarloEstimate.from_outcomes([])
+
+    def test_estimate_plan_rate_close_to_analytic(self, diamond_network):
+        link, swap = LinkModel(fixed_p=0.5), SwapModel(q=0.9)
+        demands = DemandSet([Demand(0, 0, 1)])
+        result = AlgNFusion().route(diamond_network, demands, link, swap)
+        estimate = estimate_plan_rate(
+            diamond_network, result.plan, link, swap, trials=3000,
+            rng=ensure_rng(7),
+        )
+        low, high = estimate.confidence_interval(z=3.5)
+        assert low - 0.05 <= result.total_rate <= high + 0.05

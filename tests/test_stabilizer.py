@@ -1,0 +1,246 @@
+"""Unit tests for the Aaronson-Gottesman stabilizer simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError, QuantumStateError
+from repro.quantum.stabilizer import StabilizerTableau
+
+
+def make(n, seed=0):
+    return StabilizerTableau(n, np.random.default_rng(seed))
+
+
+class TestConstruction:
+    def test_initial_state_measures_zero(self):
+        t = make(3)
+        assert [t.measure_z(i) for i in range(3)] == [0, 0, 0]
+
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(QuantumStateError):
+            StabilizerTableau(0)
+
+    def test_num_qubits(self):
+        assert make(5).num_qubits == 5
+
+    def test_invalid_qubit_index_raises(self):
+        t = make(2)
+        with pytest.raises(QuantumStateError):
+            t.h(2)
+        with pytest.raises(QuantumStateError):
+            t.measure_z(-1)
+
+    def test_copy_is_independent(self):
+        t = make(2)
+        t.h(0)
+        clone = t.copy()
+        clone.cnot(0, 1)
+        assert clone.is_bell_pair_up_to_pauli(0, 1)
+        # The original was not entangled by the clone's gate.
+        assert not t.is_bell_pair_up_to_pauli(0, 1)
+
+
+class TestSingleQubitGates:
+    def test_x_flips_measurement(self):
+        t = make(1)
+        t.x(0)
+        assert t.measure_z(0) == 1
+
+    def test_double_x_is_identity(self):
+        t = make(1)
+        t.x(0)
+        t.x(0)
+        assert t.measure_z(0) == 0
+
+    def test_z_preserves_zero_state(self):
+        t = make(1)
+        t.z(0)
+        assert t.measure_z(0) == 0
+
+    def test_y_flips_measurement(self):
+        t = make(1)
+        t.y(0)
+        assert t.measure_z(0) == 1
+
+    def test_hh_is_identity(self):
+        t = make(1)
+        t.h(0)
+        t.h(0)
+        assert t.measure_z(0) == 0
+
+    def test_hxh_equals_z(self):
+        # HXH = Z: |0> should stay |0>.
+        t = make(1)
+        t.h(0)
+        t.x(0)
+        t.h(0)
+        assert t.measure_z(0) == 0
+
+    def test_hzh_equals_x(self):
+        t = make(1)
+        t.h(0)
+        t.z(0)
+        t.h(0)
+        assert t.measure_z(0) == 1
+
+    def test_ssss_is_identity_on_plus(self):
+        # S^4 = I; verify on |+> by returning to |0> after H.
+        t = make(1)
+        t.h(0)
+        for _ in range(4):
+            t.s(0)
+        t.h(0)
+        assert t.measure_z(0) == 0
+
+    def test_ss_equals_z(self):
+        t = make(1)
+        t.h(0)
+        t.s(0)
+        t.s(0)
+        t.h(0)
+        assert t.measure_z(0) == 1
+
+
+class TestTwoQubitGates:
+    def test_cnot_on_basis_state(self):
+        t = make(2)
+        t.x(0)
+        t.cnot(0, 1)
+        assert t.measure_z(1) == 1
+
+    def test_cnot_rejects_equal_qubits(self):
+        t = make(2)
+        with pytest.raises(QuantumStateError):
+            t.cnot(1, 1)
+
+    def test_bell_pair_correlation(self):
+        for seed in range(10):
+            t = make(2, seed)
+            t.h(0)
+            t.cnot(0, 1)
+            assert t.measure_z(0) == t.measure_z(1)
+
+    def test_cz_phase_kickback(self):
+        # CZ between |+>|1> flips the first qubit's phase: H then CZ then H
+        # maps |0>|1> to |1>|1>.
+        t = make(2)
+        t.x(1)
+        t.h(0)
+        t.cz(0, 1)
+        t.h(0)
+        assert t.measure_z(0) == 1
+
+    def test_cz_symmetric(self):
+        t1 = make(2)
+        t1.x(1)
+        t1.h(0)
+        t1.cz(0, 1)
+        t1.h(0)
+        t2 = make(2)
+        t2.x(1)
+        t2.h(0)
+        t2.cz(1, 0)
+        t2.h(0)
+        assert t1.measure_z(0) == t2.measure_z(0) == 1
+
+
+class TestMeasurement:
+    def test_repeated_measurement_is_stable(self):
+        t = make(1, seed=3)
+        t.h(0)
+        first = t.measure_z(0)
+        for _ in range(5):
+            assert t.measure_z(0) == first
+
+    def test_forced_outcome_on_random_measurement(self):
+        t = make(1)
+        t.h(0)
+        assert t.measure_z(0, forced_outcome=1) == 1
+        assert t.measure_z(0) == 1
+
+    def test_forcing_deterministic_outcome_wrong_raises(self):
+        t = make(1)
+        with pytest.raises(MeasurementError):
+            t.measure_z(0, forced_outcome=1)
+
+    def test_measure_x_of_plus_state_is_deterministic(self):
+        t = make(1)
+        t.h(0)
+        assert t.measure_x(0) == 0
+
+    def test_measure_x_of_minus_state(self):
+        t = make(1)
+        t.x(0)
+        t.h(0)
+        assert t.measure_x(0) == 1
+
+    def test_bell_measurement_collapses_partner(self):
+        t = make(2, seed=5)
+        t.h(0)
+        t.cnot(0, 1)
+        outcome = t.measure_z(0, forced_outcome=1)
+        assert outcome == 1
+        assert t.measure_z(1) == 1
+
+    def test_random_outcomes_are_balanced(self):
+        rng = np.random.default_rng(42)
+        outcomes = []
+        for _ in range(200):
+            t = StabilizerTableau(1, rng)
+            t.h(0)
+            outcomes.append(t.measure_z(0))
+        assert 60 < sum(outcomes) < 140
+
+
+class TestStabilizerGroupQueries:
+    def test_zero_state_contains_z(self):
+        t = make(2)
+        assert t.contains_pauli([0, 0], [1, 0])
+        assert t.contains_pauli([0, 0], [0, 1])
+        assert t.contains_pauli([0, 0], [1, 1])
+
+    def test_zero_state_lacks_x(self):
+        t = make(2)
+        assert not t.contains_pauli([1, 0], [0, 0])
+
+    def test_sign_sensitivity(self):
+        t = make(1)
+        t.x(0)  # state |1>, stabilized by -Z
+        assert t.contains_pauli([0], [1], up_to_sign=True)
+        assert not t.contains_pauli([0], [1], up_to_sign=False)
+
+    def test_bell_pair_query(self):
+        t = make(2)
+        t.h(0)
+        t.cnot(0, 1)
+        assert t.is_bell_pair_up_to_pauli(0, 1)
+
+    def test_unentangled_pair_is_not_bell(self):
+        t = make(2)
+        assert not t.is_bell_pair_up_to_pauli(0, 1)
+
+    def test_ghz_query_needs_two_qubits(self):
+        t = make(3)
+        with pytest.raises(QuantumStateError):
+            t.is_ghz_up_to_pauli([0])
+
+    def test_ghz_query_rejects_duplicates(self):
+        t = make(3)
+        with pytest.raises(QuantumStateError):
+            t.is_ghz_up_to_pauli([0, 0])
+
+    def test_product_z_eigenstate(self):
+        t = make(2)
+        assert t.is_product_z_eigenstate(0)
+        t.h(0)
+        assert not t.is_product_z_eigenstate(0)
+
+    def test_ghz_subset_is_not_ghz(self):
+        # Two qubits of a GHZ-3 are NOT a Bell pair (tracing the third
+        # leaves a classical mixture) — the group query must say no.
+        t = make(3)
+        t.h(0)
+        t.cnot(0, 1)
+        t.cnot(0, 2)
+        assert t.is_ghz_up_to_pauli([0, 1, 2])
+        assert not t.is_ghz_up_to_pauli([0, 1])

@@ -1,0 +1,162 @@
+"""Unit tests for GHZ-group records and the entanglement tracker."""
+
+import pytest
+
+from repro.exceptions import FusionError, QuantumStateError
+from repro.quantum.states import GHZGroup, ghz_state_vector_signature, merge_groups
+from repro.quantum.tracker import EntanglementTracker
+
+
+class TestGHZGroup:
+    def test_size_and_membership(self):
+        g = GHZGroup([3, 1, 2])
+        assert g.size == 3
+        assert g.contains(2)
+        assert not g.contains(9)
+        assert g.sorted_qubits() == (1, 2, 3)
+
+    def test_bell_pair_flag(self):
+        assert GHZGroup([0, 1]).is_bell_pair
+        assert not GHZGroup([0, 1, 2]).is_bell_pair
+
+    def test_rejects_small_groups(self):
+        with pytest.raises(QuantumStateError):
+            GHZGroup([1])
+        with pytest.raises(QuantumStateError):
+            GHZGroup([2, 2])
+
+    def test_without(self):
+        g = GHZGroup([0, 1, 2, 3])
+        assert g.without([0]).sorted_qubits() == (1, 2, 3)
+
+    def test_without_missing_raises(self):
+        with pytest.raises(QuantumStateError):
+            GHZGroup([0, 1, 2]).without([9])
+
+    def test_without_below_two_raises(self):
+        with pytest.raises(QuantumStateError):
+            GHZGroup([0, 1, 2]).without([0, 1])
+
+    def test_groups_are_hashable_and_equal(self):
+        assert GHZGroup([1, 2]) == GHZGroup([2, 1])
+        assert hash(GHZGroup([1, 2])) == hash(GHZGroup([2, 1]))
+
+
+class TestMergeGroups:
+    def test_merge_bell_pairs(self):
+        merged = merge_groups([GHZGroup([0, 1]), GHZGroup([2, 3])], [1, 2])
+        assert merged.sorted_qubits() == (0, 3)
+
+    def test_merge_sizes_add_up(self):
+        groups = [GHZGroup([0, 1, 2]), GHZGroup([3, 4]), GHZGroup([5, 6, 7])]
+        merged = merge_groups(groups, [2, 3, 5])
+        assert merged.size == 3 + 2 + 3 - 3
+
+    def test_merge_rejects_overlapping_groups(self):
+        with pytest.raises(QuantumStateError):
+            merge_groups([GHZGroup([0, 1]), GHZGroup([1, 2])], [0, 2])
+
+    def test_merge_rejects_stray_measured_qubit(self):
+        with pytest.raises(QuantumStateError):
+            merge_groups([GHZGroup([0, 1])], [5])
+
+    def test_merge_needs_one_qubit_per_group(self):
+        with pytest.raises(QuantumStateError):
+            merge_groups([GHZGroup([0, 1, 2]), GHZGroup([3, 4])], [0, 1, 3])
+
+    def test_signature(self):
+        assert ghz_state_vector_signature(3) == ((0, 0, 0), (1, 1, 1))
+        with pytest.raises(QuantumStateError):
+            ghz_state_vector_signature(1)
+
+
+class TestTracker:
+    def test_create_and_query(self):
+        tracker = EntanglementTracker()
+        gid = tracker.create_bell_pair(0, 1)
+        assert tracker.is_entangled(0)
+        assert tracker.group_id_of(1) == gid
+        assert tracker.same_group(0, 1)
+        assert tracker.num_groups() == 1
+
+    def test_double_use_of_qubit_raises(self):
+        tracker = EntanglementTracker()
+        tracker.create_bell_pair(0, 1)
+        with pytest.raises(QuantumStateError):
+            tracker.create_bell_pair(1, 2)
+
+    def test_fusion_merges_groups(self):
+        tracker = EntanglementTracker()
+        tracker.create_bell_pair(0, 1)
+        tracker.create_bell_pair(2, 3)
+        tracker.create_bell_pair(4, 5)
+        gid = tracker.fuse([1, 2, 4], success=True)
+        assert gid is not None
+        assert tracker.group_of(0).sorted_qubits() == (0, 3, 5)
+        assert not tracker.is_entangled(1)
+        assert not tracker.is_entangled(2)
+
+    def test_failed_fusion_destroys_inputs(self):
+        tracker = EntanglementTracker()
+        tracker.create_bell_pair(0, 1)
+        tracker.create_bell_pair(2, 3)
+        assert tracker.fuse([1, 2], success=False) is None
+        for q in (0, 1, 2, 3):
+            assert not tracker.is_entangled(q)
+
+    def test_fusion_requires_distinct_groups(self):
+        tracker = EntanglementTracker()
+        tracker.create_ghz([0, 1, 2])
+        with pytest.raises(FusionError):
+            tracker.fuse([0, 1])
+
+    def test_fusion_of_unentangled_qubit_raises(self):
+        tracker = EntanglementTracker()
+        tracker.create_bell_pair(0, 1)
+        with pytest.raises(QuantumStateError):
+            tracker.fuse([1, 7])
+
+    def test_pauli_removal_shrinks_group(self):
+        tracker = EntanglementTracker()
+        tracker.create_ghz([0, 1, 2, 3])
+        gid = tracker.fuse([0], success=True)
+        assert gid is not None
+        assert tracker.group_of(1).sorted_qubits() == (1, 2, 3)
+
+    def test_pauli_removal_from_bell_dissolves(self):
+        tracker = EntanglementTracker()
+        tracker.create_bell_pair(0, 1)
+        assert tracker.fuse([0], success=True) is None
+        assert not tracker.is_entangled(1)
+
+    def test_failed_pauli_removal_destroys_group(self):
+        tracker = EntanglementTracker()
+        tracker.create_ghz([0, 1, 2])
+        assert tracker.fuse([0], success=False) is None
+        assert tracker.num_groups() == 0
+
+    def test_discard(self):
+        tracker = EntanglementTracker()
+        tracker.create_bell_pair(0, 1)
+        tracker.discard_qubit_group(0)
+        assert tracker.num_groups() == 0
+        with pytest.raises(QuantumStateError):
+            tracker.discard_group(99)
+
+    def test_groups_listing_is_sorted(self):
+        tracker = EntanglementTracker()
+        tracker.create_ghz([5, 6, 7])
+        tracker.create_bell_pair(0, 1)
+        groups = tracker.groups()
+        assert groups[0].sorted_qubits() == (0, 1)
+        assert groups[1].sorted_qubits() == (5, 6, 7)
+
+    def test_chain_fusion_like_repeater(self):
+        tracker = EntanglementTracker()
+        for i in range(4):
+            tracker.create_bell_pair(2 * i, 2 * i + 1)
+        tracker.fuse([1, 2])
+        tracker.fuse([3, 4])
+        tracker.fuse([5, 6])
+        assert tracker.same_group(0, 7)
+        assert tracker.group_of(0).size == 2

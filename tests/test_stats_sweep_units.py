@@ -1,0 +1,80 @@
+"""Small-unit coverage: ProtocolStats, SweepResult, exceptions hierarchy."""
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    CapacityError,
+    FusionError,
+    NoPathError,
+    QuantumStateError,
+    ReproError,
+    RoutingError,
+)
+from repro.experiments.runner import SweepResult
+from repro.protocol.simulator import FlowProtocolOutcome, ProtocolStats
+
+
+class TestProtocolStats:
+    def test_record_success(self):
+        stats = ProtocolStats()
+        stats.record(FlowProtocolOutcome(True, 0.01, None))
+        stats.record(FlowProtocolOutcome(True, 0.03, None))
+        assert stats.slots == 2
+        assert stats.establishment_rate == 1.0
+        assert stats.mean_latency_s == pytest.approx(0.02)
+
+    def test_record_failures(self):
+        stats = ProtocolStats()
+        stats.record(FlowProtocolOutcome(False, None, "link_timeout"))
+        stats.record(FlowProtocolOutcome(False, None, "fusion_failure"))
+        stats.record(FlowProtocolOutcome(True, 0.02, None))
+        assert stats.establishment_rate == pytest.approx(1 / 3)
+        assert stats.failures["link_timeout"] == 1
+        assert stats.failures["fusion_failure"] == 1
+        assert stats.failures["memory_expiry"] == 0
+
+    def test_empty_stats(self):
+        stats = ProtocolStats()
+        assert stats.establishment_rate == 0.0
+        assert stats.mean_latency_s is None
+
+
+class TestSweepResultUnits:
+    def test_missing_series_raises(self):
+        sweep = SweepResult("t", "x", [1])
+        sweep.add_point({"a": 1.0})
+        with pytest.raises(KeyError):
+            sweep.series_for("missing")
+
+    def test_to_text_includes_title(self):
+        sweep = SweepResult("my title", "x", [1, 2])
+        sweep.add_point({"a": 1.0})
+        sweep.add_point({"a": 2.0})
+        text = sweep.to_text()
+        assert text.startswith("my title")
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [CapacityError, FusionError, NoPathError, QuantumStateError,
+                RoutingError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_no_path_is_routing_error(self):
+        assert issubclass(NoPathError, RoutingError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise FusionError("boom")
+
+
+class TestPackageMetadata:
+    def test_version_attribute(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_is_sorted_by_section(self):
+        # Every name in __all__ resolves and is unique.
+        assert len(set(repro.__all__)) == len(repro.__all__)

@@ -1,0 +1,120 @@
+"""Tests for time-slotted simulation and the online scheduler."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.network.builder import NetworkConfig, build_network
+from repro.network.demands import Demand, DemandSet, generate_demands
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.baselines import QCastRouter
+from repro.routing.flow_graph import FlowLikeGraph
+from repro.routing.nfusion import AlgNFusion
+from repro.routing.plan import RoutingPlan
+from repro.routing.scheduler import OnlineScheduler
+from repro.simulation.timeline import TimeSlottedSimulator
+from repro.utils.rng import ensure_rng
+
+from tests.conftest import make_diamond_network
+
+
+def diamond_plan(width=1):
+    plan = RoutingPlan()
+    flow = FlowLikeGraph(0, 0, 1)
+    flow.add_path([0, 2, 3, 1], width=width)
+    flow.add_path([0, 4, 5, 1], width=width)
+    plan.add_flow(flow)
+    return plan
+
+
+class TestTimeSlottedSimulator:
+    def test_throughput_matches_analytic_rate(self, diamond_network):
+        link, swap = LinkModel(fixed_p=0.5), SwapModel(q=0.9)
+        plan = diamond_plan()
+        analytic = plan.total_rate(diamond_network, link, swap)
+        sim = TimeSlottedSimulator(diamond_network, link, swap, ensure_rng(1))
+        result = sim.run(plan, num_slots=20_000)
+        assert result.throughput_per_slot == pytest.approx(analytic, abs=0.02)
+        assert result.total_delivered == result.delivered_per_demand[0]
+
+    def test_waiting_time_is_geometric(self, diamond_network):
+        """Mean waiting time over many short runs ~ 1 / rate."""
+        link, swap = LinkModel(fixed_p=0.5), SwapModel(q=0.9)
+        plan = diamond_plan()
+        rate = plan.total_rate(diamond_network, link, swap)
+        sim = TimeSlottedSimulator(diamond_network, link, swap, ensure_rng(2))
+        waits = []
+        for _ in range(400):
+            result = sim.run(plan, num_slots=200)
+            wait = result.waiting_time[0]
+            if wait is not None:
+                waits.append(wait)
+        mean_wait = sum(waits) / len(waits)
+        assert mean_wait == pytest.approx(1.0 / rate, rel=0.15)
+
+    def test_never_succeeding_demand(self, diamond_network):
+        sim = TimeSlottedSimulator(
+            diamond_network, LinkModel(fixed_p=0.0), SwapModel(q=1.0),
+            ensure_rng(3),
+        )
+        result = sim.run(diamond_plan(), num_slots=50)
+        assert result.total_delivered == 0
+        assert result.waiting_time[0] is None
+        assert result.mean_waiting_time() is None
+
+    def test_slot_validation(self, diamond_network):
+        sim = TimeSlottedSimulator(diamond_network, rng=ensure_rng(1))
+        with pytest.raises(SimulationError):
+            sim.run(diamond_plan(), num_slots=0)
+
+
+class TestOnlineScheduler:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return build_network(
+            NetworkConfig(num_switches=30, num_users=6), ensure_rng(21)
+        )
+
+    def test_basic_run(self, network):
+        scheduler = OnlineScheduler(router=AlgNFusion(), arrival_rate=1.5)
+        result = scheduler.run(
+            network, num_slots=10,
+            link_model=LinkModel(fixed_p=0.5),
+            swap_model=SwapModel(q=0.9),
+            rng=ensure_rng(5),
+        )
+        assert result.arrived == result.served + result.dropped
+        assert 0.0 <= result.service_fraction <= 1.0
+        assert result.mean_throughput_per_slot >= 0.0
+
+    def test_deterministic_given_seed(self, network):
+        def run():
+            return OnlineScheduler(router=QCastRouter(), arrival_rate=2.0).run(
+                network, num_slots=8,
+                link_model=LinkModel(fixed_p=0.5),
+                swap_model=SwapModel(q=0.9),
+                rng=ensure_rng(6),
+            )
+
+        a, b = run(), run()
+        assert a == b
+
+    def test_low_arrival_rate_serves_everything(self, network):
+        scheduler = OnlineScheduler(router=AlgNFusion(), arrival_rate=0.5,
+                                    patience=5)
+        result = scheduler.run(
+            network, num_slots=12,
+            link_model=LinkModel(fixed_p=0.6),
+            swap_model=SwapModel(q=0.9),
+            rng=ensure_rng(7),
+        )
+        if result.arrived:
+            assert result.service_fraction > 0.8
+
+    def test_validation(self, network):
+        with pytest.raises(ConfigurationError):
+            OnlineScheduler(router=AlgNFusion(), arrival_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            OnlineScheduler(router=AlgNFusion(), patience=-1)
+        scheduler = OnlineScheduler(router=AlgNFusion())
+        with pytest.raises(ConfigurationError):
+            scheduler.run(network, num_slots=0)

@@ -1,0 +1,153 @@
+"""Unit tests for topology generators and the network builder."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.builder import NetworkConfig, build_network
+from repro.network.node import NodeKind
+from repro.network.topology import (
+    aiello_power_law_network,
+    connect_components,
+    erdos_renyi_network,
+    grid_network,
+    ring_network,
+    watts_strogatz_network,
+    waxman_network,
+)
+from repro.utils.rng import ensure_rng
+
+GENERATORS = {
+    "waxman": waxman_network,
+    "watts_strogatz": watts_strogatz_network,
+    "aiello": aiello_power_law_network,
+    "erdos_renyi": erdos_renyi_network,
+}
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+class TestRandomGenerators:
+    def test_connected(self, name):
+        net = GENERATORS[name](num_switches=40, rng=ensure_rng(1))
+        assert net.is_connected()
+
+    def test_node_counts(self, name):
+        net = GENERATORS[name](num_switches=40, num_users=6, rng=ensure_rng(2))
+        assert len(net.switches()) == 40
+        assert len(net.users()) == 6
+
+    def test_users_only_touch_switches(self, name):
+        net = GENERATORS[name](num_switches=40, rng=ensure_rng(3))
+        for user in net.users():
+            for nbr in net.neighbors(user):
+                assert net.node(nbr).is_switch
+
+    def test_qubit_capacity_applied(self, name):
+        net = GENERATORS[name](num_switches=30, qubit_capacity=7, rng=ensure_rng(4))
+        for s in net.switches():
+            assert net.qubit_capacity(s) == 7
+        for u in net.users():
+            assert net.qubit_capacity(u) is None
+
+    def test_deterministic_with_seed(self, name):
+        a = GENERATORS[name](num_switches=30, rng=ensure_rng(5))
+        b = GENERATORS[name](num_switches=30, rng=ensure_rng(5))
+        assert a.edge_keys() == b.edge_keys()
+
+    def test_user_links_respected(self, name):
+        net = GENERATORS[name](num_switches=30, user_links=3, rng=ensure_rng(6))
+        for user in net.users():
+            assert net.degree(user) == 3
+
+
+class TestDegreeTargets:
+    @pytest.mark.parametrize("target", [5.0, 10.0, 15.0])
+    def test_waxman_average_degree(self, target):
+        net = waxman_network(
+            num_switches=100, average_degree=target, rng=ensure_rng(7)
+        )
+        measured = net.average_degree(NodeKind.SWITCH)
+        assert measured == pytest.approx(target, rel=0.35)
+
+    def test_erdos_renyi_average_degree(self):
+        net = erdos_renyi_network(
+            num_switches=100, average_degree=8.0, rng=ensure_rng(8)
+        )
+        assert net.average_degree(NodeKind.SWITCH) == pytest.approx(8.0, rel=0.35)
+
+    def test_aiello_has_heavy_tail(self):
+        net = aiello_power_law_network(
+            num_switches=150, average_degree=8.0, rng=ensure_rng(9)
+        )
+        degrees = sorted(net.degree(s) for s in net.switches())
+        # A scale-free sample should have hubs well above the mean.
+        assert degrees[-1] > 2.5 * (sum(degrees) / len(degrees))
+
+
+class TestRegularTopologies:
+    def test_grid_structure(self):
+        net = grid_network(side=4, num_users=2, rng=ensure_rng(10))
+        assert len(net.switches()) == 16
+        # Interior grid switches have degree 4 (plus possible user links).
+        switch_degrees = [
+            sum(1 for n in net.neighbors(s) if net.node(n).is_switch)
+            for s in net.switches()
+        ]
+        assert max(switch_degrees) == 4
+        assert min(switch_degrees) == 2
+
+    def test_grid_rejects_tiny_side(self):
+        with pytest.raises(ConfigurationError):
+            grid_network(side=1)
+
+    def test_ring_structure(self):
+        net = ring_network(num_switches=8, num_users=2, rng=ensure_rng(11))
+        for s in net.switches():
+            switch_neighbors = [
+                n for n in net.neighbors(s) if net.node(n).is_switch
+            ]
+            assert len(switch_neighbors) == 2
+
+    def test_connect_components_repairs(self):
+        net = ring_network(num_switches=6, num_users=2, rng=ensure_rng(12))
+        switches = net.switches()
+        net.remove_edge(switches[0], switches[1])
+        net.remove_edge(switches[3], switches[4])
+        if not net.is_connected():
+            added = connect_components(net)
+            assert added >= 1
+        assert net.is_connected()
+
+
+class TestBuilder:
+    @pytest.mark.parametrize(
+        "generator",
+        ["waxman", "watts_strogatz", "aiello", "grid", "ring", "erdos_renyi"],
+    )
+    def test_build_network_dispatch(self, generator):
+        config = NetworkConfig(generator=generator, num_switches=25, num_users=4)
+        net = build_network(config, ensure_rng(13))
+        assert net.is_connected()
+        assert len(net.users()) == 4
+
+    def test_unknown_generator(self):
+        with pytest.raises(ConfigurationError):
+            build_network(NetworkConfig(generator="mystery"), ensure_rng(0))
+
+    def test_with_updates(self):
+        config = NetworkConfig().with_updates(num_switches=7)
+        assert config.num_switches == 7
+        assert NetworkConfig().num_switches == 100
+
+    def test_invalid_degree_rejected(self):
+        with pytest.raises(ConfigurationError):
+            waxman_network(num_switches=10, average_degree=10.0, rng=ensure_rng(1))
+
+    def test_invalid_gamma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aiello_power_law_network(num_switches=10, gamma=0.5, rng=ensure_rng(1))
+
+    def test_invalid_rewire_rejected(self):
+        with pytest.raises(ConfigurationError):
+            watts_strogatz_network(
+                num_switches=10, rewire_probability=1.5, rng=ensure_rng(1)
+            )

@@ -1,0 +1,177 @@
+"""Tests for the vectorised Monte Carlo engine and the exact evaluator."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.network.builder import NetworkConfig, build_network
+from repro.network.demands import generate_demands
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.flow_graph import FlowLikeGraph
+from repro.routing.nfusion import AlgNFusion
+from repro.simulation.engine import EntanglementProcessSimulator
+from repro.simulation.exact import exact_flow_rate
+from repro.simulation.vectorized import VectorizedProcessSimulator
+from repro.utils.rng import ensure_rng
+
+from tests.conftest import make_diamond_network, make_line_network
+
+
+def line_flow(width=1):
+    flow = FlowLikeGraph(0, 3, 4)
+    flow.add_path([3, 0, 1, 2, 4], width=width)
+    return flow
+
+
+def diamond_flow(width=1):
+    flow = FlowLikeGraph(0, 0, 1)
+    flow.add_path([0, 2, 3, 1], width=width)
+    flow.add_path([0, 4, 5, 1], width=width)
+    return flow
+
+
+class TestExactEvaluator:
+    def test_single_path_closed_form(self, line_network):
+        link, swap = LinkModel(fixed_p=0.6), SwapModel(q=0.8)
+        exact = exact_flow_rate(line_network, line_flow(), link, swap)
+        assert exact == pytest.approx((0.6**4) * (0.8**3))
+
+    def test_matches_equation1_on_trees(self, diamond_network):
+        link, swap = LinkModel(fixed_p=0.45), SwapModel(q=0.7)
+        flow = diamond_flow(width=2)
+        exact = exact_flow_rate(diamond_network, flow, link, swap)
+        analytic = flow.entanglement_rate(diamond_network, link, swap)
+        assert exact == pytest.approx(analytic, abs=1e-12)
+
+    def test_equation1_exact_on_shared_prefix(self, diamond_network):
+        """Branches that share a *prefix* still form a tree, so Equation 1
+        remains exact."""
+        diamond_network.add_edge(2, 5)
+        link, swap = LinkModel(fixed_p=0.5), SwapModel(q=0.8)
+        flow = FlowLikeGraph(0, 0, 1)
+        flow.add_path([0, 2, 3, 1], width=1)
+        flow.add_path([0, 2, 5, 1], width=1)  # shares edge (0, 2)
+        exact = exact_flow_rate(diamond_network, flow, link, swap)
+        analytic = flow.entanglement_rate(diamond_network, link, swap)
+        assert analytic == pytest.approx(exact, abs=1e-12)
+
+    def test_equation1_is_approximate_on_reconverging_branches(
+        self, diamond_network
+    ):
+        """Branches that *reconverge* before the destination violate the
+        independence assumption: Equation 1 then deviates from the exact
+        value (the deviation the MC bench quantifies)."""
+        diamond_network.add_edge(4, 3)
+        link, swap = LinkModel(fixed_p=0.5), SwapModel(q=0.8)
+        flow = FlowLikeGraph(0, 0, 1)
+        flow.add_path([0, 2, 3, 1], width=1)
+        flow.add_path([0, 4, 3, 1], width=1)  # reconverges at switch 3
+        exact = exact_flow_rate(diamond_network, flow, link, swap)
+        analytic = flow.entanglement_rate(diamond_network, link, swap)
+        assert analytic != pytest.approx(exact, abs=1e-6)
+        assert abs(analytic - exact) < 0.12  # but stays a mild approximation
+
+    def test_vectorized_tracks_exact_on_reconverging_branches(
+        self, diamond_network
+    ):
+        diamond_network.add_edge(4, 3)
+        link, swap = LinkModel(fixed_p=0.5), SwapModel(q=0.8)
+        flow = FlowLikeGraph(0, 0, 1)
+        flow.add_path([0, 2, 3, 1], width=1)
+        flow.add_path([0, 4, 3, 1], width=1)
+        exact = exact_flow_rate(diamond_network, flow, link, swap)
+        engine = VectorizedProcessSimulator(
+            diamond_network, link, swap, ensure_rng(13)
+        )
+        assert engine.flow_rate(flow, 20_000) == pytest.approx(exact, abs=0.015)
+
+    def test_degenerate_probabilities(self, line_network):
+        assert exact_flow_rate(
+            line_network, line_flow(), LinkModel(fixed_p=1.0), SwapModel(q=1.0)
+        ) == pytest.approx(1.0)
+        assert exact_flow_rate(
+            line_network, line_flow(), LinkModel(fixed_p=0.0), SwapModel(q=1.0)
+        ) == 0.0
+
+    def test_element_budget_enforced(self, line_network):
+        with pytest.raises(SimulationError):
+            exact_flow_rate(
+                line_network, line_flow(), LinkModel(), SwapModel(),
+                max_elements=3,
+            )
+
+    def test_empty_flow(self, line_network):
+        assert exact_flow_rate(
+            line_network, FlowLikeGraph(0, 3, 4), LinkModel(), SwapModel()
+        ) == 0.0
+
+
+class TestVectorizedEngine:
+    def test_matches_exact_on_line(self, line_network):
+        link, swap = LinkModel(fixed_p=0.6), SwapModel(q=0.8)
+        engine = VectorizedProcessSimulator(line_network, link, swap, ensure_rng(1))
+        exact = exact_flow_rate(line_network, line_flow(), link, swap)
+        empirical = engine.flow_rate(line_flow(), trials=20_000)
+        assert empirical == pytest.approx(exact, abs=0.015)
+
+    def test_matches_exact_on_diamond(self, diamond_network):
+        link, swap = LinkModel(fixed_p=0.5), SwapModel(q=0.7)
+        engine = VectorizedProcessSimulator(
+            diamond_network, link, swap, ensure_rng(2)
+        )
+        exact = exact_flow_rate(diamond_network, diamond_flow(), link, swap)
+        empirical = engine.flow_rate(diamond_flow(), trials=20_000)
+        assert empirical == pytest.approx(exact, abs=0.015)
+
+    def test_matches_exact_with_shared_segment(self, diamond_network):
+        """On non-tree flows the vectorised engine must track the exact
+        value (not Equation 1)."""
+        diamond_network.add_edge(2, 5)
+        link, swap = LinkModel(fixed_p=0.5), SwapModel(q=0.8)
+        flow = FlowLikeGraph(0, 0, 1)
+        flow.add_path([0, 2, 3, 1], width=1)
+        flow.add_path([0, 2, 5, 1], width=1)
+        engine = VectorizedProcessSimulator(
+            diamond_network, link, swap, ensure_rng(3)
+        )
+        exact = exact_flow_rate(diamond_network, flow, link, swap)
+        empirical = engine.flow_rate(flow, trials=20_000)
+        assert empirical == pytest.approx(exact, abs=0.015)
+
+    def test_agrees_with_reference_engine_in_distribution(self):
+        rng = ensure_rng(11)
+        network = build_network(NetworkConfig(num_switches=25, num_users=4), rng)
+        demands = generate_demands(network, 4, rng)
+        link, swap = LinkModel(fixed_p=0.45), SwapModel(q=0.85)
+        result = AlgNFusion().route(network, demands, link, swap)
+        reference = EntanglementProcessSimulator(network, link, swap, ensure_rng(4))
+        fast = VectorizedProcessSimulator(network, link, swap, ensure_rng(5))
+        for flow in result.plan.flows():
+            slow_rate = reference.flow_rate(flow, 1500)
+            fast_rate = fast.flow_rate(flow, 8000)
+            assert fast_rate == pytest.approx(slow_rate, abs=0.05)
+
+    def test_plan_estimate(self, diamond_network):
+        from repro.routing.plan import RoutingPlan
+
+        link, swap = LinkModel(fixed_p=0.5), SwapModel(q=0.9)
+        plan = RoutingPlan()
+        plan.add_flow(diamond_flow())
+        engine = VectorizedProcessSimulator(
+            diamond_network, link, swap, ensure_rng(6)
+        )
+        estimate = engine.plan_estimate(plan, trials=5000)
+        exact = exact_flow_rate(diamond_network, diamond_flow(), link, swap)
+        low, high = estimate.confidence_interval(z=4.0)
+        assert low <= exact <= high
+
+    def test_empty_plan(self, diamond_network):
+        from repro.routing.plan import RoutingPlan
+
+        engine = VectorizedProcessSimulator(diamond_network, rng=ensure_rng(1))
+        estimate = engine.plan_estimate(RoutingPlan(), trials=10)
+        assert estimate.mean == 0.0
+
+    def test_trials_validation(self, line_network):
+        engine = VectorizedProcessSimulator(line_network, rng=ensure_rng(1))
+        with pytest.raises(ValueError):
+            engine.simulate_flow(line_flow(), trials=0)
