@@ -12,7 +12,24 @@ from __future__ import annotations
 import os
 import pathlib
 
+import pytest
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+_BENCH_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark test ``slow`` so the quick tier can deselect
+    the whole tree with ``-m "not slow"``.
+
+    The hook sees the whole session's items, so restrict the marker to
+    tests collected under ``benchmarks/``.
+    """
+    for item in items:
+        if _BENCH_DIR in item.path.parents:
+            item.add_marker(pytest.mark.slow)
 
 
 def report(name: str, text: str) -> None:

@@ -7,10 +7,25 @@ runs) shrinks the network count and size; set the environment variable
 ``REPRO_FULL=1`` — or pass ``quick=False`` — for paper-scale runs.
 """
 
-from repro.experiments.config import ExperimentSetting, is_full_run
+from repro.experiments.cache import ResultCache
+from repro.experiments.config import ExperimentSetting, default_workers, is_full_run
+from repro.experiments.harness import (
+    SweepTask,
+    TaskOutcome,
+    enumerate_tasks,
+    execute_task,
+    merge_outcomes,
+    parallel_map,
+    run_tasks,
+)
+from repro.experiments.regression import (
+    build_regression_instance,
+    regenerate_regression_fixture,
+)
 from repro.experiments.runner import (
     SweepResult,
     run_setting,
+    run_settings,
     run_sweep,
     standard_routers,
 )
@@ -29,9 +44,21 @@ from repro.experiments.protocol_study import protocol_coherence_study
 
 __all__ = [
     "ExperimentSetting",
+    "ResultCache",
+    "default_workers",
     "is_full_run",
     "SweepResult",
+    "SweepTask",
+    "TaskOutcome",
+    "enumerate_tasks",
+    "execute_task",
+    "merge_outcomes",
+    "parallel_map",
+    "run_tasks",
+    "build_regression_instance",
+    "regenerate_regression_fixture",
     "run_setting",
+    "run_settings",
     "run_sweep",
     "standard_routers",
     "fig7_generators",

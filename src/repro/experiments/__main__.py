@@ -4,11 +4,18 @@ Usage::
 
     python -m repro.experiments list
     python -m repro.experiments fig8a
-    python -m repro.experiments fig9b --full
-    python -m repro.experiments all --full
+    python -m repro.experiments fig9b --full --workers 4
+    python -m repro.experiments all --workers 4 --cache-dir .sweep-cache
+    python -m repro.experiments regen-regression
 
 ``--full`` runs at paper scale (equivalent to REPRO_FULL=1); the default
 quick mode shrinks networks and averaging for fast turnaround.
+``--workers N`` fans each sweep's (setting, sample, router) task grid
+out over N processes — the merged series are bit-identical to a
+sequential run.  ``--cache-dir`` reuses previously computed (setting,
+router) results from a content-addressed on-disk cache.
+``regen-regression`` rewrites the pinned regression fixture under
+``tests/data/`` bit-exactly from its frozen recipe.
 """
 
 from __future__ import annotations
@@ -27,7 +34,11 @@ from repro.experiments import (
     fig9c_states,
     fig9d_degree,
     headline_ratios,
+    lattice_distance_study,
+    protocol_coherence_study,
 )
+from repro.experiments.cache import ResultCache
+from repro.experiments.regression import regenerate_regression_fixture
 
 EXPERIMENTS: Dict[str, Callable] = {
     "fig7": fig7_generators,
@@ -39,7 +50,13 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig9d": fig9d_degree,
     "headline": headline_ratios,
     "ablation": alg4_ablation,
+    "protocol": protocol_coherence_study,
+    "lattice": lattice_distance_study,
 }
+
+#: Experiments whose point loops parallelise but have no (setting,
+#: router) grid, hence no result cache.
+_WORKERS_ONLY = ("protocol", "lattice")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,19 +66,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "list"],
-        help="experiment id (figN / headline / ablation), 'all' or 'list'",
+        choices=[*EXPERIMENTS, "all", "list", "regen-regression"],
+        help=(
+            "experiment id (figN / headline / ablation / protocol / "
+            "lattice), 'all', 'list' or 'regen-regression'"
+        ),
     )
     parser.add_argument(
         "--full",
         action="store_true",
         help="run at paper scale instead of the quick default",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "evaluate sweep tasks across N worker processes "
+            "(default: REPRO_WORKERS or sequential); results are "
+            "bit-identical to a sequential run"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "reuse per-(setting, router) results from this "
+            "content-addressed cache directory"
+        ),
+    )
     return parser
 
 
-def run_one(name: str, quick: bool) -> None:
-    result = EXPERIMENTS[name](quick=quick)
+def run_one(name: str, quick: bool, workers, cache) -> None:
+    fn = EXPERIMENTS[name]
+    if name in _WORKERS_ONLY:
+        if cache is not None:
+            print(
+                f"note: --cache-dir has no effect on {name!r} "
+                "(no (setting, router) grid to cache)",
+                file=sys.stderr,
+            )
+        result = fn(quick=quick, workers=workers)
+    else:
+        result = fn(quick=quick, workers=workers, cache=cache)
     print(result.to_text())
     print()
 
@@ -72,13 +122,18 @@ def main(argv=None) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
+    if args.experiment == "regen-regression":
+        path = regenerate_regression_fixture()
+        print(f"regenerated {path}")
+        return 0
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
     quick = not args.full
     if args.experiment == "all":
         for name in EXPERIMENTS:
             print(f"=== {name} ===")
-            run_one(name, quick)
+            run_one(name, quick, args.workers, cache)
         return 0
-    run_one(args.experiment, quick)
+    run_one(args.experiment, quick, args.workers, cache)
     return 0
 
 

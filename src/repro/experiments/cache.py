@@ -1,0 +1,105 @@
+"""Content-addressed on-disk cache for sweep results.
+
+Every ``(setting, router)`` pair of a sweep maps to one cache entry
+holding the per-sample rates of that router at that setting.  The entry
+key is a stable hash of the full recipe — the
+:class:`~repro.experiments.config.ExperimentSetting` fields, the
+router's configuration and the cache format version — so any change to
+the experiment's inputs changes the key and re-running a figure only
+recomputes the points whose recipe actually changed.
+
+Entries store the exact floats (JSON round-trips ``repr`` precision), so
+a cache hit reproduces the cold-run result bit-exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.experiments.config import ExperimentSetting
+
+#: Bump when the cached payload layout or the routing semantics change
+#: incompatibly; old entries then miss instead of poisoning results.
+CACHE_FORMAT_VERSION = 1
+
+
+def router_fingerprint(router) -> Dict:
+    """A stable, JSON-ready description of *router*'s configuration.
+
+    All bundled routers are flat dataclasses, so class name + field
+    values pin their behaviour; anything else falls back to ``repr``,
+    which keeps correctness (same config ⇒ same repr for sane routers)
+    at the cost of hashing stability across releases.
+    """
+    fingerprint: Dict = {"class": type(router).__name__}
+    if dataclasses.is_dataclass(router) and not isinstance(router, type):
+        fingerprint["config"] = dataclasses.asdict(router)
+    else:
+        fingerprint["repr"] = repr(router)
+    return fingerprint
+
+
+def setting_fingerprint(setting: ExperimentSetting) -> Dict:
+    """A stable, JSON-ready description of one experiment setting."""
+    return dataclasses.asdict(setting)
+
+
+class ResultCache:
+    """Directory-backed cache of per-(setting, router) sweep results."""
+
+    def __init__(self, cache_dir: Union[str, Path]):
+        self.cache_dir = Path(cache_dir)
+
+    def key_for(self, setting: ExperimentSetting, router) -> str:
+        """Content hash addressing the (setting, router) result."""
+        payload = {
+            "cache_format_version": CACHE_FORMAT_VERSION,
+            "setting": setting_fingerprint(setting),
+            "router": router_fingerprint(router),
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The cached entry for *key*, or ``None`` on miss/corruption.
+
+        Returns ``{"algorithm": str, "rates": [float, ...]}`` with rates
+        in sample order.
+        """
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("cache_format_version") != CACHE_FORMAT_VERSION:
+            return None
+        algorithm = entry.get("algorithm")
+        rates = entry.get("rates")
+        if not isinstance(algorithm, str) or not isinstance(rates, list):
+            return None
+        if not all(isinstance(rate, (int, float)) for rate in rates):
+            return None
+        return {"algorithm": algorithm, "rates": [float(r) for r in rates]}
+
+    def put(self, key: str, algorithm: str, rates: List[float]) -> None:
+        """Store one (setting, router) result atomically."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "cache_format_version": CACHE_FORMAT_VERSION,
+            "algorithm": algorithm,
+            "rates": list(rates),
+        }
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        os.replace(tmp, path)

@@ -15,6 +15,25 @@ def is_full_run() -> bool:
     return os.environ.get("REPRO_FULL", "").strip() not in ("", "0", "false")
 
 
+def default_workers() -> int:
+    """Worker-process count requested via ``REPRO_WORKERS`` (0 = inline).
+
+    Harness entry points treat ``workers=None`` as "use this default", so
+    one environment variable parallelises every figure/table sweep without
+    touching call sites.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if not raw:
+        return 0
+    try:
+        workers = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"REPRO_WORKERS must be an integer, got {raw!r}"
+        ) from exc
+    return max(0, workers)
+
+
 @dataclass(frozen=True)
 class ExperimentSetting:
     """One evaluation point: a network family plus quantum parameters.

@@ -9,13 +9,18 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentSetting, is_full_run
 from repro.experiments.runner import SweepResult, run_sweep, standard_routers
 
 GENERATORS = ("waxman", "watts_strogatz", "aiello")
 
 
-def fig7_generators(quick: Optional[bool] = None) -> SweepResult:
+def fig7_generators(
+    quick: Optional[bool] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> SweepResult:
     """Run the Figure 7 sweep over topology generators."""
     if quick is None:
         quick = not is_full_run()
@@ -34,4 +39,6 @@ def fig7_generators(quick: Optional[bool] = None) -> SweepResult:
         x_values=list(GENERATORS),
         settings=settings,
         routers=standard_routers(include_alg3_only=True),
+        workers=workers,
+        cache=cache,
     )

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentSetting, is_full_run
 from repro.experiments.runner import SweepResult, run_sweep
 
@@ -16,7 +17,11 @@ P_VALUES = (0.1, 0.2, 0.3, 0.4)
 Q_VALUES = (0.3, 0.5, 0.7, 0.9)
 
 
-def fig8a_link_probability(quick: Optional[bool] = None) -> SweepResult:
+def fig8a_link_probability(
+    quick: Optional[bool] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> SweepResult:
     """Run the Figure 8a sweep over the uniform link success probability."""
     if quick is None:
         quick = not is_full_run()
@@ -31,10 +36,16 @@ def fig8a_link_probability(quick: Optional[bool] = None) -> SweepResult:
         x_label="p",
         x_values=list(P_VALUES),
         settings=settings,
+        workers=workers,
+        cache=cache,
     )
 
 
-def fig8b_swap_probability(quick: Optional[bool] = None) -> SweepResult:
+def fig8b_swap_probability(
+    quick: Optional[bool] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> SweepResult:
     """Run the Figure 8b sweep over the swapping success probability."""
     if quick is None:
         quick = not is_full_run()
@@ -49,4 +60,6 @@ def fig8b_swap_probability(quick: Optional[bool] = None) -> SweepResult:
         x_label="q",
         x_values=list(Q_VALUES),
         settings=settings,
+        workers=workers,
+        cache=cache,
     )

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentSetting, is_full_run
 from repro.experiments.runner import SweepResult, run_sweep
 
@@ -24,7 +25,11 @@ def _base(quick: bool) -> ExperimentSetting:
     return setting.scaled_for_quick_run() if quick else setting
 
 
-def fig9a_qubits(quick: Optional[bool] = None) -> SweepResult:
+def fig9a_qubits(
+    quick: Optional[bool] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> SweepResult:
     """Run the Figure 9a sweep over switch qubit capacity."""
     if quick is None:
         quick = not is_full_run()
@@ -40,10 +45,16 @@ def fig9a_qubits(quick: Optional[bool] = None) -> SweepResult:
         x_label="qubits",
         x_values=list(QUBIT_VALUES),
         settings=settings,
+        workers=workers,
+        cache=cache,
     )
 
 
-def fig9b_switches(quick: Optional[bool] = None) -> SweepResult:
+def fig9b_switches(
+    quick: Optional[bool] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> SweepResult:
     """Run the Figure 9b sweep over the number of switches."""
     if quick is None:
         quick = not is_full_run()
@@ -62,10 +73,16 @@ def fig9b_switches(quick: Optional[bool] = None) -> SweepResult:
         x_label="switches",
         x_values=list(SWITCH_VALUES),
         settings=settings,
+        workers=workers,
+        cache=cache,
     )
 
 
-def fig9c_states(quick: Optional[bool] = None) -> SweepResult:
+def fig9c_states(
+    quick: Optional[bool] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> SweepResult:
     """Run the Figure 9c sweep over the number of demanded states."""
     if quick is None:
         quick = not is_full_run()
@@ -79,10 +96,16 @@ def fig9c_states(quick: Optional[bool] = None) -> SweepResult:
         x_label="states",
         x_values=list(STATE_VALUES),
         settings=settings,
+        workers=workers,
+        cache=cache,
     )
 
 
-def fig9d_degree(quick: Optional[bool] = None) -> SweepResult:
+def fig9d_degree(
+    quick: Optional[bool] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> SweepResult:
     """Run the Figure 9d sweep over the average switch degree."""
     if quick is None:
         quick = not is_full_run()
@@ -98,4 +121,6 @@ def fig9d_degree(quick: Optional[bool] = None) -> SweepResult:
         x_label="degree",
         x_values=list(DEGREE_VALUES),
         settings=settings,
+        workers=workers,
+        cache=cache,
     )

@@ -1,0 +1,216 @@
+"""Task-based execution layer for experiment sweeps.
+
+A figure or table sweep is an embarrassingly parallel grid: every
+``(setting, sample_index, router)`` triple is one independent unit of
+work whose inputs are fully determined by the setting's pre-spawned
+sample seed.  This module makes that grid explicit:
+
+* :func:`enumerate_tasks` expands settings × samples × routers into
+  :class:`SweepTask` records, pre-spawning each sample's RNG seed with
+  the exact derivation the sequential runner used (so results are
+  bit-identical whatever the execution order);
+* :func:`run_tasks` executes tasks inline or on a
+  ``ProcessPoolExecutor`` (``workers``), returning outcomes in task
+  order;
+* :func:`merge_outcomes` folds outcomes back into per-setting
+  ``{algorithm: mean rate}`` mappings, rejecting duplicate algorithm
+  labels that would silently average two routers into one series.
+
+Workers rebuild each sample's network and demand set from its seed; a
+small per-process memo shares the instance between the routers evaluated
+on the same sample, mirroring the sequential runner's behaviour.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentSetting
+from repro.network.builder import build_network
+from repro.network.demands import generate_demands
+from repro.utils.rng import ensure_rng, spawn_seeds
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of sweep work: route *router* on one sampled instance.
+
+    ``sample_seed`` is the pre-spawned seed of the sample's generator;
+    rebuilding ``ensure_rng(sample_seed)`` and drawing the network then
+    the demands reproduces the sequential runner's instance bit-exactly.
+    """
+
+    setting_index: int
+    sample_index: int
+    router_index: int
+    sample_seed: int
+    setting: ExperimentSetting
+    router: object
+
+    @property
+    def key(self) -> Tuple[int, int, int]:
+        """Deterministic merge position (setting, sample, router)."""
+        return (self.setting_index, self.sample_index, self.router_index)
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """The result of one :class:`SweepTask`."""
+
+    setting_index: int
+    sample_index: int
+    router_index: int
+    algorithm: str
+    total_rate: float
+
+    @property
+    def key(self) -> Tuple[int, int, int]:
+        """Deterministic merge position (setting, sample, router)."""
+        return (self.setting_index, self.sample_index, self.router_index)
+
+
+def sample_seeds(setting: ExperimentSetting) -> List[int]:
+    """The setting's per-sample seeds, in sample order."""
+    return spawn_seeds(ensure_rng(setting.seed), setting.num_networks)
+
+
+def enumerate_tasks(
+    settings: Sequence[ExperimentSetting],
+    router_lists: Sequence[Sequence],
+) -> List[SweepTask]:
+    """Expand settings × samples × routers into executable tasks.
+
+    ``router_lists`` holds one router sequence per setting (usually the
+    same sequence repeated).  Task order matches the sequential runner's
+    loop nesting — samples outer, routers inner — so replaying outcomes
+    in task order reproduces its exact accumulation order.
+    """
+    if len(settings) != len(router_lists):
+        raise ValueError(
+            f"{len(settings)} settings but {len(router_lists)} router lists"
+        )
+    tasks: List[SweepTask] = []
+    for setting_index, (setting, routers) in enumerate(
+        zip(settings, router_lists)
+    ):
+        seeds = sample_seeds(setting)
+        for sample_index, seed in enumerate(seeds):
+            for router_index, router in enumerate(routers):
+                tasks.append(
+                    SweepTask(
+                        setting_index=setting_index,
+                        sample_index=sample_index,
+                        router_index=router_index,
+                        sample_seed=seed,
+                        setting=setting,
+                        router=router,
+                    )
+                )
+    return tasks
+
+
+#: Per-process memo of recently built (network, demands) instances, so
+#: the routers evaluated on one sample share a single build.  Keyed by
+#: the instance's full recipe; bounded to keep worker memory flat.
+_INSTANCE_MEMO: Dict[Tuple, Tuple] = {}
+_INSTANCE_MEMO_LIMIT = 4
+
+
+def _instance_for(task: SweepTask):
+    """Build (or recall) the task's sampled network + demand set."""
+    key = (task.setting.network, task.setting.num_states, task.sample_seed)
+    instance = _INSTANCE_MEMO.get(key)
+    if instance is None:
+        rng = ensure_rng(task.sample_seed)
+        network = build_network(task.setting.network, rng)
+        demands = generate_demands(network, task.setting.num_states, rng)
+        instance = (network, demands)
+        if len(_INSTANCE_MEMO) >= _INSTANCE_MEMO_LIMIT:
+            _INSTANCE_MEMO.pop(next(iter(_INSTANCE_MEMO)))
+        _INSTANCE_MEMO[key] = instance
+    return instance
+
+
+def execute_task(task: SweepTask) -> TaskOutcome:
+    """Run one task: rebuild its instance and route it."""
+    network, demands = _instance_for(task)
+    result = task.router.route(
+        network, demands, task.setting.link_model(), task.setting.swap_model()
+    )
+    return TaskOutcome(
+        setting_index=task.setting_index,
+        sample_index=task.sample_index,
+        router_index=task.router_index,
+        algorithm=result.algorithm,
+        total_rate=result.total_rate,
+    )
+
+
+def run_tasks(tasks: Sequence[SweepTask], workers: int = 0) -> List[TaskOutcome]:
+    """Execute *tasks*, inline (``workers <= 1``) or in worker processes.
+
+    Outcomes come back in task order in both modes, so downstream merging
+    is independent of scheduling.
+    """
+    tasks = list(tasks)
+    if workers > 1 and len(tasks) > 1:
+        chunksize = max(1, len(tasks) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_task, tasks, chunksize=chunksize))
+    return [execute_task(task) for task in tasks]
+
+
+def merge_outcomes(
+    num_settings: int,
+    outcomes: Iterable[TaskOutcome],
+) -> List[Dict[str, float]]:
+    """Fold outcomes into one ``{algorithm: mean rate}`` dict per setting.
+
+    Outcomes are replayed in deterministic ``(setting, sample, router)``
+    order, so the mean accumulates per-sample rates exactly as the
+    sequential runner did regardless of worker count or cache hits.  Two
+    different routers producing the same ``result.algorithm`` label in
+    one setting is an error: it would silently average their rates into
+    a single series.
+    """
+    per_setting: List[Dict[str, List[float]]] = [
+        {} for _ in range(num_settings)
+    ]
+    label_owner: List[Dict[str, int]] = [{} for _ in range(num_settings)]
+    for outcome in sorted(outcomes, key=lambda o: o.key):
+        owners = label_owner[outcome.setting_index]
+        owner = owners.setdefault(outcome.algorithm, outcome.router_index)
+        if owner != outcome.router_index:
+            raise ValueError(
+                f"duplicate algorithm label {outcome.algorithm!r} in "
+                f"setting {outcome.setting_index}: routers {owner} and "
+                f"{outcome.router_index} both report it — give each router "
+                "a distinct name so their series stay separate"
+            )
+        series = per_setting[outcome.setting_index]
+        series.setdefault(outcome.algorithm, []).append(outcome.total_rate)
+    return [
+        {name: sum(values) / len(values) for name, values in series.items()}
+        for series in per_setting
+    ]
+
+
+def parallel_map(
+    fn: Callable,
+    items: Sequence,
+    workers: int = 0,
+) -> List:
+    """Map a picklable top-level function over *items*, optionally in
+    worker processes.
+
+    The sequential fallback runs inline; results always come back in
+    input order.  Used by point-loops (lattice sides, coherence values)
+    that are not setting × router grids.
+    """
+    items = list(items)
+    if workers > 1 and len(items) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    return [fn(item) for item in items]

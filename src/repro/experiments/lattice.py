@@ -14,9 +14,10 @@ the bench target prints rate-vs-distance series for both swapping modes.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.experiments.config import is_full_run
+from repro.experiments.config import default_workers, is_full_run
+from repro.experiments.harness import parallel_map
 from repro.experiments.runner import SweepResult
 from repro.network.demands import Demand, DemandSet
 from repro.network.graph import QuantumNetwork
@@ -51,17 +52,41 @@ def corner_pair_grid(side: int, qubit_capacity: int = 10,
     return network, Demand(0, source, destination)
 
 
+def _lattice_point(args) -> Dict[str, float]:
+    """One sweep point: both routers on one corner-pinned grid side.
+
+    Top-level so the sweep can fan sides out over worker processes; the
+    grid is rebuilt deterministically from the side, so the result is
+    independent of which process runs it.
+    """
+    side, link_p, swap_q = args
+    link = LinkModel(fixed_p=link_p)
+    swap = SwapModel(q=swap_q)
+    network, demand = corner_pair_grid(side)
+    demands = DemandSet([demand])
+    rates: Dict[str, float] = {}
+    for router in (AlgNFusion(), QCastRouter()):
+        result = router.route(network, demands, link, swap)
+        rates[router.name] = result.total_rate
+    ratio = (
+        rates["ALG-N-FUSION"] / rates["Q-CAST"]
+        if rates["Q-CAST"] > 0
+        else float("inf")
+    )
+    rates["advantage"] = ratio
+    return rates
+
+
 def lattice_distance_study(
     quick: Optional[bool] = None,
     link_p: float = 0.55,
     swap_q: float = 0.95,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """Single-pair rate vs. grid side for n-fusion vs classic swapping."""
     if quick is None:
         quick = not is_full_run()
     sides = (3, 4, 5) if quick else (3, 4, 6, 8, 10)
-    link = LinkModel(fixed_p=link_p)
-    swap = SwapModel(q=swap_q)
     sweep = SweepResult(
         title=(
             "Lattice distance study: single-pair rate vs grid side "
@@ -70,18 +95,11 @@ def lattice_distance_study(
         x_label="side",
         x_values=list(sides),
     )
-    for side in sides:
-        network, demand = corner_pair_grid(side)
-        demands = DemandSet([demand])
-        rates = {}
-        for router in (AlgNFusion(), QCastRouter()):
-            result = router.route(network, demands, link, swap)
-            rates[router.name] = result.total_rate
-        ratio = (
-            rates["ALG-N-FUSION"] / rates["Q-CAST"]
-            if rates["Q-CAST"] > 0
-            else float("inf")
-        )
-        rates["advantage"] = ratio
+    points = parallel_map(
+        _lattice_point,
+        [(side, link_p, swap_q) for side in sides],
+        workers=default_workers() if workers is None else workers,
+    )
+    for rates in points:
         sweep.add_point(rates)
     return sweep

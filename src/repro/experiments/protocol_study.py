@@ -14,9 +14,14 @@ rate.  Three regimes emerge:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from repro.experiments.config import ExperimentSetting, is_full_run
+from repro.experiments.config import (
+    ExperimentSetting,
+    default_workers,
+    is_full_run,
+)
+from repro.experiments.harness import parallel_map
 from repro.experiments.runner import SweepResult
 from repro.network.builder import build_network
 from repro.network.demands import generate_demands
@@ -29,10 +34,32 @@ from repro.utils.rng import ensure_rng
 COHERENCE_VALUES = (0.001, 0.01, 0.1, 1.0)
 
 
+def _coherence_point(args) -> Tuple[float, int]:
+    """One sweep point: timed-protocol totals at one coherence time.
+
+    Top-level so the sweep can fan points out over worker processes; the
+    simulator draws from a fresh fixed-seed generator per point, so the
+    result is independent of which process runs it.
+    """
+    network, flows, link, swap, slot_duration_s, coherence, slots = args
+    timings = HardwareTimings(
+        coherence_time_s=coherence, slot_duration_s=slot_duration_s
+    )
+    simulator = ProtocolSimulator(network, link, swap, timings, ensure_rng(4040))
+    total = 0.0
+    expiry = 0
+    for flow in flows:
+        stats = simulator.run(flow, slots)
+        total += stats.establishment_rate
+        expiry += stats.failures["memory_expiry"]
+    return total, expiry
+
+
 def protocol_coherence_study(
     quick: Optional[bool] = None,
     slot_duration_s: float = 0.5,
     coherence_values: Sequence[float] = COHERENCE_VALUES,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """Establishment rate vs memory coherence time for one routed plan."""
     if quick is None:
@@ -57,19 +84,15 @@ def protocol_coherence_study(
         x_label="coherence_s",
         x_values=list(coherence_values),
     )
-    for coherence in coherence_values:
-        timings = HardwareTimings(
-            coherence_time_s=coherence, slot_duration_s=slot_duration_s
-        )
-        simulator = ProtocolSimulator(
-            network, link, swap, timings, ensure_rng(4040)
-        )
-        total = 0.0
-        expiry = 0
-        for flow in flows:
-            stats = simulator.run(flow, slots)
-            total += stats.establishment_rate
-            expiry += stats.failures["memory_expiry"]
+    points = parallel_map(
+        _coherence_point,
+        [
+            (network, flows, link, swap, slot_duration_s, coherence, slots)
+            for coherence in coherence_values
+        ],
+        workers=default_workers() if workers is None else workers,
+    )
+    for total, expiry in points:
         sweep.add_point(
             {
                 "protocol rate": total,

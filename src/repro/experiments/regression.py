@@ -1,0 +1,57 @@
+"""The pinned regression instance: recipe, regeneration and location.
+
+``tests/data/regression_instance.json`` freezes one small routed
+topology (30 Waxman switches + 6 users = 36 nodes, 8 demands,
+connected) so the regression tests can pin exact router rates against
+it.  This module is the single source of truth for that instance's
+recipe: ``python -m repro.experiments regen-regression`` rebuilds the
+file bit-exactly via :func:`repro.network.serialization.save_instance`,
+which is how the fixture is refreshed after a deliberate change to the
+generators (any diff in the regenerated file otherwise signals a
+determinism regression).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Tuple, Union
+
+from repro.network.builder import NetworkConfig, build_network
+from repro.network.demands import DemandSet, generate_demands
+from repro.network.graph import QuantumNetwork
+from repro.network.serialization import save_instance
+from repro.utils.rng import ensure_rng
+
+#: The frozen recipe.  Changing any of these invalidates the committed
+#: fixture and the pinned rates in ``tests/test_regression.py``.
+REGRESSION_SEED = 20230601
+REGRESSION_NETWORK = NetworkConfig(num_switches=30, num_users=6)
+REGRESSION_NUM_DEMANDS = 8
+
+#: Where the committed fixture lives, relative to the repository root.
+REGRESSION_FIXTURE = Path("tests") / "data" / "regression_instance.json"
+
+
+def build_regression_instance() -> Tuple[QuantumNetwork, DemandSet]:
+    """Rebuild the pinned instance from its frozen recipe.
+
+    One generator stream draws the topology then the demands, exactly as
+    the sweep harness does for its samples.
+    """
+    rng = ensure_rng(REGRESSION_SEED)
+    network = build_network(REGRESSION_NETWORK, rng)
+    demands = generate_demands(network, REGRESSION_NUM_DEMANDS, rng)
+    return network, demands
+
+
+def regenerate_regression_fixture(path: Union[str, Path, None] = None) -> Path:
+    """Write the pinned instance to *path* (default: the committed file).
+
+    Returns the path written.  The output is byte-stable: running this
+    twice produces identical files.
+    """
+    target = Path(path) if path is not None else REGRESSION_FIXTURE
+    network, demands = build_regression_instance()
+    target.parent.mkdir(parents=True, exist_ok=True)
+    save_instance(target, network, demands)
+    return target

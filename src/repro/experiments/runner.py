@@ -1,16 +1,29 @@
-"""Sweep runner: evaluate routers across experiment settings."""
+"""Sweep runner: evaluate routers across experiment settings.
+
+The runner is a thin orchestration layer over
+:mod:`repro.experiments.harness`: it expands settings × samples ×
+routers into tasks, satisfies what it can from an optional
+:class:`~repro.experiments.cache.ResultCache`, executes the rest inline
+or across worker processes, and merges outcomes deterministically.  The
+produced series are bit-identical for any ``workers`` value and for
+warm-vs-cold caches.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.experiments.config import ExperimentSetting
-from repro.network.builder import build_network
-from repro.network.demands import generate_demands
+from repro.experiments.cache import ResultCache
+from repro.experiments.config import ExperimentSetting, default_workers
+from repro.experiments.harness import (
+    TaskOutcome,
+    enumerate_tasks,
+    merge_outcomes,
+    run_tasks,
+)
 from repro.routing.baselines import B1Router, QCastNRouter, QCastRouter
 from repro.routing.nfusion import AlgNFusion
-from repro.utils.rng import ensure_rng, spawn_rng
 from repro.utils.tables import format_series
 
 
@@ -27,29 +40,118 @@ def standard_routers(include_alg3_only: bool = False) -> List:
     return routers
 
 
+def run_settings(
+    settings: Sequence[ExperimentSetting],
+    routers: Optional[Sequence] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[Dict[str, float]]:
+    """Mean network entanglement rate per algorithm at each setting.
+
+    Each setting's ``num_networks`` samples draw fresh topologies and
+    demand sets from the setting's seed; every router sees the same
+    samples, so the comparison is paired.  ``workers > 1`` fans the
+    (setting, sample, router) task grid out over that many processes;
+    ``cache`` short-circuits (setting, router) pairs already on disk.
+    ``workers=None`` reads the ``REPRO_WORKERS`` environment default.
+    """
+    settings = list(settings)
+    routers = list(routers) if routers is not None else standard_routers()
+    if workers is None:
+        workers = default_workers()
+
+    cached_outcomes: List[TaskOutcome] = []
+    pending_settings: List[ExperimentSetting] = []
+    pending_router_lists: List[List] = []
+    # Maps each pending (sub-)setting back to its original indices so
+    # fresh outcomes can be re-labelled and cached after execution.
+    pending_origin: List[tuple] = []
+
+    for setting_index, setting in enumerate(settings):
+        fresh_routers: List = []
+        fresh_router_indices: List[int] = []
+        for router_index, router in enumerate(routers):
+            entry = None
+            if cache is not None:
+                entry = cache.get(cache.key_for(setting, router))
+            if entry is not None and len(entry["rates"]) == setting.num_networks:
+                for sample_index, rate in enumerate(entry["rates"]):
+                    cached_outcomes.append(
+                        TaskOutcome(
+                            setting_index=setting_index,
+                            sample_index=sample_index,
+                            router_index=router_index,
+                            algorithm=entry["algorithm"],
+                            total_rate=rate,
+                        )
+                    )
+            else:
+                fresh_routers.append(router)
+                fresh_router_indices.append(router_index)
+        if fresh_routers:
+            pending_settings.append(setting)
+            pending_router_lists.append(fresh_routers)
+            pending_origin.append((setting_index, fresh_router_indices))
+
+    tasks = enumerate_tasks(pending_settings, pending_router_lists)
+    raw_outcomes = run_tasks(tasks, workers=workers)
+
+    fresh_outcomes: List[TaskOutcome] = []
+    for outcome in raw_outcomes:
+        setting_index, router_indices = pending_origin[outcome.setting_index]
+        fresh_outcomes.append(
+            TaskOutcome(
+                setting_index=setting_index,
+                sample_index=outcome.sample_index,
+                router_index=router_indices[outcome.router_index],
+                algorithm=outcome.algorithm,
+                total_rate=outcome.total_rate,
+            )
+        )
+
+    if cache is not None:
+        _store_fresh(cache, settings, routers, fresh_outcomes)
+
+    return merge_outcomes(len(settings), cached_outcomes + fresh_outcomes)
+
+
+def _store_fresh(
+    cache: ResultCache,
+    settings: Sequence[ExperimentSetting],
+    routers: Sequence,
+    outcomes: Sequence[TaskOutcome],
+) -> None:
+    """Persist freshly computed (setting, router) series to the cache."""
+    grouped: Dict[tuple, Dict[int, TaskOutcome]] = {}
+    for outcome in outcomes:
+        slot = grouped.setdefault(
+            (outcome.setting_index, outcome.router_index), {}
+        )
+        slot[outcome.sample_index] = outcome
+    for (setting_index, router_index), by_sample in grouped.items():
+        setting = settings[setting_index]
+        if len(by_sample) != setting.num_networks:
+            continue  # incomplete series (shouldn't happen) — don't cache
+        ordered = [by_sample[i] for i in range(setting.num_networks)]
+        cache.put(
+            cache.key_for(setting, routers[router_index]),
+            ordered[0].algorithm,
+            [outcome.total_rate for outcome in ordered],
+        )
+
+
 def run_setting(
     setting: ExperimentSetting,
     routers: Optional[Sequence] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, float]:
     """Mean network entanglement rate per algorithm at one setting.
 
-    Each of the setting's ``num_networks`` samples draws a fresh topology
-    and demand set from the setting's seed; every router sees the same
-    samples, so the comparison is paired.
+    See :func:`run_settings` for the execution model; this is the
+    single-setting convenience wrapper.
     """
-    routers = list(routers) if routers is not None else standard_routers()
-    rng = ensure_rng(setting.seed)
-    sample_rngs = spawn_rng(rng, setting.num_networks)
-    link_model = setting.link_model()
-    swap_model = setting.swap_model()
-    totals: Dict[str, List[float]] = {}
-    for sample_rng in sample_rngs:
-        network = build_network(setting.network, sample_rng)
-        demands = generate_demands(network, setting.num_states, sample_rng)
-        for router in routers:
-            result = router.route(network, demands, link_model, swap_model)
-            totals.setdefault(result.algorithm, []).append(result.total_rate)
-    return {name: sum(values) / len(values) for name, values in totals.items()}
+    return run_settings([setting], routers, workers=workers, cache=cache)[0]
 
 
 @dataclass
@@ -82,13 +184,20 @@ def run_sweep(
     x_values: Sequence,
     settings: Sequence[ExperimentSetting],
     routers: Optional[Sequence] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> SweepResult:
-    """Evaluate *settings* (one per x value) into a :class:`SweepResult`."""
+    """Evaluate *settings* (one per x value) into a :class:`SweepResult`.
+
+    All settings' tasks are pooled into one grid before execution, so a
+    multi-worker run keeps every process busy across the whole sweep
+    rather than barriering at each x value.
+    """
     if len(x_values) != len(settings):
         raise ValueError(
             f"{len(x_values)} x values but {len(settings)} settings"
         )
     sweep = SweepResult(title=title, x_label=x_label, x_values=list(x_values))
-    for setting in settings:
-        sweep.add_point(run_setting(setting, routers))
+    for rates in run_settings(settings, routers, workers=workers, cache=cache):
+        sweep.add_point(rates)
     return sweep

@@ -18,8 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentSetting, is_full_run
-from repro.experiments.runner import run_setting, standard_routers
+from repro.experiments.runner import run_settings
 from repro.routing.nfusion import AlgNFusion
 from repro.utils.tables import AsciiTable
 
@@ -85,7 +86,11 @@ def headline_settings(quick: bool) -> List[ExperimentSetting]:
     ]
 
 
-def headline_ratios(quick: Optional[bool] = None) -> RatioReport:
+def headline_ratios(
+    quick: Optional[bool] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> RatioReport:
     """Recompute the paper's Section V-C-1 headline improvement ratios."""
     if quick is None:
         quick = not is_full_run()
@@ -93,8 +98,10 @@ def headline_ratios(quick: Optional[bool] = None) -> RatioReport:
     alg_over_qcast_n = 0.0
     alg_over_b1 = 0.0
     per_setting = []
-    for setting in headline_settings(quick):
-        rates = run_setting(setting)
+    all_rates = run_settings(
+        headline_settings(quick), workers=workers, cache=cache
+    )
+    for rates in all_rates:
         per_setting.append(rates)
         qcast = rates.get("Q-CAST", 0.0)
         for name in ("ALG-N-FUSION", "Q-CAST-N", "B1"):
@@ -163,23 +170,29 @@ class AblationReport:
         return f"{table.render()}\n{footer}"
 
 
-def alg4_ablation(quick: Optional[bool] = None) -> AblationReport:
+def alg4_ablation(
+    quick: Optional[bool] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> AblationReport:
     """Recompute the paper's Algorithm 4 ablation (Section V-C-3)."""
     if quick is None:
         quick = not is_full_run()
     labels = ("default", "p=0.1", "p=0.2", "q=0.5")
     rows = []
-    for label, setting in zip(labels, headline_settings(quick)):
-        rates = run_setting(
-            setting,
-            routers=[
-                AlgNFusion(),
-                AlgNFusion(include_alg4=False, name="ALG-NO4"),
-                AlgNFusion(
-                    include_alg4=False, refill_rounds=0, name="ALG-SWEEP"
-                ),
-            ],
-        )
+    all_rates = run_settings(
+        headline_settings(quick),
+        routers=[
+            AlgNFusion(),
+            AlgNFusion(include_alg4=False, name="ALG-NO4"),
+            AlgNFusion(
+                include_alg4=False, refill_rounds=0, name="ALG-SWEEP"
+            ),
+        ],
+        workers=workers,
+        cache=cache,
+    )
+    for label, rates in zip(labels, all_rates):
         rows.append(
             (
                 label,

@@ -11,6 +11,7 @@ Public entry points:
 """
 
 from repro.routing.metrics import (
+    ChannelRateCache,
     channel_rate,
     path_entanglement_rate,
     path_entanglement_rate_nonuniform,
@@ -34,6 +35,7 @@ from repro.routing.multipartite import (
 )
 
 __all__ = [
+    "ChannelRateCache",
     "channel_rate",
     "path_entanglement_rate",
     "path_entanglement_rate_nonuniform",

@@ -24,7 +24,7 @@ from repro.exceptions import RoutingError
 from repro.network.graph import QuantumNetwork
 from repro.quantum.noise import LinkModel, SwapModel
 from repro.routing.allocation import QubitLedger
-from repro.routing.metrics import channel_rate
+from repro.routing.metrics import ChannelRateCache
 
 EdgeKey = Tuple[int, int]
 
@@ -43,13 +43,16 @@ def largest_entanglement_rate_path(
     ledger: Optional[QubitLedger] = None,
     banned_nodes: FrozenSet[int] = frozenset(),
     banned_edges: FrozenSet[EdgeKey] = frozenset(),
+    rate_cache: Optional[ChannelRateCache] = None,
 ) -> Optional[Tuple[Tuple[int, ...], float]]:
     """Find the path from *source* to *destination* with the largest
     entanglement rate at channel width *width*.
 
     ``ledger`` supplies remaining qubit counts (defaults to full
-    capacities, matching Algorithm 2's resource-reuse rule).  Returns
-    ``(nodes, rate)`` or ``None`` when no feasible path exists.
+    capacities, matching Algorithm 2's resource-reuse rule).
+    ``rate_cache`` shares memoised channel rates across calls — Yen's
+    loop in Algorithm 2 re-relaxes the same edges many times per demand.
+    Returns ``(nodes, rate)`` or ``None`` when no feasible path exists.
     """
     if width < 1:
         raise RoutingError(f"width must be >= 1, got {width}")
@@ -75,16 +78,10 @@ def largest_entanglement_rate_path(
     counter = itertools.count()
     heap = [(-1.0, next(counter), source)]
     # The exp()-based channel rate is the hot spot of the search; each
-    # edge is relaxed many times, so memoise per call.
-    rate_cache: Dict[EdgeKey, float] = {}
-
-    def cached_channel_rate(a: int, b: int) -> float:
-        key = _ekey(a, b)
-        rate = rate_cache.get(key)
-        if rate is None:
-            rate = channel_rate(network, link_model, a, b, width)
-            rate_cache[key] = rate
-        return rate
+    # edge is relaxed many times, so memoise — across calls when the
+    # caller supplies a cache, per call otherwise.
+    if rate_cache is None:
+        rate_cache = ChannelRateCache(network, link_model)
 
     while heap:
         negative_rate, _, node = heapq.heappop(heap)
@@ -116,7 +113,7 @@ def largest_entanglement_rate_path(
                     # endpoint; since the destination is handled above,
                     # such a switch is a dead end for this width.
                     continue
-            candidate = rate * cached_channel_rate(node, neighbor)
+            candidate = rate * rate_cache.rate(node, neighbor, width)
             if candidate > best.get(neighbor, 0.0):
                 best[neighbor] = candidate
                 predecessor[neighbor] = node

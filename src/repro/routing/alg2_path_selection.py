@@ -23,7 +23,7 @@ from repro.network.graph import QuantumNetwork
 from repro.quantum.noise import LinkModel, SwapModel
 from repro.routing.alg1_largest_rate import largest_entanglement_rate_path
 from repro.routing.allocation import QubitLedger
-from repro.routing.metrics import path_entanglement_rate
+from repro.routing.metrics import ChannelRateCache, path_entanglement_rate
 from repro.routing.paths import PathCandidate
 
 EdgeKey = Tuple[int, int]
@@ -42,6 +42,7 @@ def select_paths(
     max_width: Optional[int] = None,
     ledger: Optional[QubitLedger] = None,
     max_hops: Optional[int] = None,
+    rate_cache: Optional[ChannelRateCache] = None,
 ) -> Dict[int, List[PathCandidate]]:
     """Select up to *h* candidate paths per width for one demand.
 
@@ -49,6 +50,8 @@ def select_paths(
     decreasing rate.  Widths whose best path is infeasible are omitted.
     ``max_hops`` drops longer candidates — the fidelity-constrained
     extension derives it from a minimum end-to-end fidelity.
+    ``rate_cache`` shares memoised channel rates across the whole
+    selection (and, when a router passes one, across demands).
     """
     if h < 1:
         raise RoutingError(f"h must be >= 1, got {h}")
@@ -58,10 +61,13 @@ def select_paths(
         raise RoutingError(f"max_width must be >= 1, got {max_width}")
     if ledger is None:
         ledger = QubitLedger(network)
+    if rate_cache is None:
+        rate_cache = ChannelRateCache(network, link_model)
     result: Dict[int, List[PathCandidate]] = {}
     for width in range(max_width, 0, -1):
         paths = _yen_best_paths(
-            network, link_model, swap_model, demand, width, h, ledger
+            network, link_model, swap_model, demand, width, h, ledger,
+            rate_cache,
         )
         if max_hops is not None:
             paths = [p for p in paths if p.hops <= max_hops]
@@ -91,6 +97,7 @@ def _yen_best_paths(
     width: int,
     h: int,
     ledger: QubitLedger,
+    rate_cache: Optional[ChannelRateCache] = None,
 ) -> List[PathCandidate]:
     """Yen's algorithm with Algorithm 1 as the shortest-path subroutine."""
     first = largest_entanglement_rate_path(
@@ -101,6 +108,7 @@ def _yen_best_paths(
         demand.destination,
         width,
         ledger,
+        rate_cache=rate_cache,
     )
     if first is None:
         return []
@@ -135,6 +143,7 @@ def _yen_best_paths(
                 ledger,
                 banned_nodes=banned_nodes,
                 banned_edges=frozenset(banned_edges),
+                rate_cache=rate_cache,
             )
             if spur is None:
                 continue
@@ -144,7 +153,8 @@ def _yen_best_paths(
             seen.add(total_nodes)
             try:
                 total_rate = path_entanglement_rate(
-                    network, link_model, swap_model, total_nodes, width
+                    network, link_model, swap_model, total_nodes, width,
+                    rate_cache,
                 )
             except RoutingError:  # pragma: no cover - spur paths are valid
                 continue

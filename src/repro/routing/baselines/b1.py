@@ -26,6 +26,7 @@ from repro.quantum.noise import LinkModel, SwapModel
 from repro.routing.alg2_path_selection import select_paths
 from repro.routing.alg3_merge import merge_paths
 from repro.routing.allocation import QubitLedger
+from repro.routing.metrics import ChannelRateCache
 from repro.routing.nfusion import RoutingResult
 from repro.routing.plan import RoutingPlan
 
@@ -59,6 +60,7 @@ class B1Router:
         swap_model = swap_model or SwapModel()
         ledger = QubitLedger(network)
         plan = RoutingPlan()
+        rate_cache = ChannelRateCache(network, link_model)
 
         for demand in demands:
             path_set = select_paths(
@@ -69,6 +71,7 @@ class B1Router:
                 h=self.max_paths,
                 max_width=self.max_width,
                 ledger=ledger,
+                rate_cache=rate_cache,
             )
             if not path_set:
                 continue

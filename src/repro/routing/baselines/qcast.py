@@ -24,6 +24,7 @@ from repro.quantum.noise import LinkModel, SwapModel
 from repro.routing.alg1_largest_rate import largest_entanglement_rate_path
 from repro.routing.allocation import QubitLedger
 from repro.routing.flow_graph import FlowLikeGraph
+from repro.routing.metrics import ChannelRateCache
 from repro.routing.nfusion import RoutingResult
 from repro.routing.plan import RoutingPlan
 
@@ -46,6 +47,7 @@ class QCastRouter:
         swap_model = swap_model or SwapModel()
         ledger = QubitLedger(network)
         plan = RoutingPlan()
+        rate_cache = ChannelRateCache(network, link_model)
         unrouted: Dict[int, Demand] = {d.demand_id: d for d in demands}
 
         while unrouted:
@@ -59,6 +61,7 @@ class QCastRouter:
                     demand.destination,
                     width=1,
                     ledger=ledger,
+                    rate_cache=rate_cache,
                 )
                 if found is None:
                     continue

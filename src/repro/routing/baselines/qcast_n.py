@@ -22,6 +22,7 @@ from repro.routing.alg1_largest_rate import largest_entanglement_rate_path
 from repro.routing.alg2_path_selection import default_max_width
 from repro.routing.allocation import QubitLedger
 from repro.routing.flow_graph import FlowLikeGraph
+from repro.routing.metrics import ChannelRateCache
 from repro.routing.nfusion import RoutingResult
 from repro.routing.plan import RoutingPlan
 
@@ -46,6 +47,7 @@ class QCastNRouter:
         max_width = self.max_width or default_max_width(network)
         ledger = QubitLedger(network)
         plan = RoutingPlan()
+        rate_cache = ChannelRateCache(network, link_model)
         unrouted: Dict[int, Demand] = {d.demand_id: d for d in demands}
 
         while unrouted:
@@ -60,6 +62,7 @@ class QCastNRouter:
                         demand.destination,
                         width=width,
                         ledger=ledger,
+                        rate_cache=rate_cache,
                     )
                     if found is None:
                         continue

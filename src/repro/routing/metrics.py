@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.exceptions import RoutingError
 from repro.network.graph import QuantumNetwork
@@ -28,6 +28,49 @@ def channel_rate(
     """Entanglement rate of a width-*width* channel on edge (*u*, *v*)."""
     p = link_model.success_probability(network.edge_length(u, v))
     return channel_success_probability(p, width)
+
+
+class ChannelRateCache:
+    """Memoised per-edge channel rates for one (network, link_model) pair.
+
+    The ``exp(-alpha * L)`` link probability and the ``1 - (1 - p)^w``
+    channel rate of an edge never change within one routing call, yet
+    Yen's deviation loop in Algorithm 2 re-relaxes the same edges across
+    many Algorithm 1 invocations.  Routers create one cache per
+    ``route()`` call and thread it through the search so each edge's
+    probability is computed once and each (edge, width) rate once.
+    """
+
+    __slots__ = ("network", "link_model", "_probabilities", "_rates")
+
+    def __init__(self, network: QuantumNetwork, link_model: LinkModel):
+        self.network = network
+        self.link_model = link_model
+        self._probabilities: Dict[Tuple[int, int], float] = {}
+        self._rates: Dict[Tuple[int, int, int], float] = {}
+
+    def edge_probability(self, u: int, v: int) -> float:
+        """Single-link success probability of edge (*u*, *v*), memoised."""
+        key = _ekey(u, v)
+        p = self._probabilities.get(key)
+        if p is None:
+            p = self.link_model.success_probability(
+                self.network.edge_length(u, v)
+            )
+            self._probabilities[key] = p
+        return p
+
+    def rate(self, u: int, v: int, width: int) -> float:
+        """Width-*width* channel rate of edge (*u*, *v*), memoised."""
+        a, b = _ekey(u, v)
+        key = (a, b, width)
+        rate = self._rates.get(key)
+        if rate is None:
+            rate = channel_success_probability(
+                self.edge_probability(a, b), width
+            )
+            self._rates[key] = rate
+        return rate
 
 
 def _swap_factor(network: QuantumNetwork, swap_model: SwapModel, node: int, arity: int) -> float:
@@ -47,6 +90,7 @@ def path_entanglement_rate(
     swap_model: SwapModel,
     nodes: Sequence[int],
     width: int,
+    rate_cache: Optional[ChannelRateCache] = None,
 ) -> float:
     """Entanglement rate of a uniform-width path.
 
@@ -56,7 +100,7 @@ def path_entanglement_rate(
     """
     widths = {_ekey(a, b): width for a, b in zip(nodes, nodes[1:])}
     return path_entanglement_rate_nonuniform(
-        network, link_model, swap_model, nodes, widths
+        network, link_model, swap_model, nodes, widths, rate_cache
     )
 
 
@@ -66,6 +110,7 @@ def path_entanglement_rate_nonuniform(
     swap_model: SwapModel,
     nodes: Sequence[int],
     edge_widths: Dict[Tuple[int, int], int],
+    rate_cache: Optional[ChannelRateCache] = None,
 ) -> float:
     """Entanglement rate of a path whose channels have per-edge widths."""
     nodes = list(nodes)
@@ -76,7 +121,10 @@ def path_entanglement_rate_nonuniform(
         key = _ekey(a, b)
         if key not in edge_widths:
             raise RoutingError(f"no width recorded for path edge {key}")
-        rate *= channel_rate(network, link_model, a, b, edge_widths[key])
+        if rate_cache is not None:
+            rate *= rate_cache.rate(a, b, edge_widths[key])
+        else:
+            rate *= channel_rate(network, link_model, a, b, edge_widths[key])
     for node in nodes[1:-1]:
         # Each intermediate node fuses its two incident channels (2-fusion
         # on a simple path; higher arity arises only in flow-like graphs).

@@ -25,6 +25,7 @@ from repro.routing.alg3_merge import admit_paths, admit_paths_efficiency
 from repro.routing.alg4_residual import assign_remaining_qubits
 from repro.routing.allocation import QubitLedger
 from repro.routing.flow_graph import FlowLikeGraph
+from repro.routing.metrics import ChannelRateCache
 from repro.routing.plan import RoutingPlan
 
 
@@ -116,6 +117,9 @@ class AlgNFusion:
         link_model = link_model or LinkModel()
         swap_model = swap_model or SwapModel()
         max_width = self.max_width or default_max_width(network)
+        # One memoised channel-rate table for the whole routing call:
+        # Step I, every refill sweep and every demand share it.
+        rate_cache = ChannelRateCache(network, link_model)
 
         # Step I: candidate path sets (full capacities; reuse allowed).
         path_sets = {
@@ -127,6 +131,7 @@ class AlgNFusion:
                 h=self.h,
                 max_width=max_width,
                 max_hops=self.max_hops,
+                rate_cache=rate_cache,
             )
             for demand in demands
         }
@@ -158,6 +163,7 @@ class AlgNFusion:
                     max_width=max_width,
                     ledger=ledger,
                     max_hops=self.max_hops,
+                    rate_cache=rate_cache,
                 )
                 if selected:
                     refill_sets[demand.demand_id] = selected

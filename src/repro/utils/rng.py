@@ -36,16 +36,27 @@ def ensure_rng(seed: SeedLike = None) -> RandomState:
     )
 
 
+def spawn_seeds(rng: RandomState, n: int = 1) -> list:
+    """Derive *n* child generator seeds from *rng*.
+
+    This is the seed-material half of :func:`spawn_rng`: the experiment
+    harness pre-computes these integers so each parallel task can rebuild
+    its own generator (``ensure_rng(seed)``) bit-identically to the
+    sequential ``spawn_rng`` children.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [int(s) for s in seeds]
+
+
 def spawn_rng(rng: RandomState, n: int = 1) -> list:
     """Derive *n* statistically independent child generators from *rng*.
 
     The children are seeded from fresh entropy drawn out of *rng* itself,
     so the same parent seed always yields the same family of children.
     """
-    if n < 1:
-        raise ConfigurationError(f"n must be >= 1, got {n}")
-    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [np.random.default_rng(s) for s in spawn_seeds(rng, n)]
 
 
 def random_subset(rng: RandomState, items: list, k: int) -> list:

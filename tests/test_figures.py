@@ -1,6 +1,6 @@
 """Structure tests for the per-figure experiment definitions.
 
-``run_setting`` is stubbed so each figure's sweep structure (x values,
+``run_settings`` is stubbed so each figure's sweep structure (x values,
 titles, settings wiring) is checked without paying for real routing.
 """
 
@@ -22,19 +22,22 @@ from repro.experiments.tables import headline_settings
 
 @pytest.fixture
 def stub_runner(monkeypatch):
-    """Replace run_setting with a recorder returning fixed rates."""
+    """Replace run_settings with a recorder returning fixed rates."""
     calls = []
 
-    def fake_run_setting(setting, routers=None):
-        calls.append(setting)
-        return {
-            "ALG-N-FUSION": 2.0,
-            "Q-CAST": 1.0,
-            "Q-CAST-N": 1.5,
-            "B1": 1.2,
-        }
+    def fake_run_settings(settings, routers=None, workers=None, cache=None):
+        calls.extend(settings)
+        return [
+            {
+                "ALG-N-FUSION": 2.0,
+                "Q-CAST": 1.0,
+                "Q-CAST-N": 1.5,
+                "B1": 1.2,
+            }
+            for _ in settings
+        ]
 
-    monkeypatch.setattr(runner_module, "run_setting", fake_run_setting)
+    monkeypatch.setattr(runner_module, "run_settings", fake_run_settings)
     return calls
 
 
@@ -119,12 +122,10 @@ class TestExperimentsCliAll:
             def to_text(self):
                 return "fake"
 
-        fake = {name: (lambda n=name: (ran.append(n), FakeResult())[1])
-                for name in cli.EXPERIMENTS}
-        for name in fake:
+        for name in list(cli.EXPERIMENTS):
             monkeypatch.setitem(
                 cli.EXPERIMENTS, name,
-                lambda quick, n=name: (ran.append(n), FakeResult())[1],
+                lambda quick, n=name, **kwargs: (ran.append(n), FakeResult())[1],
             )
         assert cli.main(["all"]) == 0
         assert set(ran) == set(cli.EXPERIMENTS)

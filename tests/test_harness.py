@@ -1,0 +1,198 @@
+"""Tests for the task-based sweep harness: parallel determinism, the
+on-disk result cache and duplicate-label detection."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.cache import CACHE_FORMAT_VERSION, ResultCache
+from repro.experiments.config import ExperimentSetting, default_workers
+from repro.experiments.harness import (
+    TaskOutcome,
+    enumerate_tasks,
+    execute_task,
+    merge_outcomes,
+    parallel_map,
+    sample_seeds,
+)
+from repro.experiments.runner import (
+    run_setting,
+    run_settings,
+    run_sweep,
+    standard_routers,
+)
+from repro.network.builder import NetworkConfig
+from repro.routing.baselines import QCastRouter
+from repro.routing.nfusion import AlgNFusion
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+def tiny_setting(**kwargs):
+    defaults = dict(
+        network=NetworkConfig(num_switches=20, num_users=4),
+        num_states=4,
+        num_networks=2,
+        fixed_p=0.5,
+        seed=77,
+    )
+    defaults.update(kwargs)
+    return ExperimentSetting(**defaults)
+
+
+class TestTaskEnumeration:
+    def test_grid_shape_and_order(self):
+        settings = [tiny_setting(), tiny_setting(seed=78)]
+        routers = standard_routers()
+        tasks = enumerate_tasks(settings, [routers, routers])
+        assert len(tasks) == 2 * 2 * len(routers)
+        # Samples outer, routers inner — the sequential accumulation order.
+        keys = [task.key for task in tasks]
+        assert keys == sorted(keys)
+
+    def test_seeds_match_sequential_spawn(self):
+        """Pre-spawned task seeds equal the spawn_rng children's seeds."""
+        setting = tiny_setting()
+        seeds = sample_seeds(setting)
+        children = spawn_rng(ensure_rng(setting.seed), setting.num_networks)
+        rebuilt = [ensure_rng(seed) for seed in seeds]
+        for child, clone in zip(children, rebuilt):
+            assert child.integers(0, 2**31) == clone.integers(0, 2**31)
+
+    def test_mismatched_router_lists_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_tasks([tiny_setting()], [])
+
+    def test_execute_task_matches_direct_route(self):
+        setting = tiny_setting(num_networks=1)
+        [task] = enumerate_tasks([setting], [[QCastRouter()]])
+        outcome = execute_task(task)
+        assert outcome.algorithm == "Q-CAST"
+        assert outcome.total_rate == run_setting(setting, [QCastRouter()])["Q-CAST"]
+
+
+class TestParallelDeterminism:
+    def test_workers_do_not_change_series(self):
+        """Same seed ⇒ bit-identical series for workers=0 and workers=4."""
+        settings = [tiny_setting(fixed_p=p) for p in (0.3, 0.6)]
+        sequential = run_sweep("t", "p", [0.3, 0.6], settings, workers=0)
+        parallel = run_sweep("t", "p", [0.3, 0.6], settings, workers=4)
+        assert parallel.series == sequential.series
+        assert parallel.x_values == sequential.x_values
+
+    def test_workers_do_not_change_run_setting(self):
+        setting = tiny_setting()
+        assert run_setting(setting, workers=4) == run_setting(setting, workers=0)
+
+    def test_parallel_map_matches_inline(self):
+        items = [1, 2, 3, 4]
+        assert parallel_map(_square, items, workers=2) == [1, 4, 9, 16]
+        assert parallel_map(_square, items, workers=0) == [1, 4, 9, 16]
+
+
+def _square(x):
+    return x * x
+
+
+class TestDuplicateLabels:
+    def test_run_setting_rejects_duplicate_labels(self):
+        """Two routers with one label would silently merge their series."""
+        routers = [QCastRouter(), QCastRouter()]
+        with pytest.raises(ValueError, match="duplicate algorithm label"):
+            run_setting(tiny_setting(num_networks=1), routers)
+
+    def test_distinct_names_still_accepted(self):
+        routers = [QCastRouter(), QCastRouter(name="Q-CAST-COPY")]
+        rates = run_setting(tiny_setting(num_networks=1), routers)
+        assert rates["Q-CAST"] == rates["Q-CAST-COPY"]
+
+    def test_merge_outcomes_detects_cross_router_collision(self):
+        outcomes = [
+            TaskOutcome(0, 0, 0, "X", 1.0),
+            TaskOutcome(0, 0, 1, "X", 2.0),
+        ]
+        with pytest.raises(ValueError, match="duplicate algorithm label"):
+            merge_outcomes(1, outcomes)
+
+    def test_merge_outcomes_means_per_sample(self):
+        outcomes = [
+            TaskOutcome(0, 0, 0, "X", 1.0),
+            TaskOutcome(0, 1, 0, "X", 3.0),
+            TaskOutcome(1, 0, 0, "X", 5.0),
+        ]
+        assert merge_outcomes(2, outcomes) == [{"X": 2.0}, {"X": 5.0}]
+
+
+class TestResultCache:
+    def test_cache_hit_is_identical_to_cold_run(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        setting = tiny_setting()
+        cold = run_setting(setting, cache=cache)
+        warm = run_setting(setting, cache=cache)
+        assert warm == cold
+        assert warm == run_setting(setting)  # and to an uncached run
+
+    def test_cache_files_appear_per_router(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_setting(tiny_setting(num_networks=1), cache=cache)
+        assert len(list(tmp_path.glob("*.json"))) == len(standard_routers())
+
+    def test_key_changes_with_setting_and_router(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = tiny_setting()
+        router = AlgNFusion()
+        assert cache.key_for(base, router) == cache.key_for(base, AlgNFusion())
+        assert cache.key_for(base, router) != cache.key_for(
+            base.with_updates(swap_q=0.5), router
+        )
+        assert cache.key_for(base, router) != cache.key_for(
+            base, AlgNFusion(h=5)
+        )
+        assert cache.key_for(base, router) != cache.key_for(base, QCastRouter())
+
+    def test_corrupt_entry_is_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        setting = tiny_setting(num_networks=1)
+        cold = run_setting(setting, cache=cache)
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{not json")
+        assert run_setting(setting, cache=cache) == cold
+
+    def test_wrong_format_version_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(tiny_setting(), AlgNFusion())
+        cache.put(key, "X", [1.0])
+        entry_path = tmp_path / f"{key}.json"
+        text = entry_path.read_text()
+        entry_path.write_text(
+            text.replace(
+                f'"cache_format_version": {CACHE_FORMAT_VERSION}',
+                '"cache_format_version": 999',
+            )
+        )
+        assert cache.get(key) is None
+
+    def test_sample_count_mismatch_recomputes(self, tmp_path):
+        """A stale entry with too few samples must not be trusted."""
+        cache = ResultCache(tmp_path)
+        short = tiny_setting(num_networks=1)
+        long = dataclasses.replace(short, num_networks=2)
+        run_setting(short, [QCastRouter()], cache=cache)
+        # Different num_networks ⇒ different key anyway; simulate a stale
+        # same-key entry by writing a wrong-length series directly.
+        key = cache.key_for(long, QCastRouter())
+        cache.put(key, "Q-CAST", [1.0])
+        rates = run_setting(long, [QCastRouter()], cache=cache)
+        assert rates == run_setting(long, [QCastRouter()])
+
+
+class TestWorkersEnvDefault:
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() == 0
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert default_workers() == 4
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        assert default_workers() == 0
+        monkeypatch.setenv("REPRO_WORKERS", "nope")
+        with pytest.raises(ValueError):
+            default_workers()
