@@ -10,16 +10,13 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
-    AlgNFusion,
-    B1Router,
     LinkModel,
     NetworkConfig,
-    QCastNRouter,
-    QCastRouter,
     SwapModel,
     build_network,
     estimate_plan_rate,
     generate_demands,
+    make_router,
 )
 from repro.utils.tables import AsciiTable
 
@@ -36,7 +33,8 @@ def main() -> None:
 
     table = AsciiTable(["algorithm", "entanglement rate", "routed", "free qubits"])
     results = {}
-    for router in [AlgNFusion(), QCastRouter(), QCastNRouter(), B1Router()]:
+    for key in ("alg-n-fusion", "q-cast", "q-cast-n", "b1"):
+        router = make_router(key)
         result = router.route(network, demands, link, swap)
         results[result.algorithm] = result
         table.add_row(

@@ -10,16 +10,13 @@ Run:  python examples/topology_comparison.py
 """
 
 from repro import (
-    AlgNFusion,
-    B1Router,
     LinkModel,
     NetworkConfig,
-    QCastNRouter,
-    QCastRouter,
     SwapModel,
     build_network,
     generate_demands,
 )
+from repro.experiments import standard_specs
 from repro.utils.rng import ensure_rng
 from repro.utils.tables import AsciiTable
 
@@ -28,7 +25,7 @@ GENERATORS = ("waxman", "watts_strogatz", "aiello", "grid")
 
 def main() -> None:
     link, swap = LinkModel(), SwapModel(q=0.9)
-    routers = [AlgNFusion(), QCastRouter(), QCastNRouter(), B1Router()]
+    routers = [spec.build() for spec in standard_specs()]
     table = AsciiTable(["generator", *[r.name for r in routers]])
     for generator in GENERATORS:
         rng = ensure_rng(100)

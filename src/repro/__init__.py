@@ -10,8 +10,11 @@ Quantum Networks Using Greenberger-Horne-Zeilinger Measurements"
 * :mod:`repro.network` — the network model (users, switches, links) and
   topology generators (Waxman, Watts-Strogatz, Aiello, ...).
 * :mod:`repro.routing` — the paper's ALG-N-FUSION (Algorithms 1-4), the
-  flow-like-graph rate metric (Equation 1), and the Q-CAST / Q-CAST-N /
-  B1 baselines.
+  flow-like-graph rate metric (Equation 1), the Q-CAST / Q-CAST-N / B1 /
+  MCF baselines, and the router registry
+  (:func:`~repro.routing.registry.make_router`,
+  :class:`~repro.routing.registry.RouterSpec`) addressing all of them by
+  key + parameters.
 * :mod:`repro.simulation` — Monte Carlo simulation of the three-phase
   entanglement process, validating the analytic rates.
 * :mod:`repro.experiments` — definitions that regenerate every figure and
@@ -63,16 +66,23 @@ from repro.routing import (
     AlgNFusion,
     B1Router,
     FlowLikeGraph,
+    MCFRouter,
     MultipartiteDemand,
     MultipartiteRouter,
     OnlineScheduler,
     QCastNRouter,
     QCastRouter,
+    Router,
+    RouterSpec,
+    RouterSpecError,
     RoutingPlan,
     RoutingResult,
+    make_router,
+    parse_router_specs,
+    register_router,
     render_plan_report,
+    router_keys,
 )
-from repro.routing.baselines import MCFRouter
 from repro.simulation import (
     EntanglementProcessSimulator,
     MonteCarloEstimate,
@@ -123,6 +133,13 @@ __all__ = [
     "QCastNRouter",
     "B1Router",
     "MCFRouter",
+    "Router",
+    "RouterSpec",
+    "RouterSpecError",
+    "make_router",
+    "parse_router_specs",
+    "register_router",
+    "router_keys",
     "MultipartiteDemand",
     "MultipartiteRouter",
     "OnlineScheduler",

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro route --switches 50 --states 10 --seed 7
     python -m repro route --algorithm q-cast --report
+    python -m repro route --algorithm "alg-n-fusion:h=5,include_alg4=false"
     python -m repro route --save instance.json
     python -m repro simulate instance.json --trials 2000
     python -m repro version
@@ -11,7 +12,9 @@ Usage::
 ``route`` samples a network + demand set, runs a router and prints the
 resulting rates (optionally the full plan report); ``simulate`` loads a
 saved instance, routes it and validates the analytic rate with the
-vectorised Monte Carlo engine.
+vectorised Monte Carlo engine.  ``--algorithm`` takes a router registry
+spec — a key from :func:`repro.routing.registry.router_keys`, optionally
+with ``:param=val,...`` overrides.
 """
 
 from __future__ import annotations
@@ -25,19 +28,27 @@ from repro.network.builder import NetworkConfig, build_network
 from repro.network.demands import generate_demands
 from repro.network.serialization import load_instance, save_instance
 from repro.quantum.noise import LinkModel, SwapModel
-from repro.routing.baselines import B1Router, MCFRouter, QCastNRouter, QCastRouter
-from repro.routing.nfusion import AlgNFusion
+from repro.routing.registry import RouterSpec, router_class, router_keys
 from repro.routing.report import render_plan_report
+from repro.utils.cli import argparse_type
 from repro.simulation.vectorized import VectorizedProcessSimulator
 from repro.utils.rng import ensure_rng
 
-ROUTERS = {
-    "alg-n-fusion": AlgNFusion,
-    "q-cast": QCastRouter,
-    "q-cast-n": QCastNRouter,
-    "b1": B1Router,
-    "mcf": MCFRouter,
-}
+#: Canonical key -> class view of the router registry (kept as a module
+#: attribute for discoverability and back-compat).
+ROUTERS = {key: router_class(key) for key in router_keys()}
+
+
+@argparse_type
+def _algorithm_spec(text: str) -> str:
+    """Argparse validator: *text* must parse as a router spec.
+
+    Returns the original string (the spec is rebuilt at use time) so
+    ``args.algorithm`` stays printable/comparable; argparse_type keeps
+    the registry's detailed message in the usage error.
+    """
+    RouterSpec.from_string(text)
+    return text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,8 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "length-based e^{-alpha L})")
     route.add_argument("--q", type=float, default=0.9,
                        help="fusion success probability")
-    route.add_argument("--algorithm", choices=sorted(ROUTERS),
-                       default="alg-n-fusion")
+    route.add_argument("--algorithm", type=_algorithm_spec,
+                       default="alg-n-fusion", metavar="SPEC",
+                       help="router registry spec key[:param=val,...] "
+                            f"(keys: {', '.join(router_keys())})")
     route.add_argument("--report", action="store_true",
                        help="print the full per-demand plan report")
     route.add_argument("--save", metavar="PATH",
@@ -71,8 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate", help="route a saved instance and Monte Carlo check it"
     )
     simulate.add_argument("instance", help="instance JSON from route --save")
-    simulate.add_argument("--algorithm", choices=sorted(ROUTERS),
-                          default="alg-n-fusion")
+    simulate.add_argument("--algorithm", type=_algorithm_spec,
+                          default="alg-n-fusion", metavar="SPEC",
+                          help="router registry spec key[:param=val,...]")
     simulate.add_argument("--trials", type=int, default=2000)
     simulate.add_argument("--p", type=float, default=None)
     simulate.add_argument("--q", type=float, default=0.9)
@@ -102,7 +116,7 @@ def cmd_route(args) -> int:
         save_instance(args.save, network, demands)
         print(f"instance saved to {args.save}")
     link, swap = _models(args)
-    router = ROUTERS[args.algorithm]()
+    router = RouterSpec.from_string(args.algorithm).build()
     result = router.route(network, demands, link, swap)
     if args.report:
         print(render_plan_report(network, demands, result, link, swap))
@@ -115,7 +129,7 @@ def cmd_route(args) -> int:
 def cmd_simulate(args) -> int:
     network, demands = load_instance(args.instance)
     link, swap = _models(args)
-    router = ROUTERS[args.algorithm]()
+    router = RouterSpec.from_string(args.algorithm).build()
     result = router.route(network, demands, link, swap)
     engine = VectorizedProcessSimulator(
         network, link, swap, ensure_rng(args.seed)

@@ -16,7 +16,10 @@ from repro.experiments.harness import (
     execute_task,
     merge_outcomes,
     parallel_map,
+    parse_shard,
     run_tasks,
+    shard_member,
+    shard_tasks,
 )
 from repro.experiments.regression import (
     build_regression_instance,
@@ -27,7 +30,7 @@ from repro.experiments.runner import (
     run_setting,
     run_settings,
     run_sweep,
-    standard_routers,
+    standard_specs,
 )
 from repro.experiments.figures import (
     fig7_generators,
@@ -54,13 +57,16 @@ __all__ = [
     "execute_task",
     "merge_outcomes",
     "parallel_map",
+    "parse_shard",
     "run_tasks",
+    "shard_member",
+    "shard_tasks",
     "build_regression_instance",
     "regenerate_regression_fixture",
     "run_setting",
     "run_settings",
     "run_sweep",
-    "standard_routers",
+    "standard_specs",
     "fig7_generators",
     "fig8a_link_probability",
     "fig8b_swap_probability",

@@ -5,6 +5,9 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments fig8a
     python -m repro.experiments fig9b --full --workers 4
+    python -m repro.experiments fig7 --routers alg-n-fusion,q-cast
+    python -m repro.experiments fig7 --routers "alg-n-fusion:include_alg4=false"
+    python -m repro.experiments fig7 --shard 0/2 --cache-dir .sweep-cache
     python -m repro.experiments all --workers 4 --cache-dir .sweep-cache
     python -m repro.experiments regen-regression
 
@@ -14,6 +17,15 @@ quick mode shrinks networks and averaging for fast turnaround.
 out over N processes — the merged series are bit-identical to a
 sequential run.  ``--cache-dir`` reuses previously computed (setting,
 router) results from a content-addressed on-disk cache.
+
+``--routers`` replaces a figure's default series with registry specs:
+comma-separated ``key[:param=val,...]`` entries (``python -m
+repro.experiments routers`` lists the keys).  ``--shard i/n`` runs only
+the i-th of n deterministic slices of the (setting, router) grid;
+complementary shards — on any machines — merge losslessly through a
+shared ``--cache-dir``, and any later run against that cache reports
+the complete series.
+
 ``regen-regression`` rewrites the pinned regression fixture under
 ``tests/data/`` bit-exactly from its frozen recipe.
 """
@@ -38,7 +50,11 @@ from repro.experiments import (
     protocol_coherence_study,
 )
 from repro.experiments.cache import ResultCache
+from repro.experiments.harness import parse_shard
 from repro.experiments.regression import regenerate_regression_fixture
+from repro.experiments.runner import reject_duplicate_labels
+from repro.routing.registry import parse_router_specs, router_keys
+from repro.utils.cli import argparse_type
 
 EXPERIMENTS: Dict[str, Callable] = {
     "fig7": fig7_generators,
@@ -55,8 +71,12 @@ EXPERIMENTS: Dict[str, Callable] = {
 }
 
 #: Experiments whose point loops parallelise but have no (setting,
-#: router) grid, hence no result cache.
+#: router) grid, hence no result cache, router override or shard.
 _WORKERS_ONLY = ("protocol", "lattice")
+
+#: Grid experiments whose router set is fixed by their definition
+#: (ratio/ablation tables); they still accept --shard and --cache-dir.
+_FIXED_ROUTERS = ("headline", "ablation")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,10 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "list", "regen-regression"],
+        choices=[*EXPERIMENTS, "all", "list", "routers", "regen-regression"],
         help=(
             "experiment id (figN / headline / ablation / protocol / "
-            "lattice), 'all', 'list' or 'regen-regression'"
+            "lattice), 'all', 'list', 'routers' or 'regen-regression'"
         ),
     )
     parser.add_argument(
@@ -97,21 +117,57 @@ def build_parser() -> argparse.ArgumentParser:
             "content-addressed cache directory"
         ),
     )
+    parser.add_argument(
+        "--routers",
+        type=argparse_type(parse_router_specs),
+        default=None,
+        metavar="SPEC[,SPEC...]",
+        help=(
+            "router specs to sweep instead of the figure's default "
+            "series: comma-separated key[:param=val,...] entries, e.g. "
+            "'alg-n-fusion:include_alg4=false,q-cast'"
+        ),
+    )
+    parser.add_argument(
+        "--shard",
+        type=argparse_type(parse_shard),
+        default=None,
+        metavar="I/N",
+        help=(
+            "run only the I-th of N deterministic slices of the "
+            "(setting, router) grid; complementary shards merge through "
+            "a shared --cache-dir"
+        ),
+    )
     return parser
 
 
-def run_one(name: str, quick: bool, workers, cache) -> None:
+def _note(name: str, flag: str, reason: str) -> None:
+    print(f"note: {flag} has no effect on {name!r} ({reason})", file=sys.stderr)
+
+
+def run_one(name: str, quick: bool, workers, cache, routers, shard) -> None:
     fn = EXPERIMENTS[name]
     if name in _WORKERS_ONLY:
         if cache is not None:
-            print(
-                f"note: --cache-dir has no effect on {name!r} "
-                "(no (setting, router) grid to cache)",
-                file=sys.stderr,
-            )
+            _note(name, "--cache-dir", "no (setting, router) grid to cache")
+        if routers is not None:
+            _note(name, "--routers", "the study's routers are fixed")
+        if shard is not None:
+            _note(name, "--shard", "no (setting, router) grid to shard")
         result = fn(quick=quick, workers=workers)
+    elif name in _FIXED_ROUTERS:
+        if routers is not None:
+            _note(name, "--routers", "the table's router set is fixed")
+        result = fn(quick=quick, workers=workers, cache=cache, shard=shard)
     else:
-        result = fn(quick=quick, workers=workers, cache=cache)
+        result = fn(
+            quick=quick,
+            workers=workers,
+            cache=cache,
+            routers=routers,
+            shard=shard,
+        )
     print(result.to_text())
     print()
 
@@ -122,18 +178,46 @@ def main(argv=None) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
+    if args.experiment == "routers":
+        for key in router_keys():
+            print(key)
+        return 0
     if args.experiment == "regen-regression":
         path = regenerate_regression_fixture()
         print(f"regenerated {path}")
         return 0
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    if args.shard is not None and cache is None:
+        print(
+            "note: --shard without --cache-dir computes a partial result "
+            "that cannot merge with other shards",
+            file=sys.stderr,
+        )
     quick = not args.full
+    routers_used = args.routers is not None and (
+        args.experiment == "all"
+        or args.experiment not in (*_WORKERS_ONLY, *_FIXED_ROUTERS)
+    )
+    if routers_used:
+        # Label collisions only arise from user-supplied specs; check
+        # them here so the run fails as a clean usage error before any
+        # routing work (runner re-checks as a backstop).  Experiments
+        # that ignore --routers keep their "no effect" note instead.
+        try:
+            reject_duplicate_labels(
+                [spec.build() for spec in args.routers]
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.experiment == "all":
         for name in EXPERIMENTS:
             print(f"=== {name} ===")
-            run_one(name, quick, args.workers, cache)
+            run_one(name, quick, args.workers, cache, args.routers, args.shard)
         return 0
-    run_one(args.experiment, quick, args.workers, cache)
+    run_one(
+        args.experiment, quick, args.workers, cache, args.routers, args.shard
+    )
     return 0
 
 

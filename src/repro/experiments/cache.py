@@ -22,20 +22,37 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.experiments.config import ExperimentSetting
+from repro.routing.registry import RouterSpecError
 
 #: Bump when the cached payload layout or the routing semantics change
 #: incompatibly; old entries then miss instead of poisoning results.
-CACHE_FORMAT_VERSION = 1
+#: v2: router identity moved from class name to the registry
+#: ``config_dict()`` (key + full parameters).
+CACHE_FORMAT_VERSION = 2
 
 
 def router_fingerprint(router) -> Dict:
     """A stable, JSON-ready description of *router*'s configuration.
 
-    All bundled routers are flat dataclasses, so class name + field
-    values pin their behaviour; anything else falls back to ``repr``,
-    which keeps correctness (same config ⇒ same repr for sane routers)
-    at the cost of hashing stability across releases.
+    *router* may be a built router instance or a
+    :class:`~repro.routing.registry.RouterSpec`; both expose
+    ``config_dict()`` — the registry key plus every parameter value —
+    which is identical across processes and for spec-built vs
+    hand-constructed instances of the same configuration.  Unregistered
+    routers fall back to class name + dataclass fields (or ``repr``),
+    which keeps correctness at the cost of hashing stability across
+    releases.
     """
+    config = getattr(router, "config_dict", None)
+    if callable(config):
+        try:
+            return config()
+        except RouterSpecError:
+            # E.g. an unregistered subclass of a registered router: its
+            # inherited config_dict refuses to claim the base class's
+            # identity, so fall through to the class-name fingerprint,
+            # which keeps the two distinct.
+            pass
     fingerprint: Dict = {"class": type(router).__name__}
     if dataclasses.is_dataclass(router) and not isinstance(router, type):
         fingerprint["config"] = dataclasses.asdict(router)
@@ -56,7 +73,13 @@ class ResultCache:
         self.cache_dir = Path(cache_dir)
 
     def key_for(self, setting: ExperimentSetting, router) -> str:
-        """Content hash addressing the (setting, router) result."""
+        """Content hash addressing the (setting, router) result.
+
+        *router* may be an instance or a ``RouterSpec``; equal
+        configurations hash identically either way, so shards running in
+        different processes (or on different machines) address the same
+        entries.
+        """
         payload = {
             "cache_format_version": CACHE_FORMAT_VERSION,
             "setting": setting_fingerprint(setting),

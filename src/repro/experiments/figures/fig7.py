@@ -7,11 +7,11 @@ contribution of up to ~16%).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentSetting, is_full_run
-from repro.experiments.runner import SweepResult, run_sweep, standard_routers
+from repro.experiments.runner import SweepResult, run_sweep, standard_specs
 
 GENERATORS = ("waxman", "watts_strogatz", "aiello")
 
@@ -20,8 +20,15 @@ def fig7_generators(
     quick: Optional[bool] = None,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    routers: Optional[Sequence] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> SweepResult:
-    """Run the Figure 7 sweep over topology generators."""
+    """Run the Figure 7 sweep over topology generators.
+
+    ``routers`` (specs, spec strings or instances) overrides the
+    figure's default series; ``shard=(i, n)`` runs only that slice of
+    the (setting, router) grid (see :func:`repro.experiments.runner.run_settings`).
+    """
     if quick is None:
         quick = not is_full_run()
     settings = []
@@ -38,7 +45,12 @@ def fig7_generators(
         x_label="generator",
         x_values=list(GENERATORS),
         settings=settings,
-        routers=standard_routers(include_alg3_only=True),
+        routers=(
+            standard_specs(include_alg3_only=True)
+            if routers is None
+            else routers
+        ),
         workers=workers,
         cache=cache,
+        shard=shard,
     )

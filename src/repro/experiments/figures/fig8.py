@@ -7,7 +7,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentSetting, is_full_run
@@ -21,6 +21,8 @@ def fig8a_link_probability(
     quick: Optional[bool] = None,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    routers: Optional[Sequence] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> SweepResult:
     """Run the Figure 8a sweep over the uniform link success probability."""
     if quick is None:
@@ -36,8 +38,10 @@ def fig8a_link_probability(
         x_label="p",
         x_values=list(P_VALUES),
         settings=settings,
+        routers=routers,
         workers=workers,
         cache=cache,
+        shard=shard,
     )
 
 
@@ -45,6 +49,8 @@ def fig8b_swap_probability(
     quick: Optional[bool] = None,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    routers: Optional[Sequence] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> SweepResult:
     """Run the Figure 8b sweep over the swapping success probability."""
     if quick is None:
@@ -60,6 +66,8 @@ def fig8b_swap_probability(
         x_label="q",
         x_values=list(Q_VALUES),
         settings=settings,
+        routers=routers,
         workers=workers,
         cache=cache,
+        shard=shard,
     )

@@ -8,7 +8,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentSetting, is_full_run
@@ -29,6 +29,8 @@ def fig9a_qubits(
     quick: Optional[bool] = None,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    routers: Optional[Sequence] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> SweepResult:
     """Run the Figure 9a sweep over switch qubit capacity."""
     if quick is None:
@@ -45,8 +47,10 @@ def fig9a_qubits(
         x_label="qubits",
         x_values=list(QUBIT_VALUES),
         settings=settings,
+        routers=routers,
         workers=workers,
         cache=cache,
+        shard=shard,
     )
 
 
@@ -54,6 +58,8 @@ def fig9b_switches(
     quick: Optional[bool] = None,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    routers: Optional[Sequence] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> SweepResult:
     """Run the Figure 9b sweep over the number of switches."""
     if quick is None:
@@ -73,8 +79,10 @@ def fig9b_switches(
         x_label="switches",
         x_values=list(SWITCH_VALUES),
         settings=settings,
+        routers=routers,
         workers=workers,
         cache=cache,
+        shard=shard,
     )
 
 
@@ -82,6 +90,8 @@ def fig9c_states(
     quick: Optional[bool] = None,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    routers: Optional[Sequence] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> SweepResult:
     """Run the Figure 9c sweep over the number of demanded states."""
     if quick is None:
@@ -96,8 +106,10 @@ def fig9c_states(
         x_label="states",
         x_values=list(STATE_VALUES),
         settings=settings,
+        routers=routers,
         workers=workers,
         cache=cache,
+        shard=shard,
     )
 
 
@@ -105,6 +117,8 @@ def fig9d_degree(
     quick: Optional[bool] = None,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    routers: Optional[Sequence] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> SweepResult:
     """Run the Figure 9d sweep over the average switch degree."""
     if quick is None:
@@ -121,6 +135,8 @@ def fig9d_degree(
         x_label="degree",
         x_values=list(DEGREE_VALUES),
         settings=settings,
+        routers=routers,
         workers=workers,
         cache=cache,
+        shard=shard,
     )

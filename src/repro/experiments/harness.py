@@ -12,6 +12,10 @@ sample seed.  This module makes that grid explicit:
 * :func:`run_tasks` executes tasks inline or on a
   ``ProcessPoolExecutor`` (``workers``), returning outcomes in task
   order;
+* :func:`shard_tasks` / :func:`shard_member` partition the grid
+  deterministically into ``n`` shards so independent runs (e.g. on
+  different machines) each own a disjoint slice and merge through the
+  shared content-addressed result cache;
 * :func:`merge_outcomes` folds outcomes back into per-setting
   ``{algorithm: mean rate}`` mappings, rejecting duplicate algorithm
   labels that would silently average two routers into one series.
@@ -109,6 +113,75 @@ def enumerate_tasks(
                     )
                 )
     return tasks
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a CLI ``i/n`` shard selector into ``(index, count)``."""
+    index_text, sep, count_text = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        shard = (int(index_text), int(count_text))
+    except ValueError:
+        raise ValueError(
+            f"shard must look like i/n with 0 <= i < n (e.g. 0/2), "
+            f"got {text!r}"
+        ) from None
+    return validate_shard(shard)
+
+
+def validate_shard(shard: Tuple[int, int]) -> Tuple[int, int]:
+    """Check a ``(index, count)`` shard selector; returns it unchanged."""
+    index, count = shard
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"shard index must satisfy 0 <= index < count, got "
+            f"{index}/{count}"
+        )
+    return index, count
+
+
+def shard_member(
+    shard: Tuple[int, int],
+    setting_index: int,
+    router_index: int,
+    num_routers: int,
+) -> bool:
+    """True when *shard* owns the (setting, router) series.
+
+    The partition unit is the whole per-sample series of one (setting,
+    router) pair — the same unit the result cache stores — so every
+    cache entry is produced by exactly one shard and complementary
+    sharded runs merge losslessly through a shared ``--cache-dir``.
+    Membership depends only on grid coordinates (round-robin over the
+    flattened setting x router grid), never on cache state, so the
+    partition is stable across runs and machines.
+    """
+    index, count = validate_shard(shard)
+    return (setting_index * num_routers + router_index) % count == index
+
+
+def shard_tasks(
+    tasks: Sequence[SweepTask],
+    shard: Tuple[int, int],
+    num_routers: Optional[int] = None,
+) -> List[SweepTask]:
+    """The subset of *tasks* owned by ``shard = (index, count)``.
+
+    ``num_routers`` is the router count of the full grid; when omitted
+    it is inferred from the tasks (valid only when the sequence spans
+    the complete grid).
+    """
+    tasks = list(tasks)
+    if num_routers is None:
+        num_routers = 1 + max((t.router_index for t in tasks), default=0)
+    return [
+        task
+        for task in tasks
+        if shard_member(
+            shard, task.setting_index, task.router_index, num_routers
+        )
+    ]
 
 
 #: Per-process memo of recently built (network, demands) instances, so

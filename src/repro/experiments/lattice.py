@@ -24,8 +24,7 @@ from repro.network.graph import QuantumNetwork
 from repro.network.node import QuantumUser
 from repro.network.topology.regular import grid_network
 from repro.quantum.noise import LinkModel, SwapModel
-from repro.routing.baselines import QCastRouter
-from repro.routing.nfusion import AlgNFusion
+from repro.routing.registry import make_router
 from repro.utils.geometry import Point
 from repro.utils.rng import ensure_rng
 
@@ -65,7 +64,9 @@ def _lattice_point(args) -> Dict[str, float]:
     network, demand = corner_pair_grid(side)
     demands = DemandSet([demand])
     rates: Dict[str, float] = {}
-    for router in (AlgNFusion(), QCastRouter()):
+    # The study is defined as n-fusion vs classic swapping, so the two
+    # routers are fixed; built via the registry like every entry point.
+    for router in (make_router("alg-n-fusion"), make_router("q-cast")):
         result = router.route(network, demands, link, swap)
         rates[router.name] = result.total_rate
     ratio = (

@@ -27,7 +27,7 @@ from repro.network.builder import build_network
 from repro.network.demands import generate_demands
 from repro.protocol.hardware import HardwareTimings
 from repro.protocol.simulator import ProtocolSimulator
-from repro.routing.nfusion import AlgNFusion
+from repro.routing.registry import make_router
 from repro.utils.rng import ensure_rng
 
 #: Coherence times swept (seconds).
@@ -72,7 +72,7 @@ def protocol_coherence_study(
     network = build_network(setting.network, rng)
     demands = generate_demands(network, setting.num_states, rng)
     link, swap = setting.link_model(), setting.swap_model()
-    result = AlgNFusion().route(network, demands, link, swap)
+    result = make_router("alg-n-fusion").route(network, demands, link, swap)
     flows = result.plan.flows()
 
     sweep = SweepResult(

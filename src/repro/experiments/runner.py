@@ -1,4 +1,4 @@
-"""Sweep runner: evaluate routers across experiment settings.
+"""Sweep runner: evaluate router specs across experiment settings.
 
 The runner is a thin orchestration layer over
 :mod:`repro.experiments.harness`: it expands settings × samples ×
@@ -7,12 +7,20 @@ routers into tasks, satisfies what it can from an optional
 or across worker processes, and merges outcomes deterministically.  The
 produced series are bit-identical for any ``workers`` value and for
 warm-vs-cold caches.
+
+Routers are addressed as :class:`~repro.routing.registry.RouterSpec`
+values (spec strings and registered router instances are coerced via
+:func:`~repro.routing.registry.as_spec`), so a sweep's router set can
+come from a CLI flag, a config file or a cache key as easily as from
+code.  A ``shard=(index, count)`` selector restricts execution to a
+deterministic slice of the (setting, router) grid; complementary shards
+running anywhere merge losslessly through a shared cache directory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentSetting, default_workers
@@ -21,23 +29,33 @@ from repro.experiments.harness import (
     enumerate_tasks,
     merge_outcomes,
     run_tasks,
+    shard_member,
+    validate_shard,
 )
-from repro.routing.baselines import B1Router, QCastNRouter, QCastRouter
-from repro.routing.nfusion import AlgNFusion
+from repro.routing.registry import Router, RouterSpec, as_spec
 from repro.utils.tables import format_series
 
 
-def standard_routers(include_alg3_only: bool = False) -> List:
-    """The paper's benchmark set, in its reporting order."""
-    routers = [
-        AlgNFusion(),
-        QCastRouter(),
-        QCastNRouter(),
-        B1Router(),
+def standard_specs(
+    include_alg3_only: bool = False,
+    include_mcf: bool = False,
+) -> List[RouterSpec]:
+    """The paper's benchmark set as specs, in its reporting order.
+
+    ``include_alg3_only`` appends the "Alg-3" ablation series (Figure
+    7); ``include_mcf`` appends the multicommodity-flow LP extension.
+    """
+    specs = [
+        RouterSpec.create("alg-n-fusion"),
+        RouterSpec.create("q-cast"),
+        RouterSpec.create("q-cast-n"),
+        RouterSpec.create("b1"),
     ]
+    if include_mcf:
+        specs.append(RouterSpec.create("mcf"))
     if include_alg3_only:
-        routers.append(AlgNFusion(include_alg4=False, name="ALG-N-FUSION"))
-    return routers
+        specs.append(RouterSpec.create("alg-n-fusion", include_alg4=False))
+    return specs
 
 
 def run_settings(
@@ -45,18 +63,35 @@ def run_settings(
     routers: Optional[Sequence] = None,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> List[Dict[str, float]]:
     """Mean network entanglement rate per algorithm at each setting.
 
     Each setting's ``num_networks`` samples draw fresh topologies and
     demand sets from the setting's seed; every router sees the same
-    samples, so the comparison is paired.  ``workers > 1`` fans the
-    (setting, sample, router) task grid out over that many processes;
-    ``cache`` short-circuits (setting, router) pairs already on disk.
-    ``workers=None`` reads the ``REPRO_WORKERS`` environment default.
+    samples, so the comparison is paired.  ``routers`` may mix
+    :class:`RouterSpec` values, spec strings and registered router
+    instances.  ``workers > 1`` fans the (setting, sample, router) task
+    grid out over that many processes; ``cache`` short-circuits
+    (setting, router) pairs already on disk.  ``workers=None`` reads the
+    ``REPRO_WORKERS`` environment default.
+
+    ``shard=(index, count)`` executes only the grid slice the shard
+    owns; series owned by other shards are still *read* from the cache
+    when present, so once every shard has run against a shared cache
+    directory any further run returns the complete merged result.
+    Series neither owned nor cached are simply absent from the returned
+    mappings.
     """
     settings = list(settings)
-    routers = list(routers) if routers is not None else standard_routers()
+    specs = [
+        as_spec(router)
+        for router in (routers if routers is not None else standard_specs())
+    ]
+    built: List[Router] = [spec.build() for spec in specs]
+    reject_duplicate_labels(built)
+    if shard is not None:
+        validate_shard(shard)
     if workers is None:
         workers = default_workers()
 
@@ -70,7 +105,7 @@ def run_settings(
     for setting_index, setting in enumerate(settings):
         fresh_routers: List = []
         fresh_router_indices: List[int] = []
-        for router_index, router in enumerate(routers):
+        for router_index, router in enumerate(built):
             entry = None
             if cache is not None:
                 entry = cache.get(cache.key_for(setting, router))
@@ -85,9 +120,13 @@ def run_settings(
                             total_rate=rate,
                         )
                     )
-            else:
+            elif shard is None or shard_member(
+                shard, setting_index, router_index, len(built)
+            ):
                 fresh_routers.append(router)
                 fresh_router_indices.append(router_index)
+            # else: the series belongs to another shard — skip it here;
+            # a later run sharing the cache directory merges it in.
         if fresh_routers:
             pending_settings.append(setting)
             pending_router_lists.append(fresh_routers)
@@ -110,9 +149,35 @@ def run_settings(
         )
 
     if cache is not None:
-        _store_fresh(cache, settings, routers, fresh_outcomes)
+        _store_fresh(cache, settings, built, fresh_outcomes)
 
     return merge_outcomes(len(settings), cached_outcomes + fresh_outcomes)
+
+
+def reject_duplicate_labels(built: Sequence) -> None:
+    """Fail before any routing work when two routers will report the
+    same series label.
+
+    ``merge_outcomes`` catches this too, but only after the sweep has
+    executed — a potentially hours-long waste for ``--full`` runs.
+    Routers expose the label either as ``algorithm_label`` (when it is
+    not simply the name, e.g. AlgNFusion's Alg-3-only suffix) or as
+    ``name``; routers exposing neither are left to the backstop.
+    """
+    owners: Dict[str, int] = {}
+    for index, router in enumerate(built):
+        label = getattr(
+            router, "algorithm_label", getattr(router, "name", None)
+        )
+        if label is None:
+            continue
+        owner = owners.setdefault(label, index)
+        if owner != index:
+            raise ValueError(
+                f"duplicate algorithm label {label!r}: routers {owner} and "
+                f"{index} both report it — give each router a distinct "
+                "name (e.g. ':name=VARIANT') so their series stay separate"
+            )
 
 
 def _store_fresh(
@@ -145,13 +210,16 @@ def run_setting(
     routers: Optional[Sequence] = None,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> Dict[str, float]:
     """Mean network entanglement rate per algorithm at one setting.
 
     See :func:`run_settings` for the execution model; this is the
     single-setting convenience wrapper.
     """
-    return run_settings([setting], routers, workers=workers, cache=cache)[0]
+    return run_settings(
+        [setting], routers, workers=workers, cache=cache, shard=shard
+    )[0]
 
 
 @dataclass
@@ -162,11 +230,23 @@ class SweepResult:
     x_label: str
     x_values: List
     series: Dict[str, List[float]] = field(default_factory=dict)
+    _points_added: int = field(default=0, init=False, repr=False)
 
     def add_point(self, rates: Mapping[str, float]) -> None:
-        """Append one sweep point's per-algorithm rates."""
+        """Append one sweep point's per-algorithm rates.
+
+        Algorithms absent at this point — e.g. series owned by another
+        shard of a partitioned run — are padded with NaN so every column
+        stays aligned with ``x_values``.
+        """
+        index = self._points_added
+        self._points_added = index + 1
         for name, value in rates.items():
-            self.series.setdefault(name, []).append(value)
+            column = self.series.setdefault(name, [])
+            column.extend([float("nan")] * (index - len(column)))
+            column.append(value)
+        for column in self.series.values():
+            column.extend([float("nan")] * (index + 1 - len(column)))
 
     def to_text(self) -> str:
         """Render as the rows/series the paper's figure shows."""
@@ -186,6 +266,7 @@ def run_sweep(
     routers: Optional[Sequence] = None,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> SweepResult:
     """Evaluate *settings* (one per x value) into a :class:`SweepResult`.
 
@@ -198,6 +279,8 @@ def run_sweep(
             f"{len(x_values)} x values but {len(settings)} settings"
         )
     sweep = SweepResult(title=title, x_label=x_label, x_values=list(x_values))
-    for rates in run_settings(settings, routers, workers=workers, cache=cache):
+    for rates in run_settings(
+        settings, routers, workers=workers, cache=cache, shard=shard
+    ):
         sweep.add_point(rates)
     return sweep

@@ -15,23 +15,29 @@ benchmark target prints paper-vs-measured rows.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentSetting, is_full_run
-from repro.experiments.runner import run_settings
-from repro.routing.nfusion import AlgNFusion
+from repro.experiments.runner import run_settings, standard_specs
+from repro.routing.registry import RouterSpec
 from repro.utils.tables import AsciiTable
 
 
 @dataclass(frozen=True)
 class RatioReport:
-    """Max observed improvement ratios across the evaluated settings."""
+    """Max observed improvement ratios across the evaluated settings.
+
+    A ratio is ``None`` when no evaluated setting held both of its
+    operand series — e.g. a ``--shard`` slice that owns neither — and
+    renders as ``n/a`` rather than a fabricated measurement.
+    """
 
     best_improvement_over_qcast: Dict[str, float]
-    alg_over_qcast_n: float
-    alg_over_b1: float
+    alg_over_qcast_n: Optional[float]
+    alg_over_b1: Optional[float]
     per_setting_rates: List[Dict[str, float]]
 
     def to_text(self) -> str:
@@ -40,17 +46,17 @@ class RatioReport:
         table.add_row([
             "ALG-N-FUSION vs Q-CAST",
             "655%",
-            _pct(self.best_improvement_over_qcast.get("ALG-N-FUSION", 0.0)),
+            _pct(self.best_improvement_over_qcast.get("ALG-N-FUSION")),
         ])
         table.add_row([
             "Q-CAST-N vs Q-CAST",
             "198%",
-            _pct(self.best_improvement_over_qcast.get("Q-CAST-N", 0.0)),
+            _pct(self.best_improvement_over_qcast.get("Q-CAST-N")),
         ])
         table.add_row([
             "B1 vs Q-CAST",
             "92%",
-            _pct(self.best_improvement_over_qcast.get("B1", 0.0)),
+            _pct(self.best_improvement_over_qcast.get("B1")),
         ])
         table.add_row([
             "ALG-N-FUSION vs Q-CAST-N", "153%", _pct(self.alg_over_qcast_n)
@@ -61,8 +67,16 @@ class RatioReport:
         return table.render()
 
 
-def _pct(ratio: float) -> str:
+def _pct(ratio: Optional[float]) -> str:
+    if ratio is None:
+        return "n/a"
     return f"{100.0 * ratio:.0f}%"
+
+
+def _max_or_none(values) -> Optional[float]:
+    """``max(values)``, or ``None`` for an empty sequence."""
+    values = list(values)
+    return max(values) if values else None
 
 
 def _improvement(a: float, b: float) -> float:
@@ -90,29 +104,49 @@ def headline_ratios(
     quick: Optional[bool] = None,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> RatioReport:
-    """Recompute the paper's Section V-C-1 headline improvement ratios."""
+    """Recompute the paper's Section V-C-1 headline improvement ratios.
+
+    The compared router set is fixed (the ratios are defined over the
+    paper's four series); ``shard=(i, n)`` still slices the (setting,
+    router) grid for distributed runs merging through a shared cache.
+    """
     if quick is None:
         quick = not is_full_run()
     best_over_qcast: Dict[str, float] = {}
-    alg_over_qcast_n = 0.0
-    alg_over_b1 = 0.0
+    alg_over_qcast_n: Optional[float] = None
+    alg_over_b1: Optional[float] = None
     per_setting = []
     all_rates = run_settings(
-        headline_settings(quick), workers=workers, cache=cache
+        headline_settings(quick),
+        routers=standard_specs(),
+        workers=workers,
+        cache=cache,
+        shard=shard,
     )
     for rates in all_rates:
         per_setting.append(rates)
-        qcast = rates.get("Q-CAST", 0.0)
+        # Sharded runs may lack some series at a setting; a ratio is
+        # only measured where both of its operands are, so partial runs
+        # report n/a instead of fabricated zeros.
+        qcast = rates.get("Q-CAST")
         for name in ("ALG-N-FUSION", "Q-CAST-N", "B1"):
-            improvement = _improvement(rates.get(name, 0.0), qcast)
-            if improvement > best_over_qcast.get(name, 0.0):
+            if qcast is None or name not in rates:
+                continue
+            best_over_qcast.setdefault(name, 0.0)
+            improvement = _improvement(rates[name], qcast)
+            if improvement > best_over_qcast[name]:
                 best_over_qcast[name] = improvement
-        alg = rates.get("ALG-N-FUSION", 0.0)
-        alg_over_qcast_n = max(
-            alg_over_qcast_n, _improvement(alg, rates.get("Q-CAST-N", 0.0))
-        )
-        alg_over_b1 = max(alg_over_b1, _improvement(alg, rates.get("B1", 0.0)))
+        alg = rates.get("ALG-N-FUSION")
+        if alg is not None and "Q-CAST-N" in rates:
+            alg_over_qcast_n = max(
+                alg_over_qcast_n or 0.0, _improvement(alg, rates["Q-CAST-N"])
+            )
+        if alg is not None and "B1" in rates:
+            alg_over_b1 = max(
+                alg_over_b1 or 0.0, _improvement(alg, rates["B1"])
+            )
     return RatioReport(
         best_improvement_over_qcast=best_over_qcast,
         alg_over_qcast_n=alg_over_qcast_n,
@@ -137,20 +171,27 @@ class AblationReport:
     rows: Tuple[Tuple[str, float, float, float], ...]
 
     @property
-    def improvement(self) -> float:
+    def improvement(self) -> Optional[float]:
         """Max gain of the full pipeline over the paper-literal Alg-3
-        single sweep (the paper's comparison)."""
-        return max(
-            (_improvement(full, sweep) for _, full, _, sweep in self.rows),
-            default=0.0,
+        single sweep (the paper's comparison).
+
+        ``None`` when no row holds both operands (a ``shard`` slice
+        owning neither variant); NaN rows are skipped so partial runs
+        aggregate only what they measured.
+        """
+        return _max_or_none(
+            _improvement(full, sweep)
+            for _, full, _, sweep in self.rows
+            if not (math.isnan(full) or math.isnan(sweep))
         )
 
     @property
-    def alg4_only_improvement(self) -> float:
+    def alg4_only_improvement(self) -> Optional[float]:
         """Max gain attributable to Algorithm 4 once refill already ran."""
-        return max(
-            (_improvement(full, no_a4) for _, full, no_a4, _ in self.rows),
-            default=0.0,
+        return _max_or_none(
+            _improvement(full, no_a4)
+            for _, full, no_a4, _ in self.rows
+            if not (math.isnan(full) or math.isnan(no_a4))
         )
 
     def to_text(self) -> str:
@@ -174,8 +215,14 @@ def alg4_ablation(
     quick: Optional[bool] = None,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> AblationReport:
-    """Recompute the paper's Algorithm 4 ablation (Section V-C-3)."""
+    """Recompute the paper's Algorithm 4 ablation (Section V-C-3).
+
+    The three variants are fixed by the ablation's definition; a
+    ``shard`` slice leaves the rows it does not own as NaN until the
+    complementary shards land in the shared cache.
+    """
     if quick is None:
         quick = not is_full_run()
     labels = ("default", "p=0.1", "p=0.2", "q=0.5")
@@ -183,22 +230,29 @@ def alg4_ablation(
     all_rates = run_settings(
         headline_settings(quick),
         routers=[
-            AlgNFusion(),
-            AlgNFusion(include_alg4=False, name="ALG-NO4"),
-            AlgNFusion(
-                include_alg4=False, refill_rounds=0, name="ALG-SWEEP"
+            RouterSpec.create("alg-n-fusion"),
+            RouterSpec.create(
+                "alg-n-fusion", include_alg4=False, name="ALG-NO4"
+            ),
+            RouterSpec.create(
+                "alg-n-fusion",
+                include_alg4=False,
+                refill_rounds=0,
+                name="ALG-SWEEP",
             ),
         ],
         workers=workers,
         cache=cache,
+        shard=shard,
     )
+    missing = float("nan")
     for label, rates in zip(labels, all_rates):
         rows.append(
             (
                 label,
-                rates["ALG-N-FUSION"],
-                rates["ALG-NO4 (Alg-3 only)"],
-                rates["ALG-SWEEP (Alg-3 only)"],
+                rates.get("ALG-N-FUSION", missing),
+                rates.get("ALG-NO4 (Alg-3 only)", missing),
+                rates.get("ALG-SWEEP (Alg-3 only)", missing),
             )
         )
     return AblationReport(rows=tuple(rows))

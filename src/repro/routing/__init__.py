@@ -4,7 +4,13 @@ Public entry points:
 
 * :class:`~repro.routing.nfusion.AlgNFusion` — the paper's ALG-N-FUSION
   (Algorithms 1-4 composed), producing a :class:`~repro.routing.plan.RoutingPlan`.
-* :mod:`repro.routing.baselines` — Q-CAST, Q-CAST-N and B1 comparators.
+* :mod:`repro.routing.baselines` — Q-CAST, Q-CAST-N, B1 and MCF
+  comparators.
+* :mod:`repro.routing.registry` — the router spec/registry API:
+  :class:`~repro.routing.registry.RouterSpec`,
+  :func:`~repro.routing.registry.make_router` and
+  :func:`~repro.routing.registry.register_router` address any router by
+  key + parameters instead of a hand-built object.
 * :func:`~repro.routing.metrics.path_entanglement_rate` and
   :class:`~repro.routing.flow_graph.FlowLikeGraph` — the routing metrics
   (paper Section III-C, Equation 1).
@@ -25,7 +31,23 @@ from repro.routing.alg2_path_selection import select_paths
 from repro.routing.alg3_merge import merge_paths
 from repro.routing.alg4_residual import assign_remaining_qubits
 from repro.routing.nfusion import AlgNFusion, RoutingResult
-from repro.routing.baselines import B1Router, QCastNRouter, QCastRouter
+from repro.routing.baselines import (
+    B1Router,
+    MCFRouter,
+    QCastNRouter,
+    QCastRouter,
+)
+from repro.routing.registry import (
+    Router,
+    RouterSpec,
+    RouterSpecError,
+    as_spec,
+    make_router,
+    parse_router_specs,
+    register_router,
+    router_class,
+    router_keys,
+)
 from repro.routing.report import render_plan_report
 from repro.routing.scheduler import OnlineScheduler, ScheduleResult
 from repro.routing.multipartite import (
@@ -53,6 +75,16 @@ __all__ = [
     "QCastRouter",
     "QCastNRouter",
     "B1Router",
+    "MCFRouter",
+    "Router",
+    "RouterSpec",
+    "RouterSpecError",
+    "as_spec",
+    "make_router",
+    "parse_router_specs",
+    "register_router",
+    "router_class",
+    "router_keys",
     "render_plan_report",
     "OnlineScheduler",
     "ScheduleResult",

@@ -31,6 +31,7 @@ from repro.network.graph import QuantumNetwork
 from repro.quantum.noise import LinkModel, SwapModel
 from repro.routing.allocation import QubitLedger
 from repro.routing.flow_graph import FlowLikeGraph
+from repro.routing.metrics import ChannelRateCache
 from repro.routing.paths import PathCandidate
 from repro.routing.plan import RoutingPlan
 
@@ -99,12 +100,15 @@ def admit_paths_efficiency(
     path_sets: PathSets,
     flows: Dict[int, FlowLikeGraph],
     ledger: QubitLedger,
+    rate_cache: Optional[ChannelRateCache] = None,
 ) -> int:
     """Marginal-efficiency greedy admission sweep (see module docstring).
 
     Repeatedly admits the candidate maximising ``rate gain / switch qubits
     consumed`` until no candidate both fits the ledger and improves its
-    demand's rate.  Returns the number of paths admitted.
+    demand's rate.  Returns the number of paths admitted.  ``rate_cache``
+    memoises per-(edge, width) channel rates across the many Equation-1
+    evaluations of the candidate loop; results are unchanged.
     """
     demand_by_id = {d.demand_id: d for d in demands}
     unknown = set(path_sets) - set(demand_by_id)
@@ -123,7 +127,8 @@ def admit_paths_efficiency(
         best_gain = 0.0
         for index, candidate in enumerate(pool):
             evaluation = _evaluate_candidate(
-                network, link_model, swap_model, candidate, flows, ledger
+                network, link_model, swap_model, candidate, flows, ledger,
+                rate_cache,
             )
             if evaluation is None:
                 continue
@@ -155,6 +160,7 @@ def _evaluate_candidate(
     candidate: PathCandidate,
     flows: Dict[int, FlowLikeGraph],
     ledger: QubitLedger,
+    rate_cache: Optional[ChannelRateCache] = None,
 ) -> Optional[Tuple[float, int]]:
     """Rate gain and switch-qubit cost of admitting *candidate* now.
 
@@ -179,12 +185,16 @@ def _evaluate_candidate(
         base_rate = 0.0
     else:
         trial = flow.copy()
-        base_rate = flow.entanglement_rate(network, link_model, swap_model)
+        base_rate = flow.entanglement_rate(
+            network, link_model, swap_model, rate_cache=rate_cache
+        )
     try:
         trial.add_path(candidate.nodes, candidate.width)
     except RoutingError:
         return None
-    gain = trial.entanglement_rate(network, link_model, swap_model) - base_rate
+    gain = trial.entanglement_rate(
+        network, link_model, swap_model, rate_cache=rate_cache
+    ) - base_rate
     if gain <= 0.0:
         return None
     return gain, cost

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.network.graph import QuantumNetwork
 from repro.quantum.noise import LinkModel, SwapModel
 from repro.routing.allocation import QubitLedger
+from repro.routing.metrics import ChannelRateCache
 from repro.routing.plan import RoutingPlan
 
 EdgeKey = Tuple[int, int]
@@ -29,15 +30,22 @@ def assign_remaining_qubits(
     swap_model: SwapModel,
     plan: RoutingPlan,
     ledger: QubitLedger,
+    rate_cache: Optional[ChannelRateCache] = None,
 ) -> List[Tuple[EdgeKey, int]]:
     """Run Algorithm 4, widening edges of *plan* in place.
 
     Returns the list of ``(edge, demand_id)`` assignments made, in order.
+    Residual scoring re-evaluates Equation 1 once per (edge, flow)
+    candidate, so the per-(edge, width) channel rates repeat heavily;
+    ``rate_cache`` (created here when not handed down from the caller's
+    search phase) memoises them without changing any result.
     """
     assignments: List[Tuple[EdgeKey, int]] = []
     flows = plan.flows()
     if not flows:
         return assignments
+    if rate_cache is None:
+        rate_cache = ChannelRateCache(network, link_model)
     # Only edges used by some flow can absorb an extra link; a link on an
     # unused edge has no state to join.
     candidate_edges = sorted(
@@ -50,10 +58,13 @@ def assign_remaining_qubits(
             for flow in flows:
                 if not flow.contains_edge(u, v):
                     continue
-                base = flow.entanglement_rate(network, link_model, swap_model)
+                base = flow.entanglement_rate(
+                    network, link_model, swap_model, rate_cache=rate_cache
+                )
                 widened = flow.entanglement_rate(
                     network, link_model, swap_model,
                     extra_widths={(u, v) if u < v else (v, u): 1},
+                    rate_cache=rate_cache,
                 )
                 gain = widened - base
                 if gain > best_gain + _MIN_GAIN:

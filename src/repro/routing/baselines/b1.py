@@ -29,8 +29,10 @@ from repro.routing.allocation import QubitLedger
 from repro.routing.metrics import ChannelRateCache
 from repro.routing.nfusion import RoutingResult
 from repro.routing.plan import RoutingPlan
+from repro.routing.registry import register_router
 
 
+@register_router("b1")
 @dataclass
 class B1Router:
     """Sequential per-pair n-fusion routing with [21]'s fusion-arity cap."""
@@ -114,7 +116,9 @@ class B1Router:
             if flow is not None:
                 plan.add_flow(flow)
 
-        demand_rates = plan.demand_rates(network, link_model, swap_model)
+        demand_rates = plan.demand_rates(
+            network, link_model, swap_model, rate_cache
+        )
         return RoutingResult(
             algorithm=self.name,
             plan=plan,

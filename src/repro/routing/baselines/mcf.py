@@ -34,12 +34,15 @@ from repro.network.graph import QuantumNetwork
 from repro.quantum.noise import LinkModel, SwapModel
 from repro.routing.allocation import QubitLedger
 from repro.routing.flow_graph import FlowLikeGraph
+from repro.routing.metrics import ChannelRateCache
 from repro.routing.nfusion import RoutingResult
 from repro.routing.plan import RoutingPlan
+from repro.routing.registry import register_router
 
 Arc = Tuple[int, int]
 
 
+@register_router("mcf")
 @dataclass
 class MCFRouter:
     """LP-relaxation multicommodity-flow router."""
@@ -121,7 +124,10 @@ class MCFRouter:
             if flow_graph is not None:
                 plan.add_flow(flow_graph)
 
-        demand_rates = plan.demand_rates(network, link_model, swap_model)
+        rate_cache = ChannelRateCache(network, link_model)
+        demand_rates = plan.demand_rates(
+            network, link_model, swap_model, rate_cache
+        )
         return RoutingResult(
             algorithm=self.name,
             plan=plan,

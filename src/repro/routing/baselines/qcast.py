@@ -27,8 +27,10 @@ from repro.routing.flow_graph import FlowLikeGraph
 from repro.routing.metrics import ChannelRateCache
 from repro.routing.nfusion import RoutingResult
 from repro.routing.plan import RoutingPlan
+from repro.routing.registry import register_router
 
 
+@register_router("q-cast", aliases=("qcast",))
 @dataclass
 class QCastRouter:
     """Greedy width-1 classic-swapping router (the Q-CAST baseline)."""
@@ -78,7 +80,9 @@ class QCastRouter:
             flow.add_path(nodes, width=1)
             plan.add_flow(flow)
 
-        demand_rates = plan.demand_rates(network, link_model, swap_model)
+        demand_rates = plan.demand_rates(
+            network, link_model, swap_model, rate_cache
+        )
         return RoutingResult(
             algorithm=self.name,
             plan=plan,

@@ -25,8 +25,10 @@ from repro.routing.flow_graph import FlowLikeGraph
 from repro.routing.metrics import ChannelRateCache
 from repro.routing.nfusion import RoutingResult
 from repro.routing.plan import RoutingPlan
+from repro.routing.registry import register_router
 
 
+@register_router("q-cast-n", aliases=("qcast-n",))
 @dataclass
 class QCastNRouter:
     """Greedy uniform-width single-path router under n-fusion semantics."""
@@ -79,7 +81,9 @@ class QCastNRouter:
             flow.add_path(nodes, width=width)
             plan.add_flow(flow)
 
-        demand_rates = plan.demand_rates(network, link_model, swap_model)
+        demand_rates = plan.demand_rates(
+            network, link_model, swap_model, rate_cache
+        )
         return RoutingResult(
             algorithm=self.name,
             plan=plan,

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.exceptions import RoutingError
 from repro.network.graph import QuantumNetwork
 from repro.quantum.noise import LinkModel, SwapModel
-from repro.routing.metrics import channel_rate
+from repro.routing.metrics import ChannelRateCache, channel_rate
 
 EdgeKey = Tuple[int, int]
 
@@ -189,18 +189,22 @@ class FlowLikeGraph:
         link_model: LinkModel,
         swap_model: SwapModel,
         extra_widths: Optional[Dict[EdgeKey, int]] = None,
+        rate_cache: Optional[ChannelRateCache] = None,
     ) -> float:
         """Analytic entanglement rate of this flow-like graph.
 
         ``extra_widths`` adds hypothetical width to edges without mutating
         the graph — Algorithm 4 uses this to evaluate marginal gains.
+        ``rate_cache`` memoises per-(edge, width) channel rates across
+        calls sharing one (network, link_model) pair; passing it changes
+        nothing but the amount of recomputation.
         """
         if not self._paths:
             return 0.0
         memo: Dict[int, float] = {}
         return self._rate_from(
             self.source, network, link_model, swap_model, memo,
-            extra_widths or {},
+            extra_widths or {}, rate_cache,
         )
 
     def _rate_from(
@@ -211,6 +215,7 @@ class FlowLikeGraph:
         swap_model: SwapModel,
         memo: Dict[int, float],
         extra_widths: Dict[EdgeKey, int],
+        rate_cache: Optional[ChannelRateCache],
     ) -> float:
         if node == self.destination:
             return 1.0
@@ -220,7 +225,10 @@ class FlowLikeGraph:
         for child in self._children.get(node, ()):
             key = _ekey(node, child)
             width = self._edge_widths[key] + extra_widths.get(key, 0)
-            edge_rate = channel_rate(network, link_model, node, child, width)
+            if rate_cache is not None:
+                edge_rate = rate_cache.rate(node, child, width)
+            else:
+                edge_rate = channel_rate(network, link_model, node, child, width)
             if child == self.destination or network.node(child).is_user:
                 swap = 1.0
             else:
@@ -234,7 +242,8 @@ class FlowLikeGraph:
                     )
                 )
             downstream = self._rate_from(
-                child, network, link_model, swap_model, memo, extra_widths
+                child, network, link_model, swap_model, memo, extra_widths,
+                rate_cache,
             )
             failure *= 1.0 - edge_rate * swap * downstream
         rate = 1.0 - failure

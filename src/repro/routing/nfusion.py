@@ -27,6 +27,7 @@ from repro.routing.allocation import QubitLedger
 from repro.routing.flow_graph import FlowLikeGraph
 from repro.routing.metrics import ChannelRateCache
 from repro.routing.plan import RoutingPlan
+from repro.routing.registry import register_router
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,7 @@ class RoutingResult:
         return len(self.demand_rates)
 
 
+@register_router("alg-n-fusion", aliases=("nfusion", "alg-n"))
 @dataclass
 class AlgNFusion:
     """The paper's ALG-N-FUSION router.
@@ -82,6 +84,11 @@ class AlgNFusion:
     max_hops: Optional[int] = None
     name: str = "ALG-N-FUSION"
 
+    @property
+    def algorithm_label(self) -> str:
+        """The series label ``route()`` will report, knowable upfront."""
+        return self.name if self.include_alg4 else f"{self.name} (Alg-3 only)"
+
     def with_fidelity_constraint(self, fidelity_model, min_fidelity: float
                                  ) -> "AlgNFusion":
         """A copy whose candidate paths all meet *min_fidelity* end-to-end
@@ -92,12 +99,12 @@ class AlgNFusion:
         return replace(self, max_hops=fidelity_model.max_hops(min_fidelity))
 
     def _admit(self, network, link_model, swap_model, demands, path_sets,
-               flows, ledger) -> int:
+               flows, ledger, rate_cache=None) -> int:
         """Dispatch one admission sweep to the configured policy."""
         if self.admission_policy == "efficiency":
             return admit_paths_efficiency(
                 network, link_model, swap_model, demands, path_sets, flows,
-                ledger,
+                ledger, rate_cache=rate_cache,
             )
         if self.admission_policy == "widest_first":
             return admit_paths(network, demands, path_sets, flows, ledger)
@@ -140,7 +147,7 @@ class AlgNFusion:
         ledger = QubitLedger(network)
         flows: Dict[int, FlowLikeGraph] = {}
         self._admit(network, link_model, swap_model, demands, path_sets,
-                    flows, ledger)
+                    flows, ledger, rate_cache)
 
         # Refill sweeps: candidates from Step I were selected against full
         # capacities, so contention can block them at admission time even
@@ -170,7 +177,7 @@ class AlgNFusion:
             if not refill_sets:
                 break
             if self._admit(network, link_model, swap_model, demands,
-                           refill_sets, flows, ledger) == 0:
+                           refill_sets, flows, ledger, rate_cache) == 0:
                 break
 
         plan = RoutingPlan()
@@ -179,12 +186,16 @@ class AlgNFusion:
 
         # Step III: spend the leftovers.
         if self.include_alg4:
-            assign_remaining_qubits(network, link_model, swap_model, plan, ledger)
+            assign_remaining_qubits(
+                network, link_model, swap_model, plan, ledger,
+                rate_cache=rate_cache,
+            )
 
-        demand_rates = plan.demand_rates(network, link_model, swap_model)
-        label = self.name if self.include_alg4 else f"{self.name} (Alg-3 only)"
+        demand_rates = plan.demand_rates(
+            network, link_model, swap_model, rate_cache
+        )
         return RoutingResult(
-            algorithm=label,
+            algorithm=self.algorithm_label,
             plan=plan,
             total_rate=sum(demand_rates.values()),
             demand_rates=demand_rates,

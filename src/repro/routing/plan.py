@@ -10,6 +10,7 @@ from repro.network.demands import DemandSet
 from repro.network.graph import QuantumNetwork
 from repro.quantum.noise import LinkModel, SwapModel
 from repro.routing.flow_graph import FlowLikeGraph
+from repro.routing.metrics import ChannelRateCache
 
 
 class RoutingPlan:
@@ -55,10 +56,17 @@ class RoutingPlan:
         network: QuantumNetwork,
         link_model: LinkModel,
         swap_model: SwapModel,
+        rate_cache: Optional[ChannelRateCache] = None,
     ) -> Dict[int, float]:
-        """Analytic entanglement rate per routed demand."""
+        """Analytic entanglement rate per routed demand.
+
+        ``rate_cache`` memoises per-(edge, width) channel rates across
+        the flows (and with the router's earlier search phases).
+        """
         return {
-            demand_id: flow.entanglement_rate(network, link_model, swap_model)
+            demand_id: flow.entanglement_rate(
+                network, link_model, swap_model, rate_cache=rate_cache
+            )
             for demand_id, flow in sorted(self._flows.items())
         }
 
@@ -67,9 +75,14 @@ class RoutingPlan:
         network: QuantumNetwork,
         link_model: LinkModel,
         swap_model: SwapModel,
+        rate_cache: Optional[ChannelRateCache] = None,
     ) -> float:
         """Network entanglement rate: expected number of shared states."""
-        return sum(self.demand_rates(network, link_model, swap_model).values())
+        return sum(
+            self.demand_rates(
+                network, link_model, swap_model, rate_cache
+            ).values()
+        )
 
     def qubits_used(self) -> Dict[int, int]:
         """Total qubits consumed per node across all flows."""

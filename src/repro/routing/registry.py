@@ -1,0 +1,487 @@
+"""Router spec/registry: address routers by name + parameters.
+
+Every routing algorithm in the library is registered under a short key
+("alg-n-fusion", "q-cast", "q-cast-n", "b1", "mcf") and can be built
+from a :class:`RouterSpec` — a serializable ``(key, params)`` record —
+instead of a hand-constructed Python object.  This gives every layer a
+common currency:
+
+* the CLIs accept ``--routers KEY[:param=val,...]`` strings and parse
+  them with :func:`parse_router_specs`;
+* the experiments runner expands specs into router instances right
+  before execution (specs are tiny and picklable, so they cross process
+  boundaries cheaply);
+* the result cache derives router identity from ``config_dict()``,
+  which is stable across processes and releases (unlike ``repr`` or
+  instance identity).
+
+Registering a new router is one decorator::
+
+    @register_router("my-router")
+    @dataclass
+    class MyRouter:
+        threshold: float = 0.5
+        name: str = "MY-ROUTER"
+
+        def route(self, network, demands, link_model=None, swap_model=None):
+            ...
+
+after which ``RouterSpec.from_string("my-router:threshold=0.25")``,
+``make_router("my-router")`` and every experiment CLI's ``--routers``
+flag can address it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.exceptions import ConfigurationError
+from repro.network.demands import DemandSet
+from repro.network.graph import QuantumNetwork
+from repro.quantum.noise import LinkModel, SwapModel
+
+
+class RouterSpecError(ConfigurationError, ValueError):
+    """A router key, parameter or spec string is invalid.
+
+    Subclasses :class:`ValueError` as well so ``argparse`` type callables
+    can surface the message as a normal usage error.
+    """
+
+
+@runtime_checkable
+class Router(Protocol):
+    """What the experiments layer requires of a routing algorithm."""
+
+    name: str
+
+    def route(
+        self,
+        network: QuantumNetwork,
+        demands: DemandSet,
+        link_model: Optional[LinkModel] = None,
+        swap_model: Optional[SwapModel] = None,
+    ) -> "RoutingResult":  # noqa: F821 - avoids a circular import
+        """Route *demands* over *network* and report analytic rates."""
+        ...
+
+    def config_dict(self) -> Dict:
+        """Stable, JSON-ready identity: registry key + full parameters."""
+        ...
+
+
+_REGISTRY: Dict[str, type] = {}
+_ALIASES: Dict[str, str] = {}
+_BUILTINS_LOADED = False
+
+
+def _load_builtins() -> None:
+    """Import the bundled router modules so their registrations run.
+
+    Deferred to first lookup: the router modules import this module for
+    the decorator, so importing them here at module load would cycle.
+    """
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        _BUILTINS_LOADED = True
+        import repro.routing.baselines  # noqa: F401
+        import repro.routing.nfusion  # noqa: F401
+
+
+#: Legal registry keys/aliases: lowercase, and free of the spec-string
+#: separators (``:`` ``,`` ``=``) and whitespace that would make them
+#: unparseable from the CLI.
+_KEY_PATTERN = re.compile(r"[a-z0-9][a-z0-9._-]*")
+
+
+def _default_config_dict(self) -> Dict:
+    """Registry key plus every dataclass field (defaults included)."""
+    cls = type(self)
+    if _REGISTRY.get(cls.registry_key) is not cls:
+        # An unregistered subclass inherits registry_key; claiming the
+        # base class's identity would poison cache keys and specs.
+        raise RouterSpecError(
+            f"{cls.__name__} is not a registered router (it inherits "
+            f"{cls.registry_key!r} from a base class); decorate it with "
+            "@register_router to give it its own identity"
+        )
+    return {
+        "key": cls.registry_key,
+        "params": dataclasses.asdict(self),
+    }
+
+
+def register_router(key: str, aliases: Tuple[str, ...] = ()):
+    """Class decorator registering a router dataclass under *key*.
+
+    Stamps ``registry_key`` on the class and, unless the class defines
+    its own, a ``config_dict()`` deriving the router's stable identity
+    from its dataclass fields.  *aliases* are accepted anywhere a key is
+    (CLI strings, :func:`make_router`) and normalize to *key*.
+    """
+
+    def decorate(cls):
+        # Make sure the bundled routers are present before collision
+        # checks (no-op while the builtin modules themselves load).
+        _load_builtins()
+        if not dataclasses.is_dataclass(cls):
+            raise TypeError(
+                f"register_router requires a dataclass, got {cls.__name__}"
+            )
+        for name in (key, *aliases):
+            if not _KEY_PATTERN.fullmatch(name):
+                # Lookups lowercase their input and spec strings reserve
+                # the separator characters, so such a name would be
+                # permanently unreachable or unparseable.
+                raise RouterSpecError(
+                    f"invalid router key/alias {name!r}: must be "
+                    "lowercase and match "
+                    f"{_KEY_PATTERN.pattern!r}"
+                )
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing is not cls:
+            raise RouterSpecError(
+                f"router key {key!r} already registered to "
+                f"{existing.__name__}"
+            )
+        if _ALIASES.get(key, key) != key:
+            raise RouterSpecError(
+                f"router key {key!r} is already an alias of "
+                f"{_ALIASES[key]!r}"
+            )
+        for alias in aliases:
+            # An alias may neither shadow a registered key (aliases win
+            # during lookup, so that would silently hijack the key) nor
+            # redirect an alias some other router already owns.
+            if alias in _REGISTRY and _REGISTRY[alias] is not cls:
+                raise RouterSpecError(
+                    f"alias {alias!r} collides with the registered "
+                    f"router key {alias!r}"
+                )
+            if _ALIASES.get(alias, key) != key:
+                raise RouterSpecError(
+                    f"alias {alias!r} already points to {_ALIASES[alias]!r}"
+                )
+        _REGISTRY[key] = cls
+        cls.registry_key = key
+        if "config_dict" not in cls.__dict__:
+            cls.config_dict = _default_config_dict
+        for alias in aliases:
+            _ALIASES[alias] = key
+        return cls
+
+    return decorate
+
+
+def router_keys() -> List[str]:
+    """All registered canonical router keys, sorted."""
+    _load_builtins()
+    return sorted(_REGISTRY)
+
+
+def normalize_key(key: str) -> str:
+    """Resolve *key* (or an alias) to its canonical registry key."""
+    _load_builtins()
+    candidate = key.strip().lower()
+    candidate = _ALIASES.get(candidate, candidate)
+    if candidate not in _REGISTRY:
+        raise RouterSpecError(
+            f"unknown router key {key!r}; known routers: "
+            f"{', '.join(router_keys())}"
+        )
+    return candidate
+
+
+def router_class(key: str) -> type:
+    """The router class registered under *key* (aliases accepted)."""
+    return _REGISTRY[normalize_key(key)]
+
+
+@dataclass(frozen=True)
+class RouterSpec:
+    """A router addressed by registry key plus explicit parameters.
+
+    ``params`` holds only the parameters that differ from the router
+    class's defaults as a sorted tuple of ``(name, value)`` pairs, so
+    specs are hashable, picklable and canonically comparable.  Use
+    :meth:`create` / :meth:`from_string` rather than the raw constructor;
+    both normalize the key and validate parameter names against the
+    router class's fields.
+    """
+
+    key: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "key", normalize_key(self.key))
+        cls = _REGISTRY[self.key]
+        fields = {f.name: f for f in dataclasses.fields(cls)}
+        params = dict(self.params)
+        unknown = [name for name in params if name not in fields]
+        if unknown:
+            raise RouterSpecError(
+                f"unknown parameter(s) {', '.join(repr(u) for u in unknown)} "
+                f"for router {self.key!r}; valid parameters: "
+                f"{', '.join(sorted(fields))}"
+            )
+        # Coerce by the field's declared type where the spec-string
+        # value grammar is ambiguous (e.g. name=123 must stay a str,
+        # include_alg4=0 must mean False so equal configurations hash
+        # identically), rejecting type-invalid values here rather than
+        # deep inside a routing run.  Then drop explicit defaults so
+        # equal configurations are equal specs.
+        coerced = {
+            name: _coerce_param(name, value, fields[name].type, self.key)
+            for name, value in params.items()
+        }
+        for value in coerced.values():
+            if isinstance(value, str):
+                # Catch unserializable strings here so every
+                # constructible spec has a working to_string()/__str__.
+                _check_spec_string(value)
+        canonical = tuple(
+            sorted(
+                (name, value)
+                for name, value in coerced.items()
+                if value != fields[name].default
+            )
+        )
+        object.__setattr__(self, "params", canonical)
+
+    @classmethod
+    def create(cls, key: str, **params) -> "RouterSpec":
+        """Spec for *key* with keyword parameter overrides."""
+        return cls(key, tuple(params.items()))
+
+    @classmethod
+    def from_string(cls, text: str) -> "RouterSpec":
+        """Parse ``"key"`` or ``"key:param=val,param=val"``.
+
+        Values parse as booleans (``true``/``false``), ``none``, ints,
+        floats, then fall back to strings — matching what
+        :meth:`to_string` emits, so specs round-trip.
+        """
+        key, sep, rest = text.strip().partition(":")
+        if not key:
+            raise RouterSpecError(f"empty router key in spec {text!r}")
+        params: Dict[str, object] = {}
+        if sep:
+            for item in rest.split(","):
+                name, eq, value = item.partition("=")
+                name = name.strip()
+                if not eq or not name or "=" in value:
+                    # A second "=" could parse here but to_string could
+                    # never re-emit it; reject symmetrically.
+                    raise RouterSpecError(
+                        f"malformed parameter {item!r} in spec {text!r}; "
+                        "expected name=value"
+                    )
+                params[name] = _parse_value(value.strip())
+        return cls.create(key, **params)
+
+    def to_string(self) -> str:
+        """The ``key[:param=val,...]`` form; round-trips via
+        :meth:`from_string`."""
+        if not self.params:
+            return self.key
+        rendered = ",".join(
+            f"{name}={_format_value(value)}" for name, value in self.params
+        )
+        return f"{self.key}:{rendered}"
+
+    def param_dict(self) -> Dict[str, object]:
+        """The explicit parameter overrides as a plain dict."""
+        return dict(self.params)
+
+    def build(self) -> Router:
+        """Instantiate the registered router class with these params."""
+        return _REGISTRY[self.key](**self.param_dict())
+
+    def config_dict(self) -> Dict:
+        """Identical to the built router's ``config_dict()`` — the full
+        field set, not just the overrides — so cache keys are stable
+        whether derived from the spec or the instance."""
+        return self.build().config_dict()
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+def make_router(key: str, **params) -> Router:
+    """Build a registered router: ``make_router("alg-n-fusion", h=5)``."""
+    return RouterSpec.create(key, **params).build()
+
+
+def as_spec(router) -> RouterSpec:
+    """Coerce a spec, spec string or registered router instance to a
+    :class:`RouterSpec`.
+
+    Instance coercion keeps only the fields that differ from the class
+    defaults, so ``as_spec(AlgNFusion())`` equals
+    ``RouterSpec.create("alg-n-fusion")``.
+    """
+    if isinstance(router, RouterSpec):
+        return router
+    if isinstance(router, str):
+        return RouterSpec.from_string(router)
+    key = getattr(type(router), "registry_key", None)
+    # The class itself must be the registered one: an unregistered
+    # subclass inherits registry_key, and coercing it to the base spec
+    # would silently rebuild (and evaluate) the wrong router.
+    if key is not None and _REGISTRY.get(key) is type(router):
+        overrides = {
+            field.name: getattr(router, field.name)
+            for field in dataclasses.fields(router)
+            if getattr(router, field.name) != field.default
+        }
+        return RouterSpec.create(key, **overrides)
+    raise RouterSpecError(
+        f"cannot derive a RouterSpec from {router!r}; pass a RouterSpec, "
+        "a spec string, or an instance of a @register_router class "
+        "(subclasses need their own registration)"
+    )
+
+
+def parse_router_specs(text: str) -> List[RouterSpec]:
+    """Parse a CLI ``--routers`` value into specs.
+
+    The value is comma-separated; a segment containing ``=`` but no
+    ``:`` before it continues the previous spec's parameter list, so
+    ``"alg-n-fusion:include_alg4=false,h=5,q-cast"`` is two specs.
+    """
+    groups: List[List[str]] = []
+    for segment in text.split(","):
+        colon, eq = segment.find(":"), segment.find("=")
+        continues = eq != -1 and (colon == -1 or eq < colon)
+        if continues:
+            if not groups:
+                raise RouterSpecError(
+                    f"--routers value {text!r} starts with a parameter "
+                    f"({segment!r}) instead of a router key"
+                )
+            groups[-1].append(segment)
+        else:
+            groups.append([segment])
+    return [RouterSpec.from_string(",".join(group)) for group in groups]
+
+
+#: Field annotations the spec grammar understands; anything else (a
+#: custom router's exotic type) is passed through unvalidated.
+_OPTIONAL_PATTERN = re.compile(r"(?:typing\.)?Optional\[(.+)\]")
+
+
+def _coerce_param(name: str, value, annotation, key: str):
+    """Coerce a parsed spec value to the field's declared type, or
+    reject it.
+
+    Spec-string values parse by shape, so ``name=123`` arrives as the
+    int 123 even though ``name`` is a str field, and ``include_alg4=0``
+    as an int that must canonicalize to ``False`` for cache keys to
+    match the ``false`` spelling.  Type-invalid values (``max_width=abc``)
+    raise here — at the CLI's parse-time validators — instead of as a
+    raw TypeError deep inside a routing run.  Annotations are compared
+    textually because the router modules use ``from __future__ import
+    annotations``.
+    """
+    text = (
+        annotation
+        if isinstance(annotation, str)
+        else getattr(annotation, "__name__", str(annotation))
+    ).strip()
+    optional = False
+    wrapped = _OPTIONAL_PATTERN.fullmatch(text)
+    if wrapped:
+        optional = True
+        text = wrapped.group(1).strip()
+    if text not in ("str", "bool", "int", "float"):
+        return value
+    if value is None:
+        if optional:
+            return None
+        raise RouterSpecError(
+            f"parameter {name!r} of router {key!r} must be {text}, "
+            "got none"
+        )
+    if text == "str":
+        return value if isinstance(value, str) else _format_value(value)
+    if text == "bool":
+        if isinstance(value, bool):
+            return value
+        if value in (0, 1):
+            return bool(value)
+    elif text == "int":
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+    elif text == "float":
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            value = float(value)
+            if math.isnan(value):
+                # NaN breaks spec equality (nan != nan) and to_string.
+                raise RouterSpecError(
+                    f"parameter {name!r} of router {key!r} must not be NaN"
+                )
+            return value
+    raise RouterSpecError(
+        f"parameter {name!r} of router {key!r} must be "
+        f"{'an optional ' if optional else ''}{text}, got {value!r}"
+    )
+
+
+def _parse_value(text: str):
+    """Spec-string value syntax: bool / none / int / float / str."""
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _check_spec_string(value: str) -> str:
+    """Reject str values the spec grammar cannot re-parse.
+
+    Separators and surrounding whitespace are lost in parsing;
+    numeric-looking strings are fine — the declared-type coercion in
+    :class:`RouterSpec` restores them to str on the way back in.
+    """
+    if any(sep in value for sep in ",:=") or value != value.strip():
+        raise RouterSpecError(
+            f"string parameter value {value!r} does not survive a "
+            "spec-string round trip"
+        )
+    return value
+
+
+def _format_value(value) -> str:
+    """Inverse of :func:`_parse_value`; rejects unrepresentable values."""
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if value is None:
+        return "none"
+    if isinstance(value, str):
+        return _check_spec_string(value)
+    rendered = repr(value) if isinstance(value, float) else str(value)
+    if _parse_value(rendered) != value:
+        # E.g. a container value on an unannotated custom-router field:
+        # its str() form would parse back as something else entirely.
+        raise RouterSpecError(
+            f"parameter value {value!r} does not survive a spec-string "
+            "round trip"
+        )
+    return rendered

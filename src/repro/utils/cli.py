@@ -1,0 +1,26 @@
+"""Small argparse helpers shared by the package's CLIs."""
+
+from __future__ import annotations
+
+import argparse
+import functools
+from typing import Callable
+
+
+def argparse_type(parse_fn: Callable):
+    """Wrap a ValueError-raising parser for use as an argparse ``type=``.
+
+    argparse replaces a plain ValueError from a type callable with a
+    generic "invalid value" message; re-raising as ArgumentTypeError
+    preserves the parser's detailed text (e.g. the router registry's
+    list of known keys) in the usage error.
+    """
+
+    @functools.wraps(parse_fn)
+    def wrapper(text: str):
+        try:
+            return parse_fn(text)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+
+    return wrapper

@@ -7,7 +7,7 @@ from repro.experiments.runner import (
     SweepResult,
     run_setting,
     run_sweep,
-    standard_routers,
+    standard_specs,
 )
 from repro.network.builder import NetworkConfig
 
@@ -64,10 +64,12 @@ class TestRunner:
         b = run_setting(tiny_setting())
         assert a == pytest.approx(b)
 
-    def test_standard_routers_order(self):
-        names = [r.name for r in standard_routers()]
+    def test_standard_specs_order(self):
+        names = [spec.build().name for spec in standard_specs()]
         assert names == ["ALG-N-FUSION", "Q-CAST", "Q-CAST-N", "B1"]
-        assert len(standard_routers(include_alg3_only=True)) == 5
+        assert len(standard_specs(include_alg3_only=True)) == 5
+        keys = [spec.key for spec in standard_specs(include_mcf=True)]
+        assert keys == ["alg-n-fusion", "q-cast", "q-cast-n", "b1", "mcf"]
 
     def test_run_sweep(self):
         settings = [tiny_setting(fixed_p=p) for p in (0.3, 0.6)]

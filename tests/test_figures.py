@@ -25,7 +25,8 @@ def stub_runner(monkeypatch):
     """Replace run_settings with a recorder returning fixed rates."""
     calls = []
 
-    def fake_run_settings(settings, routers=None, workers=None, cache=None):
+    def fake_run_settings(settings, routers=None, workers=None, cache=None,
+                          shard=None):
         calls.extend(settings)
         return [
             {

@@ -187,3 +187,42 @@ def brute_force_rate(network, flow, link, swap):
             if reached:
                 total += prob
     return total
+
+
+class TestRateCacheParity:
+    """Equation 1 with a ChannelRateCache is bit-identical to without."""
+
+    def _braided_flow(self):
+        flow = FlowLikeGraph(0, 0, 1)
+        flow.add_path([0, 2, 3, 1], width=2)
+        flow.add_path([0, 4, 5, 1], width=1)
+        return flow
+
+    def test_flow_rate_identical_with_cache(self, diamond_network):
+        from repro.routing.metrics import ChannelRateCache
+
+        link, swap = LinkModel(fixed_p=0.6), SwapModel(q=0.8)
+        flow = self._braided_flow()
+        cache = ChannelRateCache(diamond_network, link)
+        uncached = flow.entanglement_rate(diamond_network, link, swap)
+        cached = flow.entanglement_rate(
+            diamond_network, link, swap, rate_cache=cache
+        )
+        recached = flow.entanglement_rate(
+            diamond_network, link, swap, rate_cache=cache
+        )
+        assert cached == uncached
+        assert recached == uncached
+
+    def test_extra_widths_identical_with_cache(self, diamond_network):
+        from repro.routing.metrics import ChannelRateCache
+
+        link, swap = LinkModel(fixed_p=0.6), SwapModel(q=0.8)
+        flow = self._braided_flow()
+        cache = ChannelRateCache(diamond_network, link)
+        extra = {(2, 3): 1}
+        assert flow.entanglement_rate(
+            diamond_network, link, swap, extra_widths=extra, rate_cache=cache
+        ) == flow.entanglement_rate(
+            diamond_network, link, swap, extra_widths=extra
+        )

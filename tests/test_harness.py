@@ -19,7 +19,7 @@ from repro.experiments.runner import (
     run_setting,
     run_settings,
     run_sweep,
-    standard_routers,
+    standard_specs,
 )
 from repro.network.builder import NetworkConfig
 from repro.routing.baselines import QCastRouter
@@ -42,7 +42,7 @@ def tiny_setting(**kwargs):
 class TestTaskEnumeration:
     def test_grid_shape_and_order(self):
         settings = [tiny_setting(), tiny_setting(seed=78)]
-        routers = standard_routers()
+        routers = [spec.build() for spec in standard_specs()]
         tasks = enumerate_tasks(settings, [routers, routers])
         assert len(tasks) == 2 * 2 * len(routers)
         # Samples outer, routers inner — the sequential accumulation order.
@@ -134,7 +134,7 @@ class TestResultCache:
     def test_cache_files_appear_per_router(self, tmp_path):
         cache = ResultCache(tmp_path)
         run_setting(tiny_setting(num_networks=1), cache=cache)
-        assert len(list(tmp_path.glob("*.json"))) == len(standard_routers())
+        assert len(list(tmp_path.glob("*.json"))) == len(standard_specs())
 
     def test_key_changes_with_setting_and_router(self, tmp_path):
         cache = ResultCache(tmp_path)
