@@ -5,6 +5,11 @@ them (visible with ``pytest -s`` or in the benchmark logs) and writes them
 under ``benchmarks/results/`` so EXPERIMENTS.md can reference stable
 artifacts.  Set ``REPRO_FULL=1`` for paper-scale runs; the default quick
 mode shrinks network counts so the whole harness runs in minutes.
+
+The sweeps honour ``REPRO_WORKERS`` (worker processes) and
+``REPRO_CACHE_DIR`` (content-addressed result cache), so the nightly CI
+tier re-runs paper-scale figures incrementally: a warm cache turns an
+unchanged figure into a read.
 """
 
 from __future__ import annotations

@@ -1,6 +1,9 @@
 """Benchmark: regenerate Figure 9b (number of switches sweep)."""
 
-from repro.experiments import fig9b_switches
+import pytest
+
+from repro.experiments import fig9b_ext_switches, fig9b_switches
+from repro.experiments.config import is_full_run
 
 from conftest import report
 
@@ -9,4 +12,17 @@ def test_fig9b_switches(benchmark):
     """Runs the sweep once and reports the series the paper plots."""
     sweep = benchmark.pedantic(fig9b_switches, rounds=1, iterations=1)
     report("fig9b_switches", sweep.to_text())
+    assert sweep.series_for("ALG-N-FUSION")
+
+
+@pytest.mark.skipif(
+    not is_full_run(),
+    reason="extended switch sweep (800/1600) runs at paper scale only "
+    "(REPRO_FULL=1)",
+)
+def test_fig9b_extended_switches(benchmark):
+    """Beyond-paper switch counts, nightly-tier only."""
+    sweep = benchmark.pedantic(fig9b_ext_switches, rounds=1, iterations=1)
+    report("fig9b_ext_switches", sweep.to_text())
+    assert sweep.x_values[-2:] == [800, 1600]
     assert sweep.series_for("ALG-N-FUSION")

@@ -3,55 +3,28 @@
 Not a paper figure — this is the reproduction's own validation artefact:
 it quantifies the branch-independence approximation error of the routing
 metric against the ground-truth process simulation.
+
+The comparison runs through :func:`repro.experiments.mc_validate`, i.e.
+the ordinary (setting, sample, router) task harness evaluated under the
+analytic and Monte-Carlo estimators, so it parallelises, shards and
+caches like any sweep.  Estimation draws come from each sample seed's
+dedicated substream — changing the trial count can no longer perturb
+which networks are sampled (the old standalone script shared one
+generator between instance generation and trials).
 """
 
-import os
-
-from repro.experiments.config import ExperimentSetting, is_full_run
-from repro.network.builder import build_network
-from repro.network.demands import generate_demands
-from repro.routing.nfusion import AlgNFusion
-from repro.simulation.monte_carlo import estimate_plan_rate
-from repro.utils.rng import ensure_rng
-from repro.utils.tables import AsciiTable
+from repro.experiments.mc_validate import mc_validate
 
 from conftest import report
 
 
-def run_validation():
-    quick = not is_full_run()
-    setting = ExperimentSetting(fixed_p=0.35, seed=4242)
-    if quick:
-        setting = setting.scaled_for_quick_run()
-    trials = 500 if quick else 3000
-    table = AsciiTable(
-        ["sample", "analytic rate", "monte carlo", "stderr", "rel err"]
-    )
-    rng = ensure_rng(setting.seed)
-    worst = 0.0
-    for index in range(setting.num_networks):
-        network = build_network(setting.network, rng)
-        demands = generate_demands(network, setting.num_states, rng)
-        result = AlgNFusion().route(
-            network, demands, setting.link_model(), setting.swap_model()
-        )
-        estimate = estimate_plan_rate(
-            network, result.plan, setting.link_model(), setting.swap_model(),
-            trials=trials, rng=rng,
-        )
-        rel = abs(estimate.mean - result.total_rate) / max(result.total_rate, 1e-9)
-        worst = max(worst, rel)
-        table.add_row(
-            [index, result.total_rate, estimate.mean, estimate.stderr, rel]
-        )
-    text = (
-        "Monte Carlo validation of Equation 1 (branch-independence "
-        f"approximation)\n{table.render()}"
-    )
-    return text, worst
-
-
 def test_monte_carlo_validation(benchmark):
-    text, worst = benchmark.pedantic(run_validation, rounds=1, iterations=1)
-    report("monte_carlo_validation", text)
-    assert worst < 0.15  # the approximation stays within 15%
+    result = benchmark.pedantic(
+        lambda: mc_validate(routers=["alg-n-fusion"]),
+        rounds=1,
+        iterations=1,
+    )
+    report("monte_carlo_validation", result.to_text())
+    assert result.rows
+    # The branch-independence approximation stays within 15%.
+    assert result.worst_rel_err < 0.15

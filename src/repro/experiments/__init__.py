@@ -7,8 +7,16 @@ runs) shrinks the network count and size; set the environment variable
 ``REPRO_FULL=1`` — or pass ``quick=False`` — for paper-scale runs.
 """
 
-from repro.experiments.cache import ResultCache
+from repro.experiments.cache import ResultCache, default_result_cache
 from repro.experiments.config import ExperimentSetting, default_workers, is_full_run
+from repro.experiments.estimators import (
+    ANALYTIC,
+    EstimatorSpec,
+    as_estimator,
+    estimate_plan,
+    estimation_rng,
+    parse_estimator,
+)
 from repro.experiments.harness import (
     SweepTask,
     TaskOutcome,
@@ -25,8 +33,10 @@ from repro.experiments.regression import (
     build_regression_instance,
     regenerate_regression_fixture,
 )
+from repro.experiments.mc_validate import McValidationResult, mc_validate
 from repro.experiments.runner import (
     SweepResult,
+    run_outcomes,
     run_setting,
     run_settings,
     run_sweep,
@@ -37,6 +47,7 @@ from repro.experiments.figures import (
     fig8a_link_probability,
     fig8b_swap_probability,
     fig9a_qubits,
+    fig9b_ext_switches,
     fig9b_switches,
     fig9c_states,
     fig9d_degree,
@@ -46,8 +57,18 @@ from repro.experiments.lattice import lattice_distance_study
 from repro.experiments.protocol_study import protocol_coherence_study
 
 __all__ = [
+    "ANALYTIC",
+    "EstimatorSpec",
     "ExperimentSetting",
+    "McValidationResult",
     "ResultCache",
+    "as_estimator",
+    "default_result_cache",
+    "estimate_plan",
+    "estimation_rng",
+    "mc_validate",
+    "parse_estimator",
+    "run_outcomes",
     "default_workers",
     "is_full_run",
     "SweepResult",
@@ -72,6 +93,7 @@ __all__ = [
     "fig8b_swap_probability",
     "fig9a_qubits",
     "fig9b_switches",
+    "fig9b_ext_switches",
     "fig9c_states",
     "fig9d_degree",
     "headline_ratios",

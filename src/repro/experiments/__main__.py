@@ -5,9 +5,13 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments fig8a
     python -m repro.experiments fig9b --full --workers 4
+    python -m repro.experiments fig9b-ext --full --cache-dir .sweep-cache
     python -m repro.experiments fig7 --routers alg-n-fusion,q-cast
     python -m repro.experiments fig7 --routers "alg-n-fusion:include_alg4=false"
     python -m repro.experiments fig7 --shard 0/2 --cache-dir .sweep-cache
+    python -m repro.experiments fig8a --mc-overlay
+    python -m repro.experiments fig8a --estimator mc:trials=2000
+    python -m repro.experiments mc-validate --routers alg-n-fusion
     python -m repro.experiments all --workers 4 --cache-dir .sweep-cache
     python -m repro.experiments regen-regression
 
@@ -16,7 +20,8 @@ quick mode shrinks networks and averaging for fast turnaround.
 ``--workers N`` fans each sweep's (setting, sample, router) task grid
 out over N processes — the merged series are bit-identical to a
 sequential run.  ``--cache-dir`` reuses previously computed (setting,
-router) results from a content-addressed on-disk cache.
+router, estimator) results from a content-addressed on-disk cache
+(``REPRO_CACHE_DIR`` sets the default).
 
 ``--routers`` replaces a figure's default series with registry specs:
 comma-separated ``key[:param=val,...]`` entries (``python -m
@@ -25,6 +30,15 @@ the i-th of n deterministic slices of the (setting, router) grid;
 complementary shards — on any machines — merge losslessly through a
 shared ``--cache-dir``, and any later run against that cache reports
 the complete series.
+
+``--estimator`` selects how each routed plan becomes a rate:
+``analytic`` (Equation 1, the default) or
+``mc[:trials=N][,engine=vectorized|reference]`` (Monte-Carlo
+re-evaluation through the Phase-III process simulation).
+``--mc-overlay [SPEC]`` keeps the analytic series and appends ``[MC]``
+validation columns next to them (fig7/fig8); ``mc-validate`` renders a
+per-sample analytic-vs-MC table with stderr and relative-error columns
+for any ``--routers`` set.
 
 ``regen-regression`` rewrites the pinned regression fixture under
 ``tests/data/`` bit-exactly from its frozen recipe.
@@ -42,14 +56,17 @@ from repro.experiments import (
     fig8a_link_probability,
     fig8b_swap_probability,
     fig9a_qubits,
+    fig9b_ext_switches,
     fig9b_switches,
     fig9c_states,
     fig9d_degree,
     headline_ratios,
     lattice_distance_study,
+    mc_validate,
     protocol_coherence_study,
 )
-from repro.experiments.cache import ResultCache
+from repro.experiments.cache import ResultCache, default_result_cache
+from repro.experiments.estimators import parse_estimator
 from repro.experiments.harness import parse_shard
 from repro.experiments.regression import regenerate_regression_fixture
 from repro.experiments.runner import reject_duplicate_labels
@@ -62,21 +79,28 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig8b": fig8b_swap_probability,
     "fig9a": fig9a_qubits,
     "fig9b": fig9b_switches,
+    "fig9b-ext": fig9b_ext_switches,
     "fig9c": fig9c_states,
     "fig9d": fig9d_degree,
     "headline": headline_ratios,
     "ablation": alg4_ablation,
     "protocol": protocol_coherence_study,
     "lattice": lattice_distance_study,
+    "mc-validate": mc_validate,
 }
 
 #: Experiments whose point loops parallelise but have no (setting,
-#: router) grid, hence no result cache, router override or shard.
+#: router) grid, hence no result cache, router override, shard or
+#: estimator.
 _WORKERS_ONLY = ("protocol", "lattice")
 
 #: Grid experiments whose router set is fixed by their definition
-#: (ratio/ablation tables); they still accept --shard and --cache-dir.
+#: (ratio/ablation tables); they still accept --shard, --cache-dir and
+#: --estimator.
 _FIXED_ROUTERS = ("headline", "ablation")
+
+#: Figures that accept --mc-overlay (analytic series plus MC columns).
+_OVERLAY = ("fig7", "fig8a", "fig8b")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,7 +113,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[*EXPERIMENTS, "all", "list", "routers", "regen-regression"],
         help=(
             "experiment id (figN / headline / ablation / protocol / "
-            "lattice), 'all', 'list', 'routers' or 'regen-regression'"
+            "lattice / mc-validate), 'all', 'list', 'routers' or "
+            "'regen-regression'"
         ),
     )
     parser.add_argument(
@@ -113,8 +138,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help=(
-            "reuse per-(setting, router) results from this "
-            "content-addressed cache directory"
+            "reuse per-(setting, router, estimator) results from this "
+            "content-addressed cache directory (default: "
+            "REPRO_CACHE_DIR when set)"
         ),
     )
     parser.add_argument(
@@ -139,6 +165,31 @@ def build_parser() -> argparse.ArgumentParser:
             "a shared --cache-dir"
         ),
     )
+    parser.add_argument(
+        "--estimator",
+        type=argparse_type(parse_estimator),
+        default=None,
+        metavar="SPEC",
+        help=(
+            "how each routed plan becomes a rate: 'analytic' "
+            "(Equation 1, default) or "
+            "'mc[:trials=N][,engine=vectorized|reference]' "
+            "(Monte-Carlo re-evaluation); mc-validate defaults to an "
+            "mc spec sized for the run scale"
+        ),
+    )
+    parser.add_argument(
+        "--mc-overlay",
+        nargs="?",
+        const="mc",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "append Monte-Carlo '[MC]' columns next to the analytic "
+            "series (fig7/fig8); the optional SPEC is an mc estimator "
+            "spec, default 'mc' (500 trials, vectorized engine)"
+        ),
+    )
     return parser
 
 
@@ -146,7 +197,10 @@ def _note(name: str, flag: str, reason: str) -> None:
     print(f"note: {flag} has no effect on {name!r} ({reason})", file=sys.stderr)
 
 
-def run_one(name: str, quick: bool, workers, cache, routers, shard) -> None:
+def run_one(
+    name: str, quick: bool, workers, cache, routers, shard, estimator,
+    mc_overlay,
+) -> None:
     fn = EXPERIMENTS[name]
     if name in _WORKERS_ONLY:
         if cache is not None:
@@ -155,19 +209,61 @@ def run_one(name: str, quick: bool, workers, cache, routers, shard) -> None:
             _note(name, "--routers", "the study's routers are fixed")
         if shard is not None:
             _note(name, "--shard", "no (setting, router) grid to shard")
+        if estimator is not None:
+            _note(name, "--estimator", "no (setting, router) grid to estimate")
+        if mc_overlay is not None:
+            _note(name, "--mc-overlay", "no (setting, router) grid to overlay")
         result = fn(quick=quick, workers=workers)
     elif name in _FIXED_ROUTERS:
         if routers is not None:
             _note(name, "--routers", "the table's router set is fixed")
-        result = fn(quick=quick, workers=workers, cache=cache, shard=shard)
-    else:
+        if mc_overlay is not None:
+            _note(name, "--mc-overlay", "tables have no series to overlay")
+        result = fn(
+            quick=quick,
+            workers=workers,
+            cache=cache,
+            shard=shard,
+            estimator=estimator,
+        )
+    elif name == "mc-validate":
+        if mc_overlay is not None:
+            _note(
+                name, "--mc-overlay",
+                "the validation table already pairs analytic and MC",
+            )
+        if estimator is not None and not estimator.is_mc:
+            # Reachable via `all --estimator analytic`: the other
+            # experiments honour the analytic spec, the validation
+            # table keeps its MC default instead of failing the run.
+            _note(
+                name, "--estimator",
+                "mc-validate always pairs analytic with MC; using its "
+                "default mc spec",
+            )
+            estimator = None
         result = fn(
             quick=quick,
             workers=workers,
             cache=cache,
             routers=routers,
             shard=shard,
+            estimator=estimator,
         )
+    else:
+        kwargs = dict(
+            quick=quick,
+            workers=workers,
+            cache=cache,
+            routers=routers,
+            shard=shard,
+            estimator=estimator,
+        )
+        if name in _OVERLAY:
+            kwargs["mc_overlay"] = mc_overlay
+        elif mc_overlay is not None:
+            _note(name, "--mc-overlay", "only fig7/fig8 carry MC overlays")
+        result = fn(**kwargs)
     print(result.to_text())
     print()
 
@@ -187,12 +283,41 @@ def main(argv=None) -> int:
         print(f"regenerated {path}")
         return 0
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    if args.shard is not None and cache is None:
+    if (
+        args.shard is not None
+        and cache is None
+        and default_result_cache() is None
+    ):
         print(
-            "note: --shard without --cache-dir computes a partial result "
-            "that cannot merge with other shards",
+            "note: --shard without --cache-dir (or REPRO_CACHE_DIR) "
+            "computes a partial result that cannot merge with other "
+            "shards",
             file=sys.stderr,
         )
+    mc_overlay = None
+    if args.mc_overlay is not None:
+        try:
+            mc_overlay = parse_estimator(args.mc_overlay)
+            if not mc_overlay.is_mc:
+                raise ValueError(
+                    f"--mc-overlay needs a Monte-Carlo estimator spec, "
+                    f"got {args.mc_overlay!r}"
+                )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if (
+        args.experiment == "mc-validate"
+        and args.estimator is not None
+        and not args.estimator.is_mc
+    ):
+        print(
+            "error: mc-validate needs a Monte-Carlo --estimator "
+            "(e.g. mc:trials=1000); it always renders the analytic "
+            "column alongside",
+            file=sys.stderr,
+        )
+        return 2
     quick = not args.full
     routers_used = args.routers is not None and (
         args.experiment == "all"
@@ -212,11 +337,24 @@ def main(argv=None) -> int:
             return 2
     if args.experiment == "all":
         for name in EXPERIMENTS:
+            if name == "fig9b-ext" and quick:
+                # Quick-mode fig9b-ext is bit-identical to fig9b, which
+                # the loop just ran; recomputing it adds nothing.
+                print(
+                    "note: skipping 'fig9b-ext' in quick mode (identical "
+                    "to fig9b; run with --full for the 800/1600 points)",
+                    file=sys.stderr,
+                )
+                continue
             print(f"=== {name} ===")
-            run_one(name, quick, args.workers, cache, args.routers, args.shard)
+            run_one(
+                name, quick, args.workers, cache, args.routers, args.shard,
+                args.estimator, mc_overlay,
+            )
         return 0
     run_one(
-        args.experiment, quick, args.workers, cache, args.routers, args.shard
+        args.experiment, quick, args.workers, cache, args.routers,
+        args.shard, args.estimator, mc_overlay,
     )
     return 0
 

@@ -1,15 +1,20 @@
 """Content-addressed on-disk cache for sweep results.
 
-Every ``(setting, router)`` pair of a sweep maps to one cache entry
-holding the per-sample rates of that router at that setting.  The entry
+Every ``(setting, router, estimator)`` triple of a sweep maps to one
+cache entry holding the per-sample rates (and, for Monte-Carlo
+estimators, standard errors) of that router at that setting.  The entry
 key is a stable hash of the full recipe — the
 :class:`~repro.experiments.config.ExperimentSetting` fields, the
-router's configuration and the cache format version — so any change to
-the experiment's inputs changes the key and re-running a figure only
-recomputes the points whose recipe actually changed.
+router's configuration, the estimator's identity and the cache format
+version — so any change to the experiment's inputs changes the key and
+re-running a figure only recomputes the points whose recipe actually
+changed.
 
 Entries store the exact floats (JSON round-trips ``repr`` precision), so
-a cache hit reproduces the cold-run result bit-exactly.
+a cache hit reproduces the cold-run result bit-exactly.  Setting
+``REPRO_CACHE_DIR`` makes every harness entry point cache-aware without
+touching call sites (:func:`default_result_cache`) — this is how the
+nightly CI tier reuses paper-scale results across runs.
 """
 
 from __future__ import annotations
@@ -22,13 +27,18 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.experiments.config import ExperimentSetting
+from repro.experiments.estimators import ANALYTIC, EstimatorSpec, as_estimator
 from repro.routing.registry import RouterSpecError
 
 #: Bump when the cached payload layout or the routing semantics change
 #: incompatibly; old entries then miss instead of poisoning results.
 #: v2: router identity moved from class name to the registry
 #: ``config_dict()`` (key + full parameters).
-CACHE_FORMAT_VERSION = 2
+#: v3: estimator identity joined the key, entries grew per-sample
+#: ``stderrs``, ``analytic_rates`` and a ``trials`` count so
+#: Monte-Carlo results cache (with the analytic pairing that routing
+#: produced as a by-product).
+CACHE_FORMAT_VERSION = 3
 
 
 def router_fingerprint(router) -> Dict:
@@ -67,23 +77,32 @@ def setting_fingerprint(setting: ExperimentSetting) -> Dict:
 
 
 class ResultCache:
-    """Directory-backed cache of per-(setting, router) sweep results."""
+    """Directory-backed cache of per-(setting, router, estimator) sweep
+    results."""
 
     def __init__(self, cache_dir: Union[str, Path]):
         self.cache_dir = Path(cache_dir)
 
-    def key_for(self, setting: ExperimentSetting, router) -> str:
-        """Content hash addressing the (setting, router) result.
+    def key_for(
+        self,
+        setting: ExperimentSetting,
+        router,
+        estimator: Union[None, str, EstimatorSpec] = None,
+    ) -> str:
+        """Content hash addressing the (setting, router, estimator) result.
 
         *router* may be an instance or a ``RouterSpec``; equal
         configurations hash identically either way, so shards running in
         different processes (or on different machines) address the same
-        entries.
+        entries.  *estimator* defaults to analytic; a Monte-Carlo
+        estimator's trials and engine are part of the key, so changing
+        either recomputes only the affected points.
         """
         payload = {
             "cache_format_version": CACHE_FORMAT_VERSION,
             "setting": setting_fingerprint(setting),
             "router": router_fingerprint(router),
+            "estimator": as_estimator(estimator).fingerprint(),
         }
         canonical = json.dumps(payload, sort_keys=True, default=str)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -94,8 +113,10 @@ class ResultCache:
     def get(self, key: str) -> Optional[Dict]:
         """The cached entry for *key*, or ``None`` on miss/corruption.
 
-        Returns ``{"algorithm": str, "rates": [float, ...]}`` with rates
-        in sample order.
+        Returns ``{"algorithm": str, "rates": [...], "stderrs": [...],
+        "analytic_rates": [...], "trials": int}`` with the lists in
+        sample order (for analytic entries, stderrs are all zero,
+        trials zero and analytic_rates equal rates).
         """
         path = self._path(key)
         try:
@@ -108,21 +129,81 @@ class ResultCache:
             return None
         algorithm = entry.get("algorithm")
         rates = entry.get("rates")
+        stderrs = entry.get("stderrs")
+        analytic_rates = entry.get("analytic_rates")
+        trials = entry.get("trials")
         if not isinstance(algorithm, str) or not isinstance(rates, list):
             return None
-        if not all(isinstance(rate, (int, float)) for rate in rates):
+        if not isinstance(stderrs, list) or len(stderrs) != len(rates):
             return None
-        return {"algorithm": algorithm, "rates": [float(r) for r in rates]}
+        if (
+            not isinstance(analytic_rates, list)
+            or len(analytic_rates) != len(rates)
+        ):
+            return None
+        if not isinstance(trials, int) or isinstance(trials, bool) or trials < 0:
+            return None
+        values = rates + stderrs + analytic_rates
+        if not all(isinstance(v, (int, float)) for v in values):
+            return None
+        return {
+            "algorithm": algorithm,
+            "rates": [float(r) for r in rates],
+            "stderrs": [float(s) for s in stderrs],
+            "analytic_rates": [float(a) for a in analytic_rates],
+            "trials": trials,
+        }
 
-    def put(self, key: str, algorithm: str, rates: List[float]) -> None:
-        """Store one (setting, router) result atomically."""
+    def put(
+        self,
+        key: str,
+        algorithm: str,
+        rates: List[float],
+        stderrs: Optional[List[float]] = None,
+        trials: int = 0,
+        analytic_rates: Optional[List[float]] = None,
+    ) -> None:
+        """Store one (setting, router, estimator) result atomically.
+
+        ``stderrs`` defaults to all-zero and ``analytic_rates`` to
+        ``rates`` (the analytic case); both must match ``rates``
+        sample-for-sample otherwise.
+        """
+        if stderrs is None:
+            stderrs = [0.0] * len(rates)
+        if analytic_rates is None:
+            analytic_rates = list(rates)
+        if len(stderrs) != len(rates):
+            raise ValueError(
+                f"{len(rates)} rates but {len(stderrs)} stderrs"
+            )
+        if len(analytic_rates) != len(rates):
+            raise ValueError(
+                f"{len(rates)} rates but {len(analytic_rates)} "
+                "analytic rates"
+            )
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         entry = {
             "cache_format_version": CACHE_FORMAT_VERSION,
             "algorithm": algorithm,
             "rates": list(rates),
+            "stderrs": list(stderrs),
+            "analytic_rates": list(analytic_rates),
+            "trials": trials,
         }
         path = self._path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(entry, sort_keys=True))
         os.replace(tmp, path)
+
+
+def default_result_cache() -> Optional[ResultCache]:
+    """The environment's default cache, or ``None`` when unset.
+
+    ``REPRO_CACHE_DIR`` names a cache directory every harness entry
+    point (figures, tables, benchmarks, CLIs) uses when no explicit
+    ``cache``/``--cache-dir`` was given, so a whole pytest bench run can
+    be made cache-aware with one variable.
+    """
+    raw = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return ResultCache(raw) if raw else None

@@ -1,0 +1,249 @@
+"""Pluggable sweep estimators: analytic Equation 1 vs Monte Carlo.
+
+The sweep harness evaluates each ``(setting, sample, router)`` task
+under an **estimator** — the procedure that turns a routing plan into a
+rate.  Two kinds exist:
+
+* ``analytic`` — the paper's Equation-1 rate the router itself reports
+  (``result.total_rate``); exact under branch independence, free.
+* ``mc`` — a Monte-Carlo estimate of the plan's true establishment
+  rate from the Phase-III process simulation, parameterised by a trial
+  count and an engine (``vectorized``, the numpy batch engine, or
+  ``reference``, the trial-at-a-time pure-Python simulator the
+  vectorised one is validated against).
+
+Estimator identity is part of the result-cache key and of the task
+grid, so MC points shard, parallelise and cache exactly like analytic
+ones.  The spec grammar mirrors router specs::
+
+    analytic
+    mc                                  (trials=500, engine=vectorized)
+    mc:trials=3000
+    mc:trials=2000,engine=reference
+
+Estimation draws come from :func:`estimation_rng` — a stateless
+substream of the task's sample seed — so the instance-generation stream
+is untouched whatever the trial count, and the same task always sees
+the same draws in any process, worker or shard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.exceptions import ConfigurationError
+from repro.network.graph import QuantumNetwork
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.plan import RoutingPlan
+from repro.simulation.monte_carlo import MonteCarloEstimate, estimate_plan_rate
+from repro.simulation.vectorized import VectorizedProcessSimulator
+from repro.utils.rng import RandomState, stream_rng
+
+
+class EstimatorSpecError(ConfigurationError, ValueError):
+    """An estimator kind, parameter or spec string is invalid.
+
+    Subclasses :class:`ValueError` so ``argparse`` type callables can
+    surface the message as a normal usage error.
+    """
+
+
+ESTIMATOR_KINDS = ("analytic", "mc")
+MC_ENGINES = ("vectorized", "reference")
+
+#: Default Monte-Carlo trial count when a spec says just ``mc``.
+DEFAULT_MC_TRIALS = 500
+
+#: Substream index reserved for estimation draws (``0x4D43`` = "MC");
+#: instance generation uses the sample seed's root stream.
+ESTIMATION_STREAM = 0x4D43
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """How a task's routing plan is turned into a rate.
+
+    ``trials``/``engine`` are meaningful only for ``kind="mc"`` and are
+    pinned to ``0``/``""`` for ``analytic``, so equal estimators are
+    equal dataclasses (and hash identically into cache keys).
+    """
+
+    kind: str = "analytic"
+    trials: int = 0
+    engine: str = ""
+
+    def __post_init__(self):
+        if self.kind not in ESTIMATOR_KINDS:
+            raise EstimatorSpecError(
+                f"unknown estimator kind {self.kind!r}; known kinds: "
+                f"{', '.join(ESTIMATOR_KINDS)}"
+            )
+        if self.kind == "analytic":
+            if self.trials != 0 or self.engine != "":
+                raise EstimatorSpecError(
+                    "the analytic estimator takes no trials/engine "
+                    f"parameters, got trials={self.trials!r}, "
+                    f"engine={self.engine!r}"
+                )
+            return
+        if not isinstance(self.trials, int) or isinstance(self.trials, bool) \
+                or self.trials < 1:
+            raise EstimatorSpecError(
+                f"mc estimator trials must be an int >= 1, got "
+                f"{self.trials!r}"
+            )
+        if self.engine not in MC_ENGINES:
+            raise EstimatorSpecError(
+                f"unknown mc engine {self.engine!r}; known engines: "
+                f"{', '.join(MC_ENGINES)}"
+            )
+
+    @property
+    def is_mc(self) -> bool:
+        """True for Monte-Carlo estimators."""
+        return self.kind == "mc"
+
+    @classmethod
+    def mc(
+        cls, trials: int = DEFAULT_MC_TRIALS, engine: str = "vectorized"
+    ) -> "EstimatorSpec":
+        """A Monte-Carlo spec with keyword defaults."""
+        return cls("mc", trials, engine)
+
+    @classmethod
+    def from_string(cls, text: str) -> "EstimatorSpec":
+        """Parse ``analytic`` or ``mc[:trials=N][,engine=E]``."""
+        kind, sep, rest = text.strip().partition(":")
+        kind = kind.strip().lower()
+        if kind == "analytic":
+            if sep:
+                raise EstimatorSpecError(
+                    f"the analytic estimator takes no parameters, got "
+                    f"{text!r}"
+                )
+            return ANALYTIC
+        if kind != "mc":
+            raise EstimatorSpecError(
+                f"unknown estimator kind {kind!r} in spec {text!r}; "
+                f"known kinds: {', '.join(ESTIMATOR_KINDS)}"
+            )
+        params: Dict[str, str] = {}
+        if sep:
+            for item in rest.split(","):
+                name, eq, value = item.partition("=")
+                name, value = name.strip(), value.strip()
+                if not eq or not name or not value:
+                    raise EstimatorSpecError(
+                        f"malformed parameter {item!r} in estimator spec "
+                        f"{text!r}; expected name=value"
+                    )
+                if name in params:
+                    raise EstimatorSpecError(
+                        f"duplicate parameter {name!r} in estimator spec "
+                        f"{text!r}"
+                    )
+                params[name] = value
+        unknown = sorted(set(params) - {"trials", "engine"})
+        if unknown:
+            raise EstimatorSpecError(
+                f"unknown parameter(s) {', '.join(repr(u) for u in unknown)} "
+                f"in estimator spec {text!r}; valid parameters: engine, "
+                "trials"
+            )
+        trials = DEFAULT_MC_TRIALS
+        if "trials" in params:
+            try:
+                trials = int(params["trials"])
+            except ValueError:
+                raise EstimatorSpecError(
+                    f"estimator trials must be an int, got "
+                    f"{params['trials']!r}"
+                ) from None
+        return cls("mc", trials, params.get("engine", "vectorized"))
+
+    def to_string(self) -> str:
+        """Canonical spec string; round-trips via :meth:`from_string`."""
+        if self.kind == "analytic":
+            return "analytic"
+        return f"mc:trials={self.trials},engine={self.engine}"
+
+    def fingerprint(self) -> Dict:
+        """Stable, JSON-ready identity for cache keys."""
+        return dataclasses.asdict(self)
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+#: The default estimator: the router's own analytic Equation-1 rate.
+ANALYTIC = EstimatorSpec()
+
+
+def parse_estimator(text: str) -> EstimatorSpec:
+    """Parse a CLI ``--estimator`` value (see :meth:`EstimatorSpec.from_string`)."""
+    return EstimatorSpec.from_string(text)
+
+
+def as_estimator(
+    value: Union[None, str, EstimatorSpec]
+) -> EstimatorSpec:
+    """Coerce ``None`` (→ analytic), a spec string or a spec."""
+    if value is None:
+        return ANALYTIC
+    if isinstance(value, EstimatorSpec):
+        return value
+    if isinstance(value, str):
+        return EstimatorSpec.from_string(value)
+    raise EstimatorSpecError(
+        f"estimator must be None, a spec string or an EstimatorSpec, "
+        f"got {type(value).__name__}"
+    )
+
+
+def estimation_rng(sample_seed: int) -> RandomState:
+    """The estimation stream of one sample seed.
+
+    A stateless substream (:func:`repro.utils.rng.stream_rng`), disjoint
+    from the sample's instance-generation stream, so the networks and
+    demands a seed produces are identical whether or not — and however
+    hard — the sample is Monte-Carlo estimated.
+    """
+    return stream_rng(sample_seed, ESTIMATION_STREAM)
+
+
+def estimate_plan(
+    spec: EstimatorSpec,
+    network: QuantumNetwork,
+    plan: RoutingPlan,
+    link_model: Optional[LinkModel],
+    swap_model: Optional[SwapModel],
+    sample_seed: int,
+) -> MonteCarloEstimate:
+    """Monte-Carlo estimate of *plan*'s rate under *spec*.
+
+    Draws come from the sample seed's estimation stream, so the estimate
+    is a pure function of ``(spec, instance recipe)`` — identical in any
+    process, worker or shard.
+    """
+    if not spec.is_mc:
+        raise EstimatorSpecError(
+            f"estimate_plan needs an mc estimator, got {spec}"
+        )
+    rng = estimation_rng(sample_seed)
+    if spec.engine == "reference":
+        estimate = estimate_plan_rate(
+            network, plan, link_model, swap_model,
+            trials=spec.trials, rng=rng,
+        )
+    else:
+        simulator = VectorizedProcessSimulator(
+            network, link_model, swap_model, rng
+        )
+        estimate = simulator.plan_estimate(plan, spec.trials)
+    # Plain floats so outcomes equal their JSON-cached round trip
+    # type-for-type (numpy scalars leak from the vectorised engine).
+    return MonteCarloEstimate(
+        float(estimate.mean), float(estimate.stderr), int(estimate.trials)
+    )

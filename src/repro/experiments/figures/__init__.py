@@ -7,6 +7,7 @@ from repro.experiments.figures.fig8 import (
 )
 from repro.experiments.figures.fig9 import (
     fig9a_qubits,
+    fig9b_ext_switches,
     fig9b_switches,
     fig9c_states,
     fig9d_degree,
@@ -18,6 +19,7 @@ __all__ = [
     "fig8b_swap_probability",
     "fig9a_qubits",
     "fig9b_switches",
+    "fig9b_ext_switches",
     "fig9c_states",
     "fig9d_degree",
 ]

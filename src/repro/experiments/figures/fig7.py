@@ -22,12 +22,17 @@ def fig7_generators(
     cache: Optional[ResultCache] = None,
     routers: Optional[Sequence] = None,
     shard: Optional[Tuple[int, int]] = None,
+    estimator=None,
+    mc_overlay=None,
 ) -> SweepResult:
     """Run the Figure 7 sweep over topology generators.
 
     ``routers`` (specs, spec strings or instances) overrides the
     figure's default series; ``shard=(i, n)`` runs only that slice of
     the (setting, router) grid (see :func:`repro.experiments.runner.run_settings`).
+    ``estimator`` evaluates the sweep analytically (default) or by
+    Monte Carlo; ``mc_overlay`` appends ``[MC]`` validation columns
+    next to the analytic series.
     """
     if quick is None:
         quick = not is_full_run()
@@ -53,4 +58,6 @@ def fig7_generators(
         workers=workers,
         cache=cache,
         shard=shard,
+        estimator=estimator,
+        mc_overlay=mc_overlay,
     )

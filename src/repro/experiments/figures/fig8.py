@@ -23,6 +23,8 @@ def fig8a_link_probability(
     cache: Optional[ResultCache] = None,
     routers: Optional[Sequence] = None,
     shard: Optional[Tuple[int, int]] = None,
+    estimator=None,
+    mc_overlay=None,
 ) -> SweepResult:
     """Run the Figure 8a sweep over the uniform link success probability."""
     if quick is None:
@@ -42,6 +44,8 @@ def fig8a_link_probability(
         workers=workers,
         cache=cache,
         shard=shard,
+        estimator=estimator,
+        mc_overlay=mc_overlay,
     )
 
 
@@ -51,6 +55,8 @@ def fig8b_swap_probability(
     cache: Optional[ResultCache] = None,
     routers: Optional[Sequence] = None,
     shard: Optional[Tuple[int, int]] = None,
+    estimator=None,
+    mc_overlay=None,
 ) -> SweepResult:
     """Run the Figure 8b sweep over the swapping success probability."""
     if quick is None:
@@ -70,4 +76,6 @@ def fig8b_swap_probability(
         workers=workers,
         cache=cache,
         shard=shard,
+        estimator=estimator,
+        mc_overlay=mc_overlay,
     )

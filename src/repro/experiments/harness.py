@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentSetting
+from repro.experiments.estimators import ANALYTIC, EstimatorSpec, estimate_plan
 from repro.network.builder import build_network
 from repro.network.demands import generate_demands
 from repro.utils.rng import ensure_rng, spawn_seeds
@@ -39,11 +40,14 @@ from repro.utils.rng import ensure_rng, spawn_seeds
 
 @dataclass(frozen=True)
 class SweepTask:
-    """One unit of sweep work: route *router* on one sampled instance.
+    """One unit of sweep work: route *router* on one sampled instance
+    and evaluate the plan under *estimator*.
 
     ``sample_seed`` is the pre-spawned seed of the sample's generator;
     rebuilding ``ensure_rng(sample_seed)`` and drawing the network then
     the demands reproduces the sequential runner's instance bit-exactly.
+    Monte-Carlo estimators draw from the seed's disjoint estimation
+    substream, so the instance is the same whatever the estimator.
     """
 
     setting_index: int
@@ -52,6 +56,7 @@ class SweepTask:
     sample_seed: int
     setting: ExperimentSetting
     router: object
+    estimator: EstimatorSpec = ANALYTIC
 
     @property
     def key(self) -> Tuple[int, int, int]:
@@ -61,13 +66,24 @@ class SweepTask:
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """The result of one :class:`SweepTask`."""
+    """The result of one :class:`SweepTask`.
+
+    ``stderr``/``trials`` carry the Monte-Carlo uncertainty; analytic
+    outcomes report ``stderr=0.0, trials=0``.  ``analytic_rate`` is the
+    router's own Equation-1 rate, which every execution computes as a
+    by-product of routing — a Monte-Carlo run therefore yields the
+    analytic-vs-MC pair in one pass instead of routing the instance
+    twice.
+    """
 
     setting_index: int
     sample_index: int
     router_index: int
     algorithm: str
     total_rate: float
+    stderr: float = 0.0
+    trials: int = 0
+    analytic_rate: Optional[float] = None
 
     @property
     def key(self) -> Tuple[int, int, int]:
@@ -83,13 +99,15 @@ def sample_seeds(setting: ExperimentSetting) -> List[int]:
 def enumerate_tasks(
     settings: Sequence[ExperimentSetting],
     router_lists: Sequence[Sequence],
+    estimator: EstimatorSpec = ANALYTIC,
 ) -> List[SweepTask]:
     """Expand settings × samples × routers into executable tasks.
 
     ``router_lists`` holds one router sequence per setting (usually the
     same sequence repeated).  Task order matches the sequential runner's
     loop nesting — samples outer, routers inner — so replaying outcomes
-    in task order reproduces its exact accumulation order.
+    in task order reproduces its exact accumulation order.  Every task
+    in the grid shares one *estimator*.
     """
     if len(settings) != len(router_lists):
         raise ValueError(
@@ -110,6 +128,7 @@ def enumerate_tasks(
                         sample_seed=seed,
                         setting=setting,
                         router=router,
+                        estimator=estimator,
                     )
                 )
     return tasks
@@ -207,17 +226,43 @@ def _instance_for(task: SweepTask):
 
 
 def execute_task(task: SweepTask) -> TaskOutcome:
-    """Run one task: rebuild its instance and route it."""
+    """Run one task: rebuild its instance, route it, estimate the plan.
+
+    The analytic estimator reports the router's own Equation-1 rate;
+    Monte-Carlo estimators re-evaluate the routed plan's establishment
+    rate empirically, drawing from the sample seed's estimation
+    substream so the outcome is identical in any process or shard.
+    """
     network, demands = _instance_for(task)
     result = task.router.route(
         network, demands, task.setting.link_model(), task.setting.swap_model()
+    )
+    if not task.estimator.is_mc:
+        return TaskOutcome(
+            setting_index=task.setting_index,
+            sample_index=task.sample_index,
+            router_index=task.router_index,
+            algorithm=result.algorithm,
+            total_rate=result.total_rate,
+            analytic_rate=result.total_rate,
+        )
+    estimate = estimate_plan(
+        task.estimator,
+        network,
+        result.plan,
+        task.setting.link_model(),
+        task.setting.swap_model(),
+        task.sample_seed,
     )
     return TaskOutcome(
         setting_index=task.setting_index,
         sample_index=task.sample_index,
         router_index=task.router_index,
         algorithm=result.algorithm,
-        total_rate=result.total_rate,
+        total_rate=estimate.mean,
+        stderr=estimate.stderr,
+        trials=estimate.trials,
+        analytic_rate=result.total_rate,
     )
 
 
@@ -238,6 +283,7 @@ def run_tasks(tasks: Sequence[SweepTask], workers: int = 0) -> List[TaskOutcome]
 def merge_outcomes(
     num_settings: int,
     outcomes: Iterable[TaskOutcome],
+    value: Optional[Callable[[TaskOutcome], float]] = None,
 ) -> List[Dict[str, float]]:
     """Fold outcomes into one ``{algorithm: mean rate}`` dict per setting.
 
@@ -246,8 +292,12 @@ def merge_outcomes(
     sequential runner did regardless of worker count or cache hits.  Two
     different routers producing the same ``result.algorithm`` label in
     one setting is an error: it would silently average their rates into
-    a single series.
+    a single series.  ``value`` selects what is averaged (default: the
+    outcome's ``total_rate``; e.g. ``analytic_rate`` recovers the
+    analytic series from a Monte-Carlo run's outcomes).
     """
+    if value is None:
+        value = lambda outcome: outcome.total_rate  # noqa: E731
     per_setting: List[Dict[str, List[float]]] = [
         {} for _ in range(num_settings)
     ]
@@ -263,7 +313,7 @@ def merge_outcomes(
                 "a distinct name so their series stay separate"
             )
         series = per_setting[outcome.setting_index]
-        series.setdefault(outcome.algorithm, []).append(outcome.total_rate)
+        series.setdefault(outcome.algorithm, []).append(value(outcome))
     return [
         {name: sum(values) / len(values) for name, values in series.items()}
         for series in per_setting

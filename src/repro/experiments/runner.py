@@ -12,18 +12,29 @@ Routers are addressed as :class:`~repro.routing.registry.RouterSpec`
 values (spec strings and registered router instances are coerced via
 :func:`~repro.routing.registry.as_spec`), so a sweep's router set can
 come from a CLI flag, a config file or a cache key as easily as from
-code.  A ``shard=(index, count)`` selector restricts execution to a
-deterministic slice of the (setting, router) grid; complementary shards
-running anywhere merge losslessly through a shared cache directory.
+code.  Likewise each run evaluates under an
+:class:`~repro.experiments.estimators.EstimatorSpec` — the analytic
+Equation-1 rate by default, or a Monte-Carlo re-evaluation of every
+routed plan (``"mc:trials=N,engine=vectorized|reference"``) — and
+estimator identity is part of each cache key.  A ``shard=(index,
+count)`` selector restricts execution to a deterministic slice of the
+(setting, router) grid; complementary shards running anywhere merge
+losslessly through a shared cache directory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.experiments.cache import ResultCache
+from repro.experiments.cache import ResultCache, default_result_cache
 from repro.experiments.config import ExperimentSetting, default_workers
+from repro.experiments.estimators import (
+    ANALYTIC,
+    EstimatorSpec,
+    EstimatorSpecError,
+    as_estimator,
+)
 from repro.experiments.harness import (
     TaskOutcome,
     enumerate_tasks,
@@ -58,32 +69,31 @@ def standard_specs(
     return specs
 
 
-def run_settings(
+def run_outcomes(
     settings: Sequence[ExperimentSetting],
     routers: Optional[Sequence] = None,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     shard: Optional[Tuple[int, int]] = None,
-) -> List[Dict[str, float]]:
-    """Mean network entanglement rate per algorithm at each setting.
+    estimator: Union[None, str, EstimatorSpec] = None,
+) -> List[TaskOutcome]:
+    """Every (setting, sample, router) outcome, in deterministic order.
 
-    Each setting's ``num_networks`` samples draw fresh topologies and
-    demand sets from the setting's seed; every router sees the same
-    samples, so the comparison is paired.  ``routers`` may mix
-    :class:`RouterSpec` values, spec strings and registered router
-    instances.  ``workers > 1`` fans the (setting, sample, router) task
-    grid out over that many processes; ``cache`` short-circuits
-    (setting, router) pairs already on disk.  ``workers=None`` reads the
-    ``REPRO_WORKERS`` environment default.
+    This is the sweep core :func:`run_settings` averages over; callers
+    that need per-sample data — Monte-Carlo stderr columns, validation
+    tables — consume it directly.  ``estimator`` selects how each routed
+    plan becomes a rate (``None``/``"analytic"`` or an ``mc:...`` spec);
+    estimator identity is part of the cache key, so analytic and MC
+    results of the same grid coexist in one cache directory.
 
-    ``shard=(index, count)`` executes only the grid slice the shard
-    owns; series owned by other shards are still *read* from the cache
-    when present, so once every shard has run against a shared cache
-    directory any further run returns the complete merged result.
-    Series neither owned nor cached are simply absent from the returned
-    mappings.
+    Outcomes come back sorted by ``(setting, sample, router)`` and are
+    bit-identical for any ``workers`` value, for warm-vs-cold caches and
+    across complementary shards merged through a shared cache.  In a
+    sharded run, series neither owned by this shard nor already cached
+    are absent.
     """
     settings = list(settings)
+    estimator = as_estimator(estimator)
     specs = [
         as_spec(router)
         for router in (routers if routers is not None else standard_specs())
@@ -94,6 +104,8 @@ def run_settings(
         validate_shard(shard)
     if workers is None:
         workers = default_workers()
+    if cache is None:
+        cache = default_result_cache()
 
     cached_outcomes: List[TaskOutcome] = []
     pending_settings: List[ExperimentSetting] = []
@@ -108,7 +120,7 @@ def run_settings(
         for router_index, router in enumerate(built):
             entry = None
             if cache is not None:
-                entry = cache.get(cache.key_for(setting, router))
+                entry = cache.get(cache.key_for(setting, router, estimator))
             if entry is not None and len(entry["rates"]) == setting.num_networks:
                 for sample_index, rate in enumerate(entry["rates"]):
                     cached_outcomes.append(
@@ -118,6 +130,9 @@ def run_settings(
                             router_index=router_index,
                             algorithm=entry["algorithm"],
                             total_rate=rate,
+                            stderr=entry["stderrs"][sample_index],
+                            trials=entry["trials"],
+                            analytic_rate=entry["analytic_rates"][sample_index],
                         )
                     )
             elif shard is None or shard_member(
@@ -132,7 +147,7 @@ def run_settings(
             pending_router_lists.append(fresh_routers)
             pending_origin.append((setting_index, fresh_router_indices))
 
-    tasks = enumerate_tasks(pending_settings, pending_router_lists)
+    tasks = enumerate_tasks(pending_settings, pending_router_lists, estimator)
     raw_outcomes = run_tasks(tasks, workers=workers)
 
     fresh_outcomes: List[TaskOutcome] = []
@@ -145,13 +160,57 @@ def run_settings(
                 router_index=router_indices[outcome.router_index],
                 algorithm=outcome.algorithm,
                 total_rate=outcome.total_rate,
+                stderr=outcome.stderr,
+                trials=outcome.trials,
+                analytic_rate=outcome.analytic_rate,
             )
         )
 
     if cache is not None:
-        _store_fresh(cache, settings, built, fresh_outcomes)
+        _store_fresh(cache, settings, built, fresh_outcomes, estimator)
 
-    return merge_outcomes(len(settings), cached_outcomes + fresh_outcomes)
+    return sorted(cached_outcomes + fresh_outcomes, key=lambda o: o.key)
+
+
+def run_settings(
+    settings: Sequence[ExperimentSetting],
+    routers: Optional[Sequence] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    shard: Optional[Tuple[int, int]] = None,
+    estimator: Union[None, str, EstimatorSpec] = None,
+) -> List[Dict[str, float]]:
+    """Mean network entanglement rate per algorithm at each setting.
+
+    Each setting's ``num_networks`` samples draw fresh topologies and
+    demand sets from the setting's seed; every router sees the same
+    samples, so the comparison is paired.  ``routers`` may mix
+    :class:`RouterSpec` values, spec strings and registered router
+    instances.  ``workers > 1`` fans the (setting, sample, router) task
+    grid out over that many processes; ``cache`` short-circuits
+    (setting, router, estimator) series already on disk (``None`` falls
+    back to the ``REPRO_CACHE_DIR`` environment default).
+    ``workers=None`` reads the ``REPRO_WORKERS`` environment default.
+    ``estimator`` selects analytic Equation-1 rates (the default) or a
+    Monte-Carlo re-evaluation of each routed plan (``"mc:trials=N"``).
+
+    ``shard=(index, count)`` executes only the grid slice the shard
+    owns; series owned by other shards are still *read* from the cache
+    when present, so once every shard has run against a shared cache
+    directory any further run returns the complete merged result.
+    Series neither owned nor cached are simply absent from the returned
+    mappings.
+    """
+    settings = list(settings)
+    outcomes = run_outcomes(
+        settings,
+        routers,
+        workers=workers,
+        cache=cache,
+        shard=shard,
+        estimator=estimator,
+    )
+    return merge_outcomes(len(settings), outcomes)
 
 
 def reject_duplicate_labels(built: Sequence) -> None:
@@ -185,8 +244,9 @@ def _store_fresh(
     settings: Sequence[ExperimentSetting],
     routers: Sequence,
     outcomes: Sequence[TaskOutcome],
+    estimator: EstimatorSpec,
 ) -> None:
-    """Persist freshly computed (setting, router) series to the cache."""
+    """Persist freshly computed (setting, router, estimator) series."""
     grouped: Dict[tuple, Dict[int, TaskOutcome]] = {}
     for outcome in outcomes:
         slot = grouped.setdefault(
@@ -199,9 +259,12 @@ def _store_fresh(
             continue  # incomplete series (shouldn't happen) — don't cache
         ordered = [by_sample[i] for i in range(setting.num_networks)]
         cache.put(
-            cache.key_for(setting, routers[router_index]),
+            cache.key_for(setting, routers[router_index], estimator),
             ordered[0].algorithm,
             [outcome.total_rate for outcome in ordered],
+            stderrs=[outcome.stderr for outcome in ordered],
+            trials=ordered[0].trials,
+            analytic_rates=[outcome.analytic_rate for outcome in ordered],
         )
 
 
@@ -211,6 +274,7 @@ def run_setting(
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     shard: Optional[Tuple[int, int]] = None,
+    estimator: Union[None, str, EstimatorSpec] = None,
 ) -> Dict[str, float]:
     """Mean network entanglement rate per algorithm at one setting.
 
@@ -218,7 +282,12 @@ def run_setting(
     single-setting convenience wrapper.
     """
     return run_settings(
-        [setting], routers, workers=workers, cache=cache, shard=shard
+        [setting],
+        routers,
+        workers=workers,
+        cache=cache,
+        shard=shard,
+        estimator=estimator,
     )[0]
 
 
@@ -258,6 +327,10 @@ class SweepResult:
         return list(self.series[algorithm])
 
 
+#: Suffix appended to a series name for its Monte-Carlo overlay column.
+MC_OVERLAY_SUFFIX = " [MC]"
+
+
 def run_sweep(
     title: str,
     x_label: str,
@@ -267,20 +340,109 @@ def run_sweep(
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     shard: Optional[Tuple[int, int]] = None,
+    estimator: Union[None, str, EstimatorSpec] = None,
+    mc_overlay: Union[None, str, EstimatorSpec] = None,
 ) -> SweepResult:
     """Evaluate *settings* (one per x value) into a :class:`SweepResult`.
 
     All settings' tasks are pooled into one grid before execution, so a
     multi-worker run keeps every process busy across the whole sweep
     rather than barriering at each x value.
+
+    ``estimator`` evaluates the whole sweep under one estimator;
+    ``mc_overlay`` additionally evaluates the same grid under a
+    Monte-Carlo estimator and appends its series as ``"<name> [MC]"``
+    columns next to the base ones, so every figure can carry MC
+    validation points.  With an analytic base (the default) the overlay
+    needs no extra routing: every MC outcome carries the analytic rate
+    its routing produced, so one pass yields both columns.
     """
     if len(x_values) != len(settings):
         raise ValueError(
             f"{len(x_values)} x values but {len(settings)} settings"
         )
+    settings = list(settings)
+    base_spec = as_estimator(estimator)
+    overlay_spec = None
+    if mc_overlay is not None:
+        overlay_spec = as_estimator(mc_overlay)
+        if not overlay_spec.is_mc:
+            raise EstimatorSpecError(
+                f"mc_overlay must be a Monte-Carlo estimator, got "
+                f"{overlay_spec}"
+            )
+    if overlay_spec is not None and base_spec == ANALYTIC:
+        outcomes = run_outcomes(
+            settings,
+            routers,
+            workers=workers,
+            cache=cache,
+            shard=shard,
+            estimator=overlay_spec,
+        )
+        base_points = merge_outcomes(
+            len(settings), outcomes, value=lambda o: o.analytic_rate
+        )
+        overlay_points = merge_outcomes(len(settings), outcomes)
+        # The analytic series came for free with the MC routing; store
+        # them under their own estimator key too, so a later plain
+        # analytic run of this grid is a cache read, not a re-route.
+        store_cache = cache if cache is not None else default_result_cache()
+        if store_cache is not None:
+            specs = [
+                as_spec(r)
+                for r in (routers if routers is not None else standard_specs())
+            ]
+            analytic_outcomes = [
+                TaskOutcome(
+                    setting_index=o.setting_index,
+                    sample_index=o.sample_index,
+                    router_index=o.router_index,
+                    algorithm=o.algorithm,
+                    total_rate=o.analytic_rate,
+                    analytic_rate=o.analytic_rate,
+                )
+                for o in outcomes
+            ]
+            _store_fresh(
+                store_cache, settings, specs, analytic_outcomes, ANALYTIC
+            )
+    elif overlay_spec is not None and overlay_spec == base_spec:
+        # Base and overlay are the same estimator; one pass serves both
+        # column sets.
+        base_points = run_settings(
+            settings,
+            routers,
+            workers=workers,
+            cache=cache,
+            shard=shard,
+            estimator=base_spec,
+        )
+        overlay_points = base_points
+    else:
+        base_points = run_settings(
+            settings,
+            routers,
+            workers=workers,
+            cache=cache,
+            shard=shard,
+            estimator=base_spec,
+        )
+        overlay_points = None
+        if overlay_spec is not None:
+            overlay_points = run_settings(
+                settings,
+                routers,
+                workers=workers,
+                cache=cache,
+                shard=shard,
+                estimator=overlay_spec,
+            )
     sweep = SweepResult(title=title, x_label=x_label, x_values=list(x_values))
-    for rates in run_settings(
-        settings, routers, workers=workers, cache=cache, shard=shard
-    ):
-        sweep.add_point(rates)
+    for index, rates in enumerate(base_points):
+        point = dict(rates)
+        if overlay_points is not None:
+            for name, value in overlay_points[index].items():
+                point[f"{name}{MC_OVERLAY_SUFFIX}"] = value
+        sweep.add_point(point)
     return sweep

@@ -105,12 +105,15 @@ def headline_ratios(
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     shard: Optional[Tuple[int, int]] = None,
+    estimator=None,
 ) -> RatioReport:
     """Recompute the paper's Section V-C-1 headline improvement ratios.
 
     The compared router set is fixed (the ratios are defined over the
     paper's four series); ``shard=(i, n)`` still slices the (setting,
     router) grid for distributed runs merging through a shared cache.
+    ``estimator`` recomputes the ratios over Monte-Carlo rates instead
+    of analytic ones (the paper's are analytic).
     """
     if quick is None:
         quick = not is_full_run()
@@ -124,6 +127,7 @@ def headline_ratios(
         workers=workers,
         cache=cache,
         shard=shard,
+        estimator=estimator,
     )
     for rates in all_rates:
         per_setting.append(rates)
@@ -216,6 +220,7 @@ def alg4_ablation(
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     shard: Optional[Tuple[int, int]] = None,
+    estimator=None,
 ) -> AblationReport:
     """Recompute the paper's Algorithm 4 ablation (Section V-C-3).
 
@@ -244,6 +249,7 @@ def alg4_ablation(
         workers=workers,
         cache=cache,
         shard=shard,
+        estimator=estimator,
     )
     missing = float("nan")
     for label, rates in zip(labels, all_rates):

@@ -50,6 +50,30 @@ def spawn_seeds(rng: RandomState, n: int = 1) -> list:
     return [int(s) for s in seeds]
 
 
+def stream_rng(seed: int, stream: int) -> RandomState:
+    """An independent generator for substream *stream* of integer *seed*.
+
+    Unlike :func:`spawn_rng`, the substream is addressed *statelessly*:
+    the same ``(seed, stream)`` pair always yields the same generator,
+    without consuming draws from any parent.  The sweep harness uses
+    this to give Monte-Carlo estimation its own stream per sample seed,
+    so changing the trial count (or skipping estimation entirely) can
+    never perturb the instance-generation stream that shares the seed.
+    """
+    if isinstance(seed, bool) or not isinstance(seed, (int, np.integer)):
+        raise ConfigurationError(
+            f"stream_rng seed must be an int, got {type(seed).__name__}"
+        )
+    if seed < 0 or stream < 0:
+        raise ConfigurationError(
+            f"stream_rng seed and stream must be non-negative, got "
+            f"seed={seed}, stream={stream}"
+        )
+    return np.random.default_rng(
+        np.random.SeedSequence(int(seed), spawn_key=(int(stream),))
+    )
+
+
 def spawn_rng(rng: RandomState, n: int = 1) -> list:
     """Derive *n* statistically independent child generators from *rng*.
 

@@ -13,6 +13,7 @@ from repro.experiments.figures import (
     fig8a_link_probability,
     fig8b_swap_probability,
     fig9a_qubits,
+    fig9b_ext_switches,
     fig9b_switches,
     fig9c_states,
     fig9d_degree,
@@ -26,7 +27,7 @@ def stub_runner(monkeypatch):
     calls = []
 
     def fake_run_settings(settings, routers=None, workers=None, cache=None,
-                          shard=None):
+                          shard=None, estimator=None):
         calls.extend(settings)
         return [
             {
@@ -71,6 +72,24 @@ class TestFigureDefinitions:
         assert [s.network.num_switches for s in stub_runner] == [50, 100, 200, 400]
         # Quick mode shrinks averaging, never the sweep itself.
         assert all(s.num_networks == 1 for s in stub_runner)
+
+    def test_fig9b_ext_quick_matches_fig9b(self, stub_runner):
+        sweep = fig9b_ext_switches(quick=True)
+        assert sweep.x_values == [50, 100, 200, 400]
+        assert [s.network.num_switches for s in stub_runner] == [
+            50, 100, 200, 400,
+        ]
+
+    def test_fig9b_ext_full_extends_beyond_paper(self, stub_runner):
+        sweep = fig9b_ext_switches(quick=False)
+        assert sweep.x_values == [50, 100, 200, 400, 800, 1600]
+        by_count = {
+            s.network.num_switches: s.num_networks for s in stub_runner
+        }
+        # Paper-range points keep the paper's averaging; the extended
+        # tail runs fewer samples to stay tractable.
+        assert by_count[400] == 5
+        assert by_count[800] == by_count[1600] == 2
 
     def test_fig9c_sweeps_states(self, stub_runner):
         sweep = fig9c_states(quick=True)
@@ -129,4 +148,8 @@ class TestExperimentsCliAll:
                 lambda quick, n=name, **kwargs: (ran.append(n), FakeResult())[1],
             )
         assert cli.main(["all"]) == 0
+        # Quick-mode `all` skips fig9b-ext (identical to fig9b).
+        assert set(ran) == set(cli.EXPERIMENTS) - {"fig9b-ext"}
+        ran.clear()
+        assert cli.main(["all", "--full"]) == 0
         assert set(ran) == set(cli.EXPERIMENTS)
