@@ -1,0 +1,14 @@
+"""Benchmark: the cross-family topology comparison the paper never ran."""
+
+from repro.experiments import topology_compare
+
+from conftest import report
+
+
+def test_topology_compare(benchmark):
+    """All routers (incl. MCF) across every registered topology family."""
+    sweep = benchmark.pedantic(topology_compare, rounds=1, iterations=1)
+    report("topology_compare", sweep.to_text())
+    assert sweep.series_for("ALG-N-FUSION")
+    assert sweep.series_for("MCF")
+    assert len(sweep.x_values) >= 4

@@ -2,48 +2,49 @@
 """Compare routing algorithms across topology families (mini Figure 7).
 
 Evaluates ALG-N-FUSION and the baselines on Waxman, Watts-Strogatz,
-Aiello power-law and grid networks of equal size, printing one row per
-generator.  Demonstrates the claim that n-fusion routing adapts to general
-topologies.
+Aiello power-law and grid workloads of equal size, printing one row per
+scenario.  Demonstrates the claim that n-fusion routing adapts to
+general topologies — and the scenario-spec grammar that addresses each
+workload as a single string (the `topology-compare` experiment runs the
+full registry-wide version of this table through the sweep harness).
 
 Run:  python examples/topology_comparison.py
 """
 
-from repro import (
-    LinkModel,
-    NetworkConfig,
-    SwapModel,
-    build_network,
-    generate_demands,
-)
-from repro.experiments import standard_specs
+from repro import LinkModel, SwapModel, generate_demands
+from repro.experiments import parse_scenario, standard_specs
+from repro.network.builder import build_network
 from repro.utils.rng import ensure_rng
 from repro.utils.tables import AsciiTable
 
-GENERATORS = ("waxman", "watts_strogatz", "aiello", "grid")
+SCENARIOS = (
+    "waxman:switches=49,users=8",
+    "watts_strogatz:switches=49,users=8",
+    "aiello:switches=49,users=8",
+    "grid:switches=49,users=8",
+)
 
 
 def main() -> None:
     link, swap = LinkModel(), SwapModel(q=0.9)
     routers = [spec.build() for spec in standard_specs()]
-    table = AsciiTable(["generator", *[r.name for r in routers]])
-    for generator in GENERATORS:
+    table = AsciiTable(["scenario", *[r.name for r in routers]])
+    for text in SCENARIOS:
+        scenario = parse_scenario(text)
         rng = ensure_rng(100)
-        network = build_network(
-            NetworkConfig(generator=generator, num_switches=49, num_users=8),
-            rng,
-        )
+        network = build_network(scenario.network_config(), rng)
         demands = generate_demands(network, 10, rng)
         rates = [
             router.route(network, demands, link, swap).total_rate
             for router in routers
         ]
-        table.add_row([generator, *rates])
-    print("entanglement rate by topology generator (10 demanded states)\n")
+        table.add_row([scenario.topology, *rates])
+    print("entanglement rate by topology scenario (10 demanded states)\n")
     print(table.render())
     print(
         "\nALG-N-FUSION should lead on every row; the margin over Q-CAST "
-        "is the n-fusion advantage."
+        "is the n-fusion advantage.  Try the registry-wide version:\n"
+        "  python -m repro.experiments topology-compare"
     )
 
 

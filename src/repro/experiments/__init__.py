@@ -42,6 +42,20 @@ from repro.experiments.runner import (
     run_sweep,
     standard_specs,
 )
+from repro.experiments.scenarios import (
+    PAPER_DEFAULT,
+    ScenarioSpec,
+    ScenarioSpecError,
+    as_scenario,
+    as_setting,
+    parse_scenario,
+    parse_scenario_names,
+    scenario_presets,
+)
+from repro.experiments.topology_compare import (
+    DEFAULT_COMPARE_SCENARIOS,
+    topology_compare,
+)
 from repro.experiments.figures import (
     fig7_generators,
     fig8a_link_probability,
@@ -58,10 +72,20 @@ from repro.experiments.protocol_study import protocol_coherence_study
 
 __all__ = [
     "ANALYTIC",
+    "DEFAULT_COMPARE_SCENARIOS",
     "EstimatorSpec",
     "ExperimentSetting",
     "McValidationResult",
+    "PAPER_DEFAULT",
     "ResultCache",
+    "ScenarioSpec",
+    "ScenarioSpecError",
+    "as_scenario",
+    "as_setting",
+    "parse_scenario",
+    "parse_scenario_names",
+    "scenario_presets",
+    "topology_compare",
     "as_estimator",
     "default_result_cache",
     "estimate_plan",

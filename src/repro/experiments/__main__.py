@@ -11,6 +11,9 @@ Usage::
     python -m repro.experiments fig7 --shard 0/2 --cache-dir .sweep-cache
     python -m repro.experiments fig8a --mc-overlay
     python -m repro.experiments fig8a --estimator mc:trials=2000
+    python -m repro.experiments fig8a --scenario "grid:switches=64,users=8"
+    python -m repro.experiments fig9c --scenarios paper-grid,paper-erdos-renyi
+    python -m repro.experiments topology-compare --workers 4
     python -m repro.experiments mc-validate --routers alg-n-fusion
     python -m repro.experiments all --workers 4 --cache-dir .sweep-cache
     python -m repro.experiments regen-regression
@@ -31,14 +34,24 @@ complementary shards — on any machines — merge losslessly through a
 shared ``--cache-dir``, and any later run against that cache reports
 the complete series.
 
+``--scenario`` swaps the workload under any grid experiment: a preset
+name (``python -m repro.experiments scenarios`` lists them) or a
+``topology[:param=val,...]`` spec such as
+``"aiello:switches=100,states=20,q=0.85"``; the experiment's own sweep
+axis applies on top of the scenario.  ``--scenarios A,B,...`` runs the
+experiment once per workload; for ``topology-compare`` it instead
+selects the table's scenario columns (default: every topology-family
+preset), producing the cross-family rate table the paper never ran.
+
 ``--estimator`` selects how each routed plan becomes a rate:
 ``analytic`` (Equation 1, the default) or
-``mc[:trials=N][,engine=vectorized|reference]`` (Monte-Carlo
-re-evaluation through the Phase-III process simulation).
+``mc[:trials=N][,engine=vectorized|reference][,antithetic=true]``
+(Monte-Carlo re-evaluation through the Phase-III process simulation;
+antithetic pairing shrinks the stderr at equal trials).
 ``--mc-overlay [SPEC]`` keeps the analytic series and appends ``[MC]``
-validation columns next to them (fig7/fig8); ``mc-validate`` renders a
-per-sample analytic-vs-MC table with stderr and relative-error columns
-for any ``--routers`` set.
+validation columns next to them (fig7/fig8/fig9/topology-compare);
+``mc-validate`` renders a per-sample analytic-vs-MC table with stderr
+and relative-error columns for any ``--routers`` set.
 
 ``regen-regression`` rewrites the pinned regression fixture under
 ``tests/data/`` bit-exactly from its frozen recipe.
@@ -64,12 +77,20 @@ from repro.experiments import (
     lattice_distance_study,
     mc_validate,
     protocol_coherence_study,
+    topology_compare,
 )
 from repro.experiments.cache import ResultCache, default_result_cache
 from repro.experiments.estimators import parse_estimator
 from repro.experiments.harness import parse_shard
 from repro.experiments.regression import regenerate_regression_fixture
 from repro.experiments.runner import reject_duplicate_labels
+from repro.experiments.scenarios import (
+    SCENARIO_PRESETS,
+    parse_scenario,
+    parse_scenario_names,
+    scenario_param_names,
+)
+from repro.network.registry import topology_keys
 from repro.routing.registry import parse_router_specs, router_keys
 from repro.utils.cli import argparse_type
 
@@ -87,20 +108,19 @@ EXPERIMENTS: Dict[str, Callable] = {
     "protocol": protocol_coherence_study,
     "lattice": lattice_distance_study,
     "mc-validate": mc_validate,
+    "topology-compare": topology_compare,
 }
 
 #: Experiments whose point loops parallelise but have no (setting,
-#: router) grid, hence no result cache, router override, shard or
-#: estimator.
+#: router) grid, hence no result cache, router override, shard,
+#: estimator or scenario.
 _WORKERS_ONLY = ("protocol", "lattice")
 
 #: Grid experiments whose router set is fixed by their definition
-#: (ratio/ablation tables); they still accept --shard, --cache-dir and
-#: --estimator.
+#: (ratio/ablation tables); they still accept --shard, --cache-dir,
+#: --estimator and --scenario.  Every other grid sweep carries
+#: --mc-overlay (analytic series plus MC columns).
 _FIXED_ROUTERS = ("headline", "ablation")
-
-#: Figures that accept --mc-overlay (analytic series plus MC columns).
-_OVERLAY = ("fig7", "fig8a", "fig8b")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -110,11 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "list", "routers", "regen-regression"],
+        choices=[
+            *EXPERIMENTS, "all", "list", "routers", "scenarios",
+            "regen-regression",
+        ],
         help=(
             "experiment id (figN / headline / ablation / protocol / "
-            "lattice / mc-validate), 'all', 'list', 'routers' or "
-            "'regen-regression'"
+            "lattice / mc-validate / topology-compare), 'all', 'list', "
+            "'routers', 'scenarios' or 'regen-regression'"
         ),
     )
     parser.add_argument(
@@ -154,6 +177,30 @@ def build_parser() -> argparse.ArgumentParser:
             "'alg-n-fusion:include_alg4=false,q-cast'"
         ),
     )
+    scenario_group = parser.add_mutually_exclusive_group()
+    scenario_group.add_argument(
+        "--scenario",
+        type=argparse_type(parse_scenario),
+        default=None,
+        metavar="SPEC",
+        help=(
+            "base workload for the experiment: a preset name (see "
+            "'scenarios') or topology[:param=val,...], e.g. "
+            "'aiello:switches=100,states=20,q=0.85'; the experiment's "
+            "sweep axis applies on top"
+        ),
+    )
+    scenario_group.add_argument(
+        "--scenarios",
+        type=argparse_type(parse_scenario_names),
+        default=None,
+        metavar="SPEC[,SPEC...]",
+        help=(
+            "comma-separated scenario specs/presets: topology-compare "
+            "uses them as its table columns; any other grid experiment "
+            "runs once per scenario"
+        ),
+    )
     parser.add_argument(
         "--shard",
         type=argparse_type(parse_shard),
@@ -172,8 +219,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help=(
             "how each routed plan becomes a rate: 'analytic' "
-            "(Equation 1, default) or "
-            "'mc[:trials=N][,engine=vectorized|reference]' "
+            "(Equation 1, default) or 'mc[:trials=N][,engine="
+            "vectorized|reference][,antithetic=true]' "
             "(Monte-Carlo re-evaluation); mc-validate defaults to an "
             "mc spec sized for the run scale"
         ),
@@ -186,8 +233,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help=(
             "append Monte-Carlo '[MC]' columns next to the analytic "
-            "series (fig7/fig8); the optional SPEC is an mc estimator "
-            "spec, default 'mc' (500 trials, vectorized engine)"
+            "series (fig7/fig8/fig9/topology-compare); the optional "
+            "SPEC is an mc estimator spec, default 'mc' (500 trials, "
+            "vectorized engine)"
         ),
     )
     return parser
@@ -199,7 +247,7 @@ def _note(name: str, flag: str, reason: str) -> None:
 
 def run_one(
     name: str, quick: bool, workers, cache, routers, shard, estimator,
-    mc_overlay,
+    mc_overlay, scenario=None, scenarios=None,
 ) -> None:
     fn = EXPERIMENTS[name]
     if name in _WORKERS_ONLY:
@@ -213,35 +261,22 @@ def run_one(
             _note(name, "--estimator", "no (setting, router) grid to estimate")
         if mc_overlay is not None:
             _note(name, "--mc-overlay", "no (setting, router) grid to overlay")
+        if scenario is not None or scenarios is not None:
+            _note(
+                name, "--scenario/--scenarios",
+                "the study's workload is fixed by its definition",
+            )
         result = fn(quick=quick, workers=workers)
-    elif name in _FIXED_ROUTERS:
-        if routers is not None:
-            _note(name, "--routers", "the table's router set is fixed")
-        if mc_overlay is not None:
-            _note(name, "--mc-overlay", "tables have no series to overlay")
-        result = fn(
-            quick=quick,
-            workers=workers,
-            cache=cache,
-            shard=shard,
-            estimator=estimator,
-        )
-    elif name == "mc-validate":
-        if mc_overlay is not None:
+        print(result.to_text())
+        print()
+        return
+    if name == "topology-compare":
+        if scenario is not None:
             _note(
-                name, "--mc-overlay",
-                "the validation table already pairs analytic and MC",
+                name, "--scenario",
+                "the scenario axis is the table itself; use --scenarios "
+                "to select its columns",
             )
-        if estimator is not None and not estimator.is_mc:
-            # Reachable via `all --estimator analytic`: the other
-            # experiments honour the analytic spec, the validation
-            # table keeps its MC default instead of failing the run.
-            _note(
-                name, "--estimator",
-                "mc-validate always pairs analytic with MC; using its "
-                "default mc spec",
-            )
-            estimator = None
         result = fn(
             quick=quick,
             workers=workers,
@@ -249,23 +284,54 @@ def run_one(
             routers=routers,
             shard=shard,
             estimator=estimator,
+            mc_overlay=mc_overlay,
+            scenarios=scenarios,
         )
-    else:
+        print(result.to_text())
+        print()
+        return
+
+    # Grid experiments: with --scenarios, run once per workload.
+    for index, base in enumerate([scenario] if scenarios is None else scenarios):
+        if scenarios is not None:
+            print(f"--- scenario: {base} ---")
         kwargs = dict(
             quick=quick,
             workers=workers,
             cache=cache,
-            routers=routers,
             shard=shard,
             estimator=estimator,
+            scenario=base,
         )
-        if name in _OVERLAY:
+        if name in _FIXED_ROUTERS:
+            if routers is not None and index == 0:
+                _note(name, "--routers", "the table's router set is fixed")
+            if mc_overlay is not None and index == 0:
+                _note(name, "--mc-overlay", "tables have no series to overlay")
+        elif name == "mc-validate":
+            if mc_overlay is not None and index == 0:
+                _note(
+                    name, "--mc-overlay",
+                    "the validation table already pairs analytic and MC",
+                )
+            if estimator is not None and not estimator.is_mc:
+                # Reachable via `all --estimator analytic`: the other
+                # experiments honour the analytic spec, the validation
+                # table keeps its MC default instead of failing the run.
+                if index == 0:
+                    _note(
+                        name, "--estimator",
+                        "mc-validate always pairs analytic with MC; using "
+                        "its default mc spec",
+                    )
+                kwargs["estimator"] = None
+            kwargs["routers"] = routers
+        else:
+            kwargs["routers"] = routers
             kwargs["mc_overlay"] = mc_overlay
-        elif mc_overlay is not None:
-            _note(name, "--mc-overlay", "only fig7/fig8 carry MC overlays")
         result = fn(**kwargs)
-    print(result.to_text())
-    print()
+        print(result.to_text())
+        print()
 
 
 def main(argv=None) -> int:
@@ -277,6 +343,16 @@ def main(argv=None) -> int:
     if args.experiment == "routers":
         for key in router_keys():
             print(key)
+        return 0
+    if args.experiment == "scenarios":
+        print("presets:")
+        for name, spec in SCENARIO_PRESETS.items():
+            print(f"  {name} = {spec}")
+        print(f"topology keys: {', '.join(topology_keys())}")
+        print(
+            "spec grammar: topology[:param=val,...] with parameters "
+            f"{', '.join(scenario_param_names())}"
+        )
         return 0
     if args.experiment == "regen-regression":
         path = regenerate_regression_fixture()
@@ -336,6 +412,14 @@ def main(argv=None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     if args.experiment == "all":
+        if args.scenarios is not None:
+            print(
+                "error: --scenarios multiplies every experiment; run "
+                "'all' with a single --scenario, or one experiment with "
+                "--scenarios",
+                file=sys.stderr,
+            )
+            return 2
         for name in EXPERIMENTS:
             if name == "fig9b-ext" and quick:
                 # Quick-mode fig9b-ext is bit-identical to fig9b, which
@@ -349,12 +433,13 @@ def main(argv=None) -> int:
             print(f"=== {name} ===")
             run_one(
                 name, quick, args.workers, cache, args.routers, args.shard,
-                args.estimator, mc_overlay,
+                args.estimator, mc_overlay, scenario=args.scenario,
             )
         return 0
     run_one(
         args.experiment, quick, args.workers, cache, args.routers,
-        args.shard, args.estimator, mc_overlay,
+        args.shard, args.estimator, mc_overlay, scenario=args.scenario,
+        scenarios=args.scenarios,
     )
     return 0
 

@@ -3,10 +3,11 @@
 Every ``(setting, router, estimator)`` triple of a sweep maps to one
 cache entry holding the per-sample rates (and, for Monte-Carlo
 estimators, standard errors) of that router at that setting.  The entry
-key is a stable hash of the full recipe — the
-:class:`~repro.experiments.config.ExperimentSetting` fields, the
-router's configuration, the estimator's identity and the cache format
-version — so any change to the experiment's inputs changes the key and
+key is a stable hash of the full recipe — the setting's scenario
+identity (normalized topology key + workload parameters) and averaging
+knobs, the router's configuration, the estimator's identity and the
+cache format version — so any change to the experiment's inputs changes
+the key and
 re-running a figure only recomputes the points whose recipe actually
 changed.
 
@@ -38,7 +39,11 @@ from repro.routing.registry import RouterSpecError
 #: ``stderrs``, ``analytic_rates`` and a ``trials`` count so
 #: Monte-Carlo results cache (with the analytic pairing that routing
 #: produced as a by-product).
-CACHE_FORMAT_VERSION = 3
+#: v4: setting identity moved to the scenario spec's ``config_dict()``
+#: (normalized topology key + workload parameters, plus the averaging
+#: knobs), so equal workloads hash identically however they were
+#: spelled; estimator fingerprints grew the ``antithetic`` flag.
+CACHE_FORMAT_VERSION = 4
 
 
 def router_fingerprint(router) -> Dict:
@@ -72,8 +77,20 @@ def router_fingerprint(router) -> Dict:
 
 
 def setting_fingerprint(setting: ExperimentSetting) -> Dict:
-    """A stable, JSON-ready description of one experiment setting."""
-    return dataclasses.asdict(setting)
+    """A stable, JSON-ready description of one experiment setting.
+
+    The workload half is the scenario spec's ``config_dict()`` — the
+    normalized topology key plus every workload parameter — so settings
+    built from a scenario string, a preset or a hand-constructed
+    :class:`~repro.network.builder.NetworkConfig` (including via a
+    generator alias) address the same entries.  The averaging knobs
+    (``num_networks``, ``seed``) complete the identity.
+    """
+    return {
+        "scenario": setting.scenario().config_dict(),
+        "num_networks": setting.num_networks,
+        "seed": setting.seed,
+    }
 
 
 class ResultCache:

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.network.builder import NetworkConfig
+from repro.network.registry import quick_switch_count
 from repro.quantum.noise import DEFAULT_ALPHA, LinkModel, SwapModel
 
 
@@ -63,15 +64,31 @@ class ExperimentSetting:
         """A copy with the given fields replaced."""
         return replace(self, **kwargs)
 
+    def scenario(self):
+        """The :class:`~repro.experiments.scenarios.ScenarioSpec` this
+        setting evaluates (the workload, minus the averaging knobs).
+
+        The result cache keys settings through this — equal workloads
+        hash identically however their settings were constructed.
+        """
+        from repro.experiments.scenarios import ScenarioSpec
+
+        return ScenarioSpec.from_setting(self)
+
     def scaled_for_quick_run(self) -> "ExperimentSetting":
         """A cheaper variant for CI-sized runs: fewer, smaller networks.
 
         The scaling keeps the resource ratios (qubits per demand, degree)
         intact so orderings and trends survive; only the averaging and
-        network size shrink.
+        network size shrink.  The halved switch count is snapped to the
+        topology family's nearest valid value (grids stay square) via
+        the registry's ``quick_switches`` hook.
         """
         quick_network = self.network.with_updates(
-            num_switches=max(30, self.network.num_switches // 2)
+            num_switches=quick_switch_count(
+                self.network.generator,
+                max(30, self.network.num_switches // 2),
+            )
         )
         return self.with_updates(
             network=quick_network,

@@ -20,6 +20,15 @@ ones.  The spec grammar mirrors router specs::
     mc                                  (trials=500, engine=vectorized)
     mc:trials=3000
     mc:trials=2000,engine=reference
+    mc:trials=2000,antithetic=true      (paired antithetic trials)
+
+``antithetic=true`` evaluates the trials as antithetic pairs (each
+uniform draw ``u`` is mirrored by ``1 - u`` in its pair partner): flow
+establishment is monotone in the underlying uniforms, so the pairs are
+negatively correlated and the standard error shrinks at equal trial
+count.  Pairing is only implemented on the vectorised engine and needs
+an even trial count; the reported stderr is computed over pair means,
+which is the statistically valid estimator under pairing.
 
 Estimation draws come from :func:`estimation_rng` — a stateless
 substream of the task's sample seed — so the instance-generation stream
@@ -65,14 +74,16 @@ ESTIMATION_STREAM = 0x4D43
 class EstimatorSpec:
     """How a task's routing plan is turned into a rate.
 
-    ``trials``/``engine`` are meaningful only for ``kind="mc"`` and are
-    pinned to ``0``/``""`` for ``analytic``, so equal estimators are
-    equal dataclasses (and hash identically into cache keys).
+    ``trials``/``engine``/``antithetic`` are meaningful only for
+    ``kind="mc"`` and are pinned to ``0``/``""``/``False`` for
+    ``analytic``, so equal estimators are equal dataclasses (and hash
+    identically into cache keys).
     """
 
     kind: str = "analytic"
     trials: int = 0
     engine: str = ""
+    antithetic: bool = False
 
     def __post_init__(self):
         if self.kind not in ESTIMATOR_KINDS:
@@ -81,11 +92,12 @@ class EstimatorSpec:
                 f"{', '.join(ESTIMATOR_KINDS)}"
             )
         if self.kind == "analytic":
-            if self.trials != 0 or self.engine != "":
+            if self.trials != 0 or self.engine != "" or self.antithetic:
                 raise EstimatorSpecError(
-                    "the analytic estimator takes no trials/engine "
-                    f"parameters, got trials={self.trials!r}, "
-                    f"engine={self.engine!r}"
+                    "the analytic estimator takes no trials/engine/"
+                    f"antithetic parameters, got trials={self.trials!r}, "
+                    f"engine={self.engine!r}, "
+                    f"antithetic={self.antithetic!r}"
                 )
             return
         if not isinstance(self.trials, int) or isinstance(self.trials, bool) \
@@ -99,6 +111,22 @@ class EstimatorSpec:
                 f"unknown mc engine {self.engine!r}; known engines: "
                 f"{', '.join(MC_ENGINES)}"
             )
+        if not isinstance(self.antithetic, bool):
+            raise EstimatorSpecError(
+                f"mc estimator antithetic must be a bool, got "
+                f"{self.antithetic!r}"
+            )
+        if self.antithetic:
+            if self.engine != "vectorized":
+                raise EstimatorSpecError(
+                    "antithetic pairing is only implemented on the "
+                    f"vectorized engine, got engine={self.engine!r}"
+                )
+            if self.trials % 2:
+                raise EstimatorSpecError(
+                    "antithetic pairing needs an even trial count, got "
+                    f"trials={self.trials}"
+                )
 
     @property
     def is_mc(self) -> bool:
@@ -107,10 +135,13 @@ class EstimatorSpec:
 
     @classmethod
     def mc(
-        cls, trials: int = DEFAULT_MC_TRIALS, engine: str = "vectorized"
+        cls,
+        trials: int = DEFAULT_MC_TRIALS,
+        engine: str = "vectorized",
+        antithetic: bool = False,
     ) -> "EstimatorSpec":
         """A Monte-Carlo spec with keyword defaults."""
-        return cls("mc", trials, engine)
+        return cls("mc", trials, engine, antithetic)
 
     @classmethod
     def from_string(cls, text: str) -> "EstimatorSpec":
@@ -145,12 +176,12 @@ class EstimatorSpec:
                         f"{text!r}"
                     )
                 params[name] = value
-        unknown = sorted(set(params) - {"trials", "engine"})
+        unknown = sorted(set(params) - {"trials", "engine", "antithetic"})
         if unknown:
             raise EstimatorSpecError(
                 f"unknown parameter(s) {', '.join(repr(u) for u in unknown)} "
-                f"in estimator spec {text!r}; valid parameters: engine, "
-                "trials"
+                f"in estimator spec {text!r}; valid parameters: antithetic, "
+                "engine, trials"
             )
         trials = DEFAULT_MC_TRIALS
         if "trials" in params:
@@ -161,13 +192,27 @@ class EstimatorSpec:
                     f"estimator trials must be an int, got "
                     f"{params['trials']!r}"
                 ) from None
-        return cls("mc", trials, params.get("engine", "vectorized"))
+        antithetic = False
+        if "antithetic" in params:
+            lowered = params["antithetic"].lower()
+            if lowered not in ("true", "false"):
+                raise EstimatorSpecError(
+                    f"estimator antithetic must be true or false, got "
+                    f"{params['antithetic']!r}"
+                )
+            antithetic = lowered == "true"
+        return cls(
+            "mc", trials, params.get("engine", "vectorized"), antithetic
+        )
 
     def to_string(self) -> str:
         """Canonical spec string; round-trips via :meth:`from_string`."""
         if self.kind == "analytic":
             return "analytic"
-        return f"mc:trials={self.trials},engine={self.engine}"
+        rendered = f"mc:trials={self.trials},engine={self.engine}"
+        if self.antithetic:
+            rendered += ",antithetic=true"
+        return rendered
 
     def fingerprint(self) -> Dict:
         """Stable, JSON-ready identity for cache keys."""
@@ -241,7 +286,9 @@ def estimate_plan(
         simulator = VectorizedProcessSimulator(
             network, link_model, swap_model, rng
         )
-        estimate = simulator.plan_estimate(plan, spec.trials)
+        estimate = simulator.plan_estimate(
+            plan, spec.trials, antithetic=spec.antithetic
+        )
     # Plain floats so outcomes equal their JSON-cached round trip
     # type-for-type (numpy scalars leak from the vectorised engine).
     return MonteCarloEstimate(

@@ -12,6 +12,7 @@ from typing import Optional, Sequence, Tuple
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentSetting, is_full_run
 from repro.experiments.runner import SweepResult, run_sweep, standard_specs
+from repro.experiments.scenarios import as_setting
 
 GENERATORS = ("waxman", "watts_strogatz", "aiello")
 
@@ -24,6 +25,7 @@ def fig7_generators(
     shard: Optional[Tuple[int, int]] = None,
     estimator=None,
     mc_overlay=None,
+    scenario=None,
 ) -> SweepResult:
     """Run the Figure 7 sweep over topology generators.
 
@@ -32,15 +34,19 @@ def fig7_generators(
     the (setting, router) grid (see :func:`repro.experiments.runner.run_settings`).
     ``estimator`` evaluates the sweep analytically (default) or by
     Monte Carlo; ``mc_overlay`` appends ``[MC]`` validation columns
-    next to the analytic series.
+    next to the analytic series.  ``scenario`` (a
+    :class:`~repro.experiments.scenarios.ScenarioSpec`, preset name or
+    spec string) replaces the paper-default base workload; the figure's
+    generator axis still overrides the scenario's topology at each x
+    value.
     """
     if quick is None:
         quick = not is_full_run()
+    base = as_setting(scenario) if scenario is not None else ExperimentSetting()
     settings = []
     for generator in GENERATORS:
-        setting = ExperimentSetting()
-        setting = setting.with_updates(
-            network=setting.network.with_updates(generator=generator)
+        setting = base.with_updates(
+            network=base.network.with_updates(generator=generator)
         )
         if quick:
             setting = setting.scaled_for_quick_run()

@@ -3,6 +3,10 @@
 * 8a: uniform link success probability p in {0.1, 0.2, 0.3, 0.4} (the
   paper fixes p across links here to remove topology randomness).
 * 8b: switch swapping success probability q in {0.3, 0.5, 0.7, 0.9}.
+
+Both sweeps accept a base ``scenario`` — the swept parameter overrides
+the scenario's value at each x value, everything else (topology,
+demand model, the other hardware knobs) comes from the scenario.
 """
 
 from __future__ import annotations
@@ -12,6 +16,7 @@ from typing import Optional, Sequence, Tuple
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentSetting, is_full_run
 from repro.experiments.runner import SweepResult, run_sweep
+from repro.experiments.scenarios import as_setting
 
 P_VALUES = (0.1, 0.2, 0.3, 0.4)
 Q_VALUES = (0.3, 0.5, 0.7, 0.9)
@@ -25,13 +30,15 @@ def fig8a_link_probability(
     shard: Optional[Tuple[int, int]] = None,
     estimator=None,
     mc_overlay=None,
+    scenario=None,
 ) -> SweepResult:
     """Run the Figure 8a sweep over the uniform link success probability."""
     if quick is None:
         quick = not is_full_run()
+    base = as_setting(scenario) if scenario is not None else ExperimentSetting()
     settings = []
     for p in P_VALUES:
-        setting = ExperimentSetting(fixed_p=p)
+        setting = base.with_updates(fixed_p=p)
         if quick:
             setting = setting.scaled_for_quick_run()
         settings.append(setting)
@@ -57,13 +64,15 @@ def fig8b_swap_probability(
     shard: Optional[Tuple[int, int]] = None,
     estimator=None,
     mc_overlay=None,
+    scenario=None,
 ) -> SweepResult:
     """Run the Figure 8b sweep over the swapping success probability."""
     if quick is None:
         quick = not is_full_run()
+    base = as_setting(scenario) if scenario is not None else ExperimentSetting()
     settings = []
     for q in Q_VALUES:
-        setting = ExperimentSetting(swap_q=q)
+        setting = base.with_updates(swap_q=q)
         if quick:
             setting = setting.scaled_for_quick_run()
         settings.append(setting)

@@ -7,6 +7,10 @@
 
 ``fig9b_ext_switches`` extends 9b beyond the paper (800, 1600
 switches); the extension lands only in full (``REPRO_FULL``) runs.
+
+Every sweep accepts a base ``scenario`` (the swept parameter overrides
+the scenario's value at each x value) and an ``mc_overlay`` estimator
+appending ``[MC]`` validation columns next to the analytic series.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from typing import Optional, Sequence, Tuple
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentSetting, is_full_run
 from repro.experiments.runner import SweepResult, run_sweep
+from repro.experiments.scenarios import as_setting
 
 QUBIT_VALUES = (6, 8, 10, 12)
 SWITCH_VALUES = (50, 100, 200, 400)
@@ -31,8 +36,10 @@ EXTENDED_SWITCH_VALUES = SWITCH_VALUES + (800, 1600)
 EXTENDED_TAIL_NETWORKS = 2
 
 
-def _base(quick: bool) -> ExperimentSetting:
-    setting = ExperimentSetting()
+def _base(quick: bool, scenario=None) -> ExperimentSetting:
+    setting = (
+        as_setting(scenario) if scenario is not None else ExperimentSetting()
+    )
     return setting.scaled_for_quick_run() if quick else setting
 
 
@@ -43,13 +50,15 @@ def fig9a_qubits(
     routers: Optional[Sequence] = None,
     shard: Optional[Tuple[int, int]] = None,
     estimator=None,
+    mc_overlay=None,
+    scenario=None,
 ) -> SweepResult:
     """Run the Figure 9a sweep over switch qubit capacity."""
     if quick is None:
         quick = not is_full_run()
     settings = []
     for capacity in QUBIT_VALUES:
-        setting = _base(quick)
+        setting = _base(quick, scenario)
         setting = setting.with_updates(
             network=setting.network.with_updates(qubit_capacity=capacity)
         )
@@ -64,6 +73,7 @@ def fig9a_qubits(
         cache=cache,
         shard=shard,
         estimator=estimator,
+        mc_overlay=mc_overlay,
     )
 
 
@@ -74,15 +84,17 @@ def fig9b_switches(
     routers: Optional[Sequence] = None,
     shard: Optional[Tuple[int, int]] = None,
     estimator=None,
+    mc_overlay=None,
+    scenario=None,
 ) -> SweepResult:
     """Run the Figure 9b sweep over the number of switches."""
     if quick is None:
         quick = not is_full_run()
+    base = as_setting(scenario) if scenario is not None else ExperimentSetting()
     settings = []
     for count in SWITCH_VALUES:
-        setting = ExperimentSetting()
-        setting = setting.with_updates(
-            network=setting.network.with_updates(num_switches=count)
+        setting = base.with_updates(
+            network=base.network.with_updates(num_switches=count)
         )
         if quick:
             # Keep the sweep's x values; only shrink the averaging.
@@ -98,6 +110,7 @@ def fig9b_switches(
         cache=cache,
         shard=shard,
         estimator=estimator,
+        mc_overlay=mc_overlay,
     )
 
 
@@ -108,6 +121,8 @@ def fig9b_ext_switches(
     routers: Optional[Sequence] = None,
     shard: Optional[Tuple[int, int]] = None,
     estimator=None,
+    mc_overlay=None,
+    scenario=None,
 ) -> SweepResult:
     """Run the extended Figure 9b-style sweep over switch counts.
 
@@ -122,11 +137,11 @@ def fig9b_ext_switches(
     if quick is None:
         quick = not is_full_run()
     values = SWITCH_VALUES if quick else EXTENDED_SWITCH_VALUES
+    base = as_setting(scenario) if scenario is not None else ExperimentSetting()
     settings = []
     for count in values:
-        setting = ExperimentSetting()
-        setting = setting.with_updates(
-            network=setting.network.with_updates(num_switches=count)
+        setting = base.with_updates(
+            network=base.network.with_updates(num_switches=count)
         )
         if quick:
             # Keep the sweep's x values; only shrink the averaging.
@@ -149,6 +164,7 @@ def fig9b_ext_switches(
         cache=cache,
         shard=shard,
         estimator=estimator,
+        mc_overlay=mc_overlay,
     )
 
 
@@ -159,13 +175,15 @@ def fig9c_states(
     routers: Optional[Sequence] = None,
     shard: Optional[Tuple[int, int]] = None,
     estimator=None,
+    mc_overlay=None,
+    scenario=None,
 ) -> SweepResult:
     """Run the Figure 9c sweep over the number of demanded states."""
     if quick is None:
         quick = not is_full_run()
     settings = []
     for states in STATE_VALUES:
-        setting = _base(quick)
+        setting = _base(quick, scenario)
         setting = setting.with_updates(num_states=states)
         settings.append(setting)
     return run_sweep(
@@ -178,6 +196,7 @@ def fig9c_states(
         cache=cache,
         shard=shard,
         estimator=estimator,
+        mc_overlay=mc_overlay,
     )
 
 
@@ -188,13 +207,15 @@ def fig9d_degree(
     routers: Optional[Sequence] = None,
     shard: Optional[Tuple[int, int]] = None,
     estimator=None,
+    mc_overlay=None,
+    scenario=None,
 ) -> SweepResult:
     """Run the Figure 9d sweep over the average switch degree."""
     if quick is None:
         quick = not is_full_run()
     settings = []
     for degree in DEGREE_VALUES:
-        setting = _base(quick)
+        setting = _base(quick, scenario)
         setting = setting.with_updates(
             network=setting.network.with_updates(average_degree=float(degree))
         )
@@ -209,4 +230,5 @@ def fig9d_degree(
         cache=cache,
         shard=shard,
         estimator=estimator,
+        mc_overlay=mc_overlay,
     )

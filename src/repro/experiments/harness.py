@@ -3,7 +3,11 @@
 A figure or table sweep is an embarrassingly parallel grid: every
 ``(setting, sample_index, router)`` triple is one independent unit of
 work whose inputs are fully determined by the setting's pre-spawned
-sample seed.  This module makes that grid explicit:
+sample seed.  The setting axis is scenario-addressable — grid entry
+points accept :class:`~repro.experiments.scenarios.ScenarioSpec`
+values (or their string/preset spellings) anywhere they accept
+settings, so the workload is a sweepable dimension like the router and
+estimator.  This module makes that grid explicit:
 
 * :func:`enumerate_tasks` expands settings × samples × routers into
   :class:`SweepTask` records, pre-spawning each sample's RNG seed with
@@ -97,18 +101,24 @@ def sample_seeds(setting: ExperimentSetting) -> List[int]:
 
 
 def enumerate_tasks(
-    settings: Sequence[ExperimentSetting],
+    settings: Sequence,
     router_lists: Sequence[Sequence],
     estimator: EstimatorSpec = ANALYTIC,
 ) -> List[SweepTask]:
     """Expand settings × samples × routers into executable tasks.
 
-    ``router_lists`` holds one router sequence per setting (usually the
-    same sequence repeated).  Task order matches the sequential runner's
-    loop nesting — samples outer, routers inner — so replaying outcomes
-    in task order reproduces its exact accumulation order.  Every task
-    in the grid shares one *estimator*.
+    ``settings`` entries may be :class:`ExperimentSetting` values or
+    scenarios (specs, preset names or spec strings), which coerce to
+    settings with the paper's averaging — the scenario is a first-class
+    grid axis.  ``router_lists`` holds one router sequence per setting
+    (usually the same sequence repeated).  Task order matches the
+    sequential runner's loop nesting — samples outer, routers inner — so
+    replaying outcomes in task order reproduces its exact accumulation
+    order.  Every task in the grid shares one *estimator*.
     """
+    from repro.experiments.scenarios import as_setting
+
+    settings = [as_setting(setting) for setting in settings]
     if len(settings) != len(router_lists):
         raise ValueError(
             f"{len(settings)} settings but {len(router_lists)} router lists"

@@ -29,6 +29,7 @@ from repro.experiments.estimators import (
     as_estimator,
 )
 from repro.experiments.runner import run_outcomes, standard_specs
+from repro.experiments.scenarios import as_setting
 from repro.utils.tables import AsciiTable
 
 #: The validation point: the paper's default network at a mid-range
@@ -41,9 +42,23 @@ QUICK_TRIALS = 500
 FULL_TRIALS = 3000
 
 
-def validation_setting(quick: bool) -> ExperimentSetting:
-    """The standard validation setting (scaled down for quick runs)."""
-    setting = ExperimentSetting(fixed_p=VALIDATION_FIXED_P, seed=VALIDATION_SEED)
+def validation_setting(quick: bool, scenario=None) -> ExperimentSetting:
+    """The standard validation setting (scaled down for quick runs).
+
+    ``scenario`` replaces the paper-default workload; the validation
+    still pins its own seed, and a scenario without an explicit uniform
+    ``p`` keeps the standard mid-range validation point.
+    """
+    if scenario is None:
+        setting = ExperimentSetting(
+            fixed_p=VALIDATION_FIXED_P, seed=VALIDATION_SEED
+        )
+    else:
+        setting = as_setting(scenario)
+        updates = {"seed": VALIDATION_SEED}
+        if setting.fixed_p is None:
+            updates["fixed_p"] = VALIDATION_FIXED_P
+        setting = setting.with_updates(**updates)
     return setting.scaled_for_quick_run() if quick else setting
 
 
@@ -113,6 +128,7 @@ def mc_validate(
     shard: Optional[Tuple[int, int]] = None,
     estimator: Union[None, str, EstimatorSpec] = None,
     setting: Optional[ExperimentSetting] = None,
+    scenario=None,
 ) -> McValidationResult:
     """Analytic-vs-Monte-Carlo comparison over one setting's task grid.
 
@@ -122,12 +138,14 @@ def mc_validate(
     vectorised engine).  ``workers``/``cache``/``shard`` behave exactly
     as in :func:`~repro.experiments.runner.run_settings`; in a sharded
     run, rows for series another shard owns appear once that shard has
-    populated the shared cache.
+    populated the shared cache.  ``scenario`` validates Equation 1 on a
+    different workload (see :func:`validation_setting`); an explicit
+    ``setting`` wins over it.
     """
     if quick is None:
         quick = not is_full_run()
     if setting is None:
-        setting = validation_setting(quick)
+        setting = validation_setting(quick, scenario)
     if estimator is None:
         estimator = EstimatorSpec.mc(
             trials=QUICK_TRIALS if quick else FULL_TRIALS

@@ -43,6 +43,7 @@ from repro.experiments.harness import (
     shard_member,
     validate_shard,
 )
+from repro.experiments.scenarios import as_setting
 from repro.routing.registry import Router, RouterSpec, as_spec
 from repro.utils.tables import format_series
 
@@ -91,8 +92,13 @@ def run_outcomes(
     across complementary shards merged through a shared cache.  In a
     sharded run, series neither owned by this shard nor already cached
     are absent.
+
+    ``settings`` entries may be :class:`ExperimentSetting` values or
+    scenarios (:class:`~repro.experiments.scenarios.ScenarioSpec`
+    values, preset names or spec strings) — the workload axis is
+    addressable exactly like the router and estimator axes.
     """
-    settings = list(settings)
+    settings = [as_setting(setting) for setting in settings]
     estimator = as_estimator(estimator)
     specs = [
         as_spec(router)
@@ -201,7 +207,7 @@ def run_settings(
     Series neither owned nor cached are simply absent from the returned
     mappings.
     """
-    settings = list(settings)
+    settings = [as_setting(setting) for setting in settings]
     outcomes = run_outcomes(
         settings,
         routers,
@@ -361,7 +367,7 @@ def run_sweep(
         raise ValueError(
             f"{len(x_values)} x values but {len(settings)} settings"
         )
-    settings = list(settings)
+    settings = [as_setting(setting) for setting in settings]
     base_spec = as_estimator(estimator)
     overlay_spec = None
     if mc_overlay is not None:

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentSetting, is_full_run
 from repro.experiments.runner import run_settings, standard_specs
+from repro.experiments.scenarios import as_setting
 from repro.routing.registry import RouterSpec
 from repro.utils.tables import AsciiTable
 
@@ -86,10 +87,18 @@ def _improvement(a: float, b: float) -> float:
     return (a - b) / b
 
 
-def headline_settings(quick: bool) -> List[ExperimentSetting]:
-    """The settings the headline ratios are maximised over: the default
-    network plus the low-p / low-q corners where n-fusion shines."""
-    base = ExperimentSetting()
+def headline_settings(
+    quick: bool, scenario=None
+) -> List[ExperimentSetting]:
+    """The settings the headline ratios are maximised over: the base
+    network plus the low-p / low-q corners where n-fusion shines.
+
+    ``scenario`` (a spec, preset name or spec string) replaces the
+    paper-default base workload; the corner overrides apply on top.
+    """
+    base = (
+        as_setting(scenario) if scenario is not None else ExperimentSetting()
+    )
     if quick:
         base = base.scaled_for_quick_run()
     return [
@@ -106,6 +115,7 @@ def headline_ratios(
     cache: Optional[ResultCache] = None,
     shard: Optional[Tuple[int, int]] = None,
     estimator=None,
+    scenario=None,
 ) -> RatioReport:
     """Recompute the paper's Section V-C-1 headline improvement ratios.
 
@@ -113,7 +123,8 @@ def headline_ratios(
     paper's four series); ``shard=(i, n)`` still slices the (setting,
     router) grid for distributed runs merging through a shared cache.
     ``estimator`` recomputes the ratios over Monte-Carlo rates instead
-    of analytic ones (the paper's are analytic).
+    of analytic ones (the paper's are analytic); ``scenario`` swaps the
+    base workload the corners perturb.
     """
     if quick is None:
         quick = not is_full_run()
@@ -122,7 +133,7 @@ def headline_ratios(
     alg_over_b1: Optional[float] = None
     per_setting = []
     all_rates = run_settings(
-        headline_settings(quick),
+        headline_settings(quick, scenario),
         routers=standard_specs(),
         workers=workers,
         cache=cache,
@@ -221,19 +232,21 @@ def alg4_ablation(
     cache: Optional[ResultCache] = None,
     shard: Optional[Tuple[int, int]] = None,
     estimator=None,
+    scenario=None,
 ) -> AblationReport:
     """Recompute the paper's Algorithm 4 ablation (Section V-C-3).
 
     The three variants are fixed by the ablation's definition; a
     ``shard`` slice leaves the rows it does not own as NaN until the
-    complementary shards land in the shared cache.
+    complementary shards land in the shared cache.  ``scenario`` swaps
+    the base workload the settings column perturbs.
     """
     if quick is None:
         quick = not is_full_run()
     labels = ("default", "p=0.1", "p=0.2", "q=0.5")
     rows = []
     all_rates = run_settings(
-        headline_settings(quick),
+        headline_settings(quick, scenario),
         routers=[
             RouterSpec.create("alg-n-fusion"),
             RouterSpec.create(

@@ -8,8 +8,10 @@ The network follows the paper's Section III model:
   limited number of communication qubits (the binding resource).
 * **Quantum links** connect adjacent nodes over fibre; a *channel* of
   width w places w parallel links on one edge for one demanded state.
-* Topology generators: Waxman (the paper's default), Watts-Strogatz,
-  Aiello power-law, plus grid/ring/Erdos-Renyi used by tests and examples.
+* Topology generators, addressed through a registry
+  (:mod:`repro.network.registry`): Waxman (the paper's default),
+  Watts-Strogatz, Aiello power-law, Barabasi-Albert, random-geometric,
+  grid, ring and Erdos-Renyi — ``register_topology`` adds new families.
 """
 
 from repro.network.node import Node, NodeKind, QuantumSwitch, QuantumUser
@@ -17,11 +19,19 @@ from repro.network.edge import Edge, edge_key
 from repro.network.graph import QuantumNetwork
 from repro.network.demands import Demand, DemandSet, generate_demands
 from repro.network.builder import NetworkConfig, build_network
+from repro.network.registry import (
+    TopologyKeyError,
+    normalize_topology,
+    register_topology,
+    topology_keys,
+)
 from repro.network.serialization import load_instance, save_instance
 from repro.network.topology import (
     aiello_power_law_network,
+    barabasi_albert_network,
     erdos_renyi_network,
     grid_network,
+    random_geometric_network,
     ring_network,
     watts_strogatz_network,
     waxman_network,
@@ -48,4 +58,10 @@ __all__ = [
     "grid_network",
     "ring_network",
     "erdos_renyi_network",
+    "barabasi_albert_network",
+    "random_geometric_network",
+    "TopologyKeyError",
+    "normalize_topology",
+    "register_topology",
+    "topology_keys",
 ]

@@ -2,19 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass, replace
+from typing import Optional
 
-from repro.exceptions import ConfigurationError
 from repro.network.graph import QuantumNetwork
-from repro.network.topology import (
-    aiello_power_law_network,
-    erdos_renyi_network,
-    grid_network,
-    ring_network,
-    watts_strogatz_network,
-    waxman_network,
-)
+from repro.network.registry import topology_entry
 from repro.network.topology.base import (
     DEFAULT_AREA,
     DEFAULT_NUM_USERS,
@@ -51,69 +43,11 @@ def build_network(
 ) -> QuantumNetwork:
     """Instantiate one network sample from *config*.
 
-    Supported generators: ``waxman``, ``watts_strogatz``, ``aiello``,
-    ``grid`` (num_switches is rounded down to a square), ``ring`` and
-    ``erdos_renyi``.
+    Dispatches through the topology registry
+    (:mod:`repro.network.registry`): any registered generator key or
+    alias is a valid ``config.generator``; an unknown key raises a
+    ``ValueError`` naming every supported generator.  ``grid`` rounds
+    ``num_switches`` down to a square.
     """
     rng = ensure_rng(rng)
-    name = config.generator.lower().replace("-", "_")
-    if name == "waxman":
-        return waxman_network(
-            num_switches=config.num_switches,
-            average_degree=config.average_degree,
-            area=config.area,
-            qubit_capacity=config.qubit_capacity,
-            num_users=config.num_users,
-            user_links=config.user_links,
-            rng=rng,
-        )
-    if name in ("watts_strogatz", "watts"):
-        return watts_strogatz_network(
-            num_switches=config.num_switches,
-            average_degree=config.average_degree,
-            area=config.area,
-            qubit_capacity=config.qubit_capacity,
-            num_users=config.num_users,
-            user_links=config.user_links,
-            rng=rng,
-        )
-    if name in ("aiello", "power_law"):
-        return aiello_power_law_network(
-            num_switches=config.num_switches,
-            average_degree=config.average_degree,
-            area=config.area,
-            qubit_capacity=config.qubit_capacity,
-            num_users=config.num_users,
-            user_links=config.user_links,
-            rng=rng,
-        )
-    if name == "grid":
-        side = max(2, int(config.num_switches**0.5))
-        return grid_network(
-            side=side,
-            area=config.area,
-            qubit_capacity=config.qubit_capacity,
-            num_users=config.num_users,
-            user_links=config.user_links,
-            rng=rng,
-        )
-    if name == "ring":
-        return ring_network(
-            num_switches=config.num_switches,
-            area=config.area,
-            qubit_capacity=config.qubit_capacity,
-            num_users=config.num_users,
-            user_links=config.user_links,
-            rng=rng,
-        )
-    if name in ("erdos_renyi", "er"):
-        return erdos_renyi_network(
-            num_switches=config.num_switches,
-            average_degree=config.average_degree,
-            area=config.area,
-            qubit_capacity=config.qubit_capacity,
-            num_users=config.num_users,
-            user_links=config.user_links,
-            rng=rng,
-        )
-    raise ConfigurationError(f"unknown topology generator {config.generator!r}")
+    return topology_entry(config.generator).builder(config, rng)

@@ -1,0 +1,262 @@
+"""Topology registry: address network generators by key + config.
+
+Mirrors the router registry (:mod:`repro.routing.registry`): every
+topology family ships as one registered **builder** — a callable taking
+a :class:`~repro.network.builder.NetworkConfig` plus an RNG and
+returning a :class:`~repro.network.graph.QuantumNetwork` — so the
+experiments layer can treat the workload's topology as data (a scenario
+spec's ``topology`` key) instead of an if/elif chain at every call
+site.  Registering a new family is one decorator::
+
+    @register_topology("my-family", aliases=("mf",))
+    def my_family(config, rng):
+        ...build and return a QuantumNetwork...
+
+after which ``NetworkConfig(generator="my-family")``, every scenario
+spec (``"my-family:switches=64"``) and the ``topology-compare``
+experiment can reach it.
+
+``quick_switches`` lets a family adjust CI-scale switch counts so the
+shrunk network stays structurally valid — the grid uses it to round to
+a perfect square, keeping quick runs square instead of silently
+dropping switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.network.graph import QuantumNetwork
+from repro.network.topology import (
+    aiello_power_law_network,
+    barabasi_albert_network,
+    erdos_renyi_network,
+    grid_network,
+    random_geometric_network,
+    ring_network,
+    watts_strogatz_network,
+    waxman_network,
+)
+
+
+class TopologyKeyError(ConfigurationError, ValueError):
+    """An unknown or invalid topology generator key.
+
+    Subclasses :class:`ValueError` as well so ``argparse`` type
+    callables (and plain callers expecting a ValueError) surface the
+    registry's key listing as a normal usage error.
+    """
+
+
+@dataclass(frozen=True)
+class TopologyEntry:
+    """One registered topology family."""
+
+    key: str
+    builder: Callable[..., QuantumNetwork]
+    quick_switches: Optional[Callable[[int], int]] = None
+
+
+_REGISTRY: Dict[str, TopologyEntry] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_topology(
+    key: str,
+    aliases: Tuple[str, ...] = (),
+    quick_switches: Optional[Callable[[int], int]] = None,
+):
+    """Function decorator registering a ``(config, rng) -> network``
+    builder under *key* (plus *aliases*)."""
+
+    def decorate(fn):
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing.builder is not fn:
+            # Silently replacing a builder would poison warm result
+            # caches: scenario fingerprints identify the topology by key
+            # alone, so old entries would be served for the new builder.
+            raise TopologyKeyError(
+                f"topology key {key!r} is already registered"
+            )
+        if _ALIASES.get(key, key) != key:
+            raise TopologyKeyError(
+                f"topology key {key!r} is already an alias of "
+                f"{_ALIASES[key]!r}"
+            )
+        for alias in aliases:
+            if alias in _REGISTRY:
+                raise TopologyKeyError(
+                    f"alias {alias!r} collides with the registered "
+                    f"topology key {alias!r}"
+                )
+            if _ALIASES.get(alias, key) != key:
+                raise TopologyKeyError(
+                    f"alias {alias!r} already points to {_ALIASES[alias]!r}"
+                )
+        _REGISTRY[key] = TopologyEntry(
+            key=key, builder=fn, quick_switches=quick_switches
+        )
+        for alias in aliases:
+            _ALIASES[alias] = key
+        return fn
+
+    return decorate
+
+
+def topology_keys() -> List[str]:
+    """All registered canonical topology keys, sorted."""
+    return sorted(_REGISTRY)
+
+
+def normalize_topology(key: str) -> str:
+    """Resolve *key* (or an alias; ``-``/``_`` interchangeable) to its
+    canonical registry key, or raise a :class:`TopologyKeyError` naming
+    every supported key."""
+    candidate = key.strip().lower().replace("-", "_")
+    candidate = _ALIASES.get(candidate, candidate)
+    if candidate not in _REGISTRY:
+        raise TopologyKeyError(
+            f"unknown topology generator {key!r}; supported generators: "
+            f"{', '.join(topology_keys())}"
+        )
+    return candidate
+
+
+def topology_entry(key: str) -> TopologyEntry:
+    """The registry entry for *key* (aliases accepted)."""
+    return _REGISTRY[normalize_topology(key)]
+
+
+def quick_switch_count(key: str, num_switches: int) -> int:
+    """*num_switches* adjusted to stay valid for *key* at quick scale.
+
+    Most families take any count unchanged; families with structural
+    constraints (the grid must stay square) registered a
+    ``quick_switches`` hook that snaps the count to the nearest valid
+    value.
+    """
+    hook = topology_entry(key).quick_switches
+    return num_switches if hook is None else hook(num_switches)
+
+
+# ----------------------------------------------------------------------
+# Bundled families.  Each builder adapts the one NetworkConfig record to
+# its generator's signature; family-specific knobs without a config
+# field (Waxman's distance_scale, Aiello's gamma, ...) keep their
+# generator defaults.
+
+
+@register_topology("waxman")
+def _build_waxman(config, rng) -> QuantumNetwork:
+    return waxman_network(
+        num_switches=config.num_switches,
+        average_degree=config.average_degree,
+        area=config.area,
+        qubit_capacity=config.qubit_capacity,
+        num_users=config.num_users,
+        user_links=config.user_links,
+        rng=rng,
+    )
+
+
+@register_topology("watts_strogatz", aliases=("watts",))
+def _build_watts_strogatz(config, rng) -> QuantumNetwork:
+    return watts_strogatz_network(
+        num_switches=config.num_switches,
+        average_degree=config.average_degree,
+        area=config.area,
+        qubit_capacity=config.qubit_capacity,
+        num_users=config.num_users,
+        user_links=config.user_links,
+        rng=rng,
+    )
+
+
+@register_topology("aiello", aliases=("power_law",))
+def _build_aiello(config, rng) -> QuantumNetwork:
+    return aiello_power_law_network(
+        num_switches=config.num_switches,
+        average_degree=config.average_degree,
+        area=config.area,
+        qubit_capacity=config.qubit_capacity,
+        num_users=config.num_users,
+        user_links=config.user_links,
+        rng=rng,
+    )
+
+
+@register_topology("barabasi_albert", aliases=("ba",))
+def _build_barabasi_albert(config, rng) -> QuantumNetwork:
+    # Preferential attachment adds ~attachments edges per switch, so the
+    # configured average degree maps to degree/2 attachments.
+    attachments = max(1, round(config.average_degree / 2.0))
+    attachments = min(attachments, config.num_switches - 1)
+    return barabasi_albert_network(
+        num_switches=config.num_switches,
+        attachments=attachments,
+        area=config.area,
+        qubit_capacity=config.qubit_capacity,
+        num_users=config.num_users,
+        user_links=config.user_links,
+        rng=rng,
+    )
+
+
+@register_topology("random_geometric", aliases=("rgg", "geometric"))
+def _build_random_geometric(config, rng) -> QuantumNetwork:
+    # radius=None picks the scaled connectivity-threshold default; the
+    # configured average degree does not apply to an r-disk graph.
+    return random_geometric_network(
+        num_switches=config.num_switches,
+        area=config.area,
+        qubit_capacity=config.qubit_capacity,
+        num_users=config.num_users,
+        user_links=config.user_links,
+        rng=rng,
+    )
+
+
+def _square_switches(num_switches: int) -> int:
+    """The perfect square nearest *num_switches* (side >= 2)."""
+    side = max(2, round(num_switches**0.5))
+    return side * side
+
+
+@register_topology("grid", quick_switches=_square_switches)
+def _build_grid(config, rng) -> QuantumNetwork:
+    side = max(2, int(config.num_switches**0.5))
+    return grid_network(
+        side=side,
+        area=config.area,
+        qubit_capacity=config.qubit_capacity,
+        num_users=config.num_users,
+        user_links=config.user_links,
+        rng=rng,
+    )
+
+
+@register_topology("ring")
+def _build_ring(config, rng) -> QuantumNetwork:
+    return ring_network(
+        num_switches=config.num_switches,
+        area=config.area,
+        qubit_capacity=config.qubit_capacity,
+        num_users=config.num_users,
+        user_links=config.user_links,
+        rng=rng,
+    )
+
+
+@register_topology("erdos_renyi", aliases=("er",))
+def _build_erdos_renyi(config, rng) -> QuantumNetwork:
+    return erdos_renyi_network(
+        num_switches=config.num_switches,
+        average_degree=config.average_degree,
+        area=config.area,
+        qubit_capacity=config.qubit_capacity,
+        num_users=config.num_users,
+        user_links=config.user_links,
+        rng=rng,
+    )

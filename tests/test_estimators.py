@@ -358,3 +358,80 @@ class TestMcOverlay:
             run_sweep(
                 "t", "p", [0.3], [tiny_setting()], mc_overlay="analytic"
             )
+
+
+class TestAntitheticEstimator:
+    def test_grammar_round_trip(self):
+        spec = parse_estimator("mc:trials=400,antithetic=true")
+        assert spec == EstimatorSpec.mc(trials=400, antithetic=True)
+        assert spec.to_string() == (
+            "mc:trials=400,engine=vectorized,antithetic=true"
+        )
+        assert parse_estimator(spec.to_string()) == spec
+
+    def test_antithetic_false_is_the_default(self):
+        assert parse_estimator("mc:antithetic=false") == parse_estimator("mc")
+        assert "antithetic" not in parse_estimator("mc").to_string()
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "mc:antithetic=maybe",
+            "mc:engine=reference,antithetic=true",
+            "mc:trials=501,antithetic=true",
+            "analytic:antithetic=true",
+        ],
+    )
+    def test_invalid_antithetic_specs_rejected(self, text):
+        with pytest.raises(EstimatorSpecError):
+            parse_estimator(text)
+
+    def test_stderr_shrinks_at_equal_trials_on_regression_fixture(self):
+        """Antithetic pairs are negatively correlated (establishment is
+        monotone in the uniforms), so at equal trial count the reported
+        stderr must shrink while the mean stays compatible."""
+        network, demands = build_regression_instance()
+        result = AlgNFusion().route(network, demands)
+        for trials in (500, 2000):
+            plain = estimate_plan(
+                EstimatorSpec.mc(trials=trials), network, result.plan,
+                None, None, sample_seed=12345,
+            )
+            paired = estimate_plan(
+                EstimatorSpec.mc(trials=trials, antithetic=True),
+                network, result.plan, None, None, sample_seed=12345,
+            )
+            assert paired.stderr < plain.stderr
+            assert paired.trials == trials
+            combined = (plain.stderr**2 + paired.stderr**2) ** 0.5
+            assert abs(paired.mean - plain.mean) <= 4.0 * combined
+
+    def test_antithetic_deterministic_across_execution_plans(self):
+        setting = tiny_setting(num_networks=2)
+        spec = "mc:trials=200,antithetic=true"
+        sequential = run_outcomes(
+            [setting], ["alg-n-fusion"], estimator=spec, workers=1
+        )
+        parallel = run_outcomes(
+            [setting], ["alg-n-fusion"], estimator=spec, workers=2
+        )
+        assert sequential == parallel
+
+    def test_antithetic_key_distinct_and_caches(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        setting = tiny_setting()
+        router = AlgNFusion()
+        plain_key = cache.key_for(setting, router, "mc:trials=500")
+        anti_key = cache.key_for(
+            setting, router, "mc:trials=500,antithetic=true"
+        )
+        assert anti_key != plain_key
+        cold = run_settings(
+            [setting], ["alg-n-fusion"], cache=cache,
+            estimator="mc:trials=200,antithetic=true",
+        )
+        warm = run_settings(
+            [setting], ["alg-n-fusion"], cache=cache,
+            estimator="mc:trials=200,antithetic=true",
+        )
+        assert cold == warm

@@ -5,11 +5,19 @@ import pytest
 from repro.exceptions import ConfigurationError
 from repro.network.builder import NetworkConfig, build_network
 from repro.network.node import NodeKind
+from repro.network.registry import (
+    TopologyKeyError,
+    normalize_topology,
+    quick_switch_count,
+    topology_keys,
+)
 from repro.network.topology import (
     aiello_power_law_network,
+    barabasi_albert_network,
     connect_components,
     erdos_renyi_network,
     grid_network,
+    random_geometric_network,
     ring_network,
     watts_strogatz_network,
     waxman_network,
@@ -21,6 +29,9 @@ GENERATORS = {
     "watts_strogatz": watts_strogatz_network,
     "aiello": aiello_power_law_network,
     "erdos_renyi": erdos_renyi_network,
+    "barabasi_albert": barabasi_albert_network,
+    "random_geometric": random_geometric_network,
+    "ring": ring_network,
 }
 
 
@@ -121,7 +132,10 @@ class TestRegularTopologies:
 class TestBuilder:
     @pytest.mark.parametrize(
         "generator",
-        ["waxman", "watts_strogatz", "aiello", "grid", "ring", "erdos_renyi"],
+        [
+            "waxman", "watts_strogatz", "aiello", "grid", "ring",
+            "erdos_renyi", "barabasi_albert", "random_geometric",
+        ],
     )
     def test_build_network_dispatch(self, generator):
         config = NetworkConfig(generator=generator, num_switches=25, num_users=4)
@@ -129,9 +143,72 @@ class TestBuilder:
         assert net.is_connected()
         assert len(net.users()) == 4
 
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("watts", "watts_strogatz"),
+            ("power_law", "aiello"),
+            ("er", "erdos_renyi"),
+            ("ba", "barabasi_albert"),
+            ("rgg", "random_geometric"),
+            ("Watts-Strogatz", "watts_strogatz"),
+        ],
+    )
+    def test_aliases_build_the_canonical_family(self, alias, canonical):
+        assert normalize_topology(alias) == canonical
+        via_alias = build_network(
+            NetworkConfig(generator=alias, num_switches=20, num_users=4),
+            ensure_rng(21),
+        )
+        direct = build_network(
+            NetworkConfig(generator=canonical, num_switches=20, num_users=4),
+            ensure_rng(21),
+        )
+        assert via_alias.edge_keys() == direct.edge_keys()
+
     def test_unknown_generator(self):
         with pytest.raises(ConfigurationError):
             build_network(NetworkConfig(generator="mystery"), ensure_rng(0))
+
+    def test_unknown_generator_is_value_error_naming_keys(self):
+        with pytest.raises(ValueError) as err:
+            build_network(NetworkConfig(generator="mystery"), ensure_rng(0))
+        assert isinstance(err.value, TopologyKeyError)
+        for key in topology_keys():
+            assert key in str(err.value)
+
+    def test_registered_keys_are_complete(self):
+        assert set(topology_keys()) == {
+            "waxman", "watts_strogatz", "aiello", "barabasi_albert",
+            "random_geometric", "grid", "ring", "erdos_renyi",
+        }
+
+    def test_quick_switch_count_squares_grids_only(self):
+        assert quick_switch_count("grid", 50) == 49
+        assert quick_switch_count("grid", 30) == 25
+        assert quick_switch_count("waxman", 50) == 50
+        assert quick_switch_count("ring", 31) == 31
+
+    def test_reregistering_a_key_or_alias_is_rejected(self):
+        # Replacing a builder would silently poison warm result caches
+        # (scenario fingerprints identify the topology by key alone).
+        from repro.network.registry import register_topology
+
+        def impostor(config, rng):  # pragma: no cover - never called
+            raise AssertionError
+
+        with pytest.raises(TopologyKeyError):
+            register_topology("waxman")(impostor)
+        with pytest.raises(TopologyKeyError):
+            register_topology("my-family", aliases=("er",))(impostor)
+        with pytest.raises(TopologyKeyError):
+            register_topology("my-family", aliases=("waxman",))(impostor)
+        # The failed registrations must not have leaked into the registry.
+        assert "my-family" not in topology_keys()
+        build_network(
+            NetworkConfig(generator="waxman", num_switches=20, num_users=4),
+            ensure_rng(3),
+        )
 
     def test_with_updates(self):
         config = NetworkConfig().with_updates(num_switches=7)
