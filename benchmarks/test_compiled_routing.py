@@ -1,0 +1,88 @@
+"""Benchmark: compiled vs reference routing core on the regression fixture.
+
+Times every pinned router on the frozen regression instance under both
+values of ``REPRO_ROUTING_CORE`` and records the sequential speedups in
+``benchmarks/results/compiled_routing.txt``.  The compiled core must
+stay at least 2x faster on ALG-N-FUSION (the PR's acceptance bar) and
+bit-identical — both are asserted, so a kernel regression fails the
+bench rather than silently eroding the sweep throughput.
+"""
+
+import os
+import time
+
+from repro.experiments.regression import build_regression_instance
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.compiled import ROUTING_CORE_ENV
+from repro.routing.registry import make_router
+from repro.utils.tables import AsciiTable
+
+from conftest import report
+
+LINK = LinkModel(fixed_p=0.4)
+SWAP = SwapModel(q=0.9)
+
+#: Registry keys of the routers with pinned regression rates.
+ROUTER_KEYS = ("alg-n-fusion", "q-cast", "q-cast-n", "b1")
+
+#: Per-core timing: best of ROUNDS measured route() calls.
+ROUNDS = 7
+
+
+def _best_time(router, network, demands):
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        result = router.route(network, demands, LINK, SWAP)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_compiled_routing_speedup():
+    network, demands = build_regression_instance()
+    previous = os.environ.get(ROUTING_CORE_ENV)
+    rows = []
+    speedups = {}
+    try:
+        for key in ROUTER_KEYS:
+            timings = {}
+            results = {}
+            for core in ("reference", "compiled"):
+                os.environ[ROUTING_CORE_ENV] = core
+                timings[core], results[core] = _best_time(
+                    make_router(key), network, demands
+                )
+            assert (
+                results["reference"].total_rate
+                == results["compiled"].total_rate
+            )
+            assert (
+                results["reference"].demand_rates
+                == results["compiled"].demand_rates
+            )
+            speedups[key] = timings["reference"] / timings["compiled"]
+            rows.append([
+                key,
+                f"{timings['reference'] * 1000:.1f}",
+                f"{timings['compiled'] * 1000:.1f}",
+                f"{speedups[key]:.2f}x",
+                f"{results['compiled'].total_rate:.6f}",
+            ])
+    finally:
+        if previous is None:
+            os.environ.pop(ROUTING_CORE_ENV, None)
+        else:
+            os.environ[ROUTING_CORE_ENV] = previous
+    table = AsciiTable(
+        ["router", "reference (ms)", "compiled (ms)", "speedup", "rate"]
+    )
+    for row in rows:
+        table.add_row(row)
+    report(
+        "compiled_routing",
+        "Compiled routing core vs reference (regression fixture, "
+        f"sequential, best of {ROUNDS})\n" + table.render(),
+    )
+    # The acceptance bar: >= 2x on the paper's router; rates identical.
+    assert speedups["alg-n-fusion"] >= 2.0

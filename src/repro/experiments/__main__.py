@@ -53,6 +53,11 @@ validation columns next to them (fig7/fig8/fig9/topology-compare);
 ``mc-validate`` renders a per-sample analytic-vs-MC table with stderr
 and relative-error columns for any ``--routers`` set.
 
+``--profile`` wraps the run in cProfile and prints the top 25 functions
+by cumulative time to stderr (``--profile-out FILE`` additionally dumps
+the raw stats for pstats/snakeviz), so perf work starts from data
+rather than guesses.
+
 ``regen-regression`` rewrites the pinned regression fixture under
 ``tests/data/`` bit-exactly from its frozen recipe.
 """
@@ -60,6 +65,8 @@ and relative-error columns for any ``--routers`` set.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import pstats
 import sys
 from typing import Callable, Dict
 
@@ -238,6 +245,23 @@ def build_parser() -> argparse.ArgumentParser:
             "vectorized engine)"
         ),
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run the experiment under cProfile and print the top 25 "
+            "functions by cumulative time to stderr when it finishes"
+        ),
+    )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "also dump the raw cProfile stats to FILE (readable with "
+            "pstats / snakeviz); implies --profile"
+        ),
+    )
     return parser
 
 
@@ -411,36 +435,60 @@ def main(argv=None) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    if args.experiment == "all":
-        if args.scenarios is not None:
-            print(
-                "error: --scenarios multiplies every experiment; run "
-                "'all' with a single --scenario, or one experiment with "
-                "--scenarios",
-                file=sys.stderr,
-            )
-            return 2
-        for name in EXPERIMENTS:
-            if name == "fig9b-ext" and quick:
-                # Quick-mode fig9b-ext is bit-identical to fig9b, which
-                # the loop just ran; recomputing it adds nothing.
-                print(
-                    "note: skipping 'fig9b-ext' in quick mode (identical "
-                    "to fig9b; run with --full for the 800/1600 points)",
-                    file=sys.stderr,
+    if args.experiment == "all" and args.scenarios is not None:
+        print(
+            "error: --scenarios multiplies every experiment; run "
+            "'all' with a single --scenario, or one experiment with "
+            "--scenarios",
+            file=sys.stderr,
+        )
+        return 2
+
+    def run_experiments() -> None:
+        if args.experiment == "all":
+            for name in EXPERIMENTS:
+                if name == "fig9b-ext" and quick:
+                    # Quick-mode fig9b-ext is bit-identical to fig9b,
+                    # which the loop just ran; recomputing it adds
+                    # nothing.
+                    print(
+                        "note: skipping 'fig9b-ext' in quick mode "
+                        "(identical to fig9b; run with --full for the "
+                        "800/1600 points)",
+                        file=sys.stderr,
+                    )
+                    continue
+                print(f"=== {name} ===")
+                run_one(
+                    name, quick, args.workers, cache, args.routers,
+                    args.shard, args.estimator, mc_overlay,
+                    scenario=args.scenario,
                 )
-                continue
-            print(f"=== {name} ===")
-            run_one(
-                name, quick, args.workers, cache, args.routers, args.shard,
-                args.estimator, mc_overlay, scenario=args.scenario,
-            )
+            return
+        run_one(
+            args.experiment, quick, args.workers, cache, args.routers,
+            args.shard, args.estimator, mc_overlay, scenario=args.scenario,
+            scenarios=args.scenarios,
+        )
+
+    if not args.profile and args.profile_out is None:
+        run_experiments()
         return 0
-    run_one(
-        args.experiment, quick, args.workers, cache, args.routers,
-        args.shard, args.estimator, mc_overlay, scenario=args.scenario,
-        scenarios=args.scenarios,
-    )
+    # Perf PRs start from data: profile the run as-is (worker processes
+    # profile as pool waiting time — use sequential runs to see the
+    # routing internals) and report the top of the cumulative tree.
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        run_experiments()
+    finally:
+        profiler.disable()
+        if args.profile_out is not None:
+            profiler.dump_stats(args.profile_out)
+            print(f"profile stats written to {args.profile_out}",
+                  file=sys.stderr)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
     return 0
 
 

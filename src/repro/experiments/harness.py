@@ -276,6 +276,19 @@ def execute_task(task: SweepTask) -> TaskOutcome:
     )
 
 
+def submit_chunksize(num_items: int, workers: int) -> int:
+    """Deterministic pool chunk size for a grid of *num_items* tasks.
+
+    Submitting one future per task costs one pickle/IPC round trip per
+    task; chunks amortise that.  Four chunks per worker keeps the load
+    balanced when task costs vary (large settings next to small ones)
+    while cutting the round trips by the chunk size.  Deterministic in
+    the grid size alone, so scheduling — and therefore the task-order
+    merge — never depends on timing.
+    """
+    return max(1, num_items // (max(1, workers) * 4))
+
+
 def run_tasks(tasks: Sequence[SweepTask], workers: int = 0) -> List[TaskOutcome]:
     """Execute *tasks*, inline (``workers <= 1``) or in worker processes.
 
@@ -284,7 +297,7 @@ def run_tasks(tasks: Sequence[SweepTask], workers: int = 0) -> List[TaskOutcome]
     """
     tasks = list(tasks)
     if workers > 1 and len(tasks) > 1:
-        chunksize = max(1, len(tasks) // (workers * 4))
+        chunksize = submit_chunksize(len(tasks), workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(execute_task, tasks, chunksize=chunksize))
     return [execute_task(task) for task in tasks]
@@ -344,6 +357,7 @@ def parallel_map(
     """
     items = list(items)
     if workers > 1 and len(items) > 1:
+        chunksize = submit_chunksize(len(items), workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items))
+            return list(pool.map(fn, items, chunksize=chunksize))
     return [fn(item) for item in items]

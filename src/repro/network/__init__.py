@@ -37,9 +37,26 @@ from repro.network.topology import (
     waxman_network,
 )
 
+#: Names re-exported lazily from :mod:`repro.routing.compiled`.  The
+#: CSR snapshot is conceptually a network-layer artifact, but it lives
+#: beside the kernels that consume it; a top-level import here would
+#: cycle (routing imports the network modules), so resolve on access.
+_COMPILED_EXPORTS = ("CompiledNetwork", "compile_network")
+
+
+def __getattr__(name):
+    if name in _COMPILED_EXPORTS:
+        import repro.routing.compiled as _compiled
+
+        return getattr(_compiled, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Node",
     "NodeKind",
+    "CompiledNetwork",
+    "compile_network",
     "QuantumSwitch",
     "QuantumUser",
     "Edge",

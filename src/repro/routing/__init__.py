@@ -22,6 +22,13 @@ from repro.routing.metrics import (
     path_entanglement_rate,
     path_entanglement_rate_nonuniform,
 )
+from repro.routing.compiled import (
+    ROUTING_CORE_ENV,
+    CompiledNetwork,
+    active_routing_core,
+    compile_network,
+    snapshot_for,
+)
 from repro.routing.paths import PathCandidate, validate_path
 from repro.routing.allocation import QubitLedger
 from repro.routing.flow_graph import FlowLikeGraph
@@ -58,6 +65,11 @@ from repro.routing.multipartite import (
 
 __all__ = [
     "ChannelRateCache",
+    "ROUTING_CORE_ENV",
+    "CompiledNetwork",
+    "active_routing_core",
+    "compile_network",
+    "snapshot_for",
     "channel_rate",
     "path_entanglement_rate",
     "path_entanglement_rate_nonuniform",

@@ -24,6 +24,7 @@ from repro.exceptions import RoutingError
 from repro.network.graph import QuantumNetwork
 from repro.quantum.noise import LinkModel, SwapModel
 from repro.routing.allocation import QubitLedger
+from repro.routing.compiled import active_routing_core, compiled_search
 from repro.routing.metrics import ChannelRateCache
 
 EdgeKey = Tuple[int, int]
@@ -64,6 +65,13 @@ def largest_entanglement_rate_path(
         )
     if source in banned_nodes or destination in banned_nodes:
         return None
+    if active_routing_core() == "compiled":
+        # Same search over the CSR snapshot; bit-identical paths/rates
+        # (parity enforced by tests/test_routing_cores.py).
+        return compiled_search(
+            network, link_model, swap_model, source, destination, width,
+            ledger, banned_nodes, banned_edges, rate_cache,
+        )
     if ledger is None:
         ledger = QubitLedger(network)
     # Endpoint feasibility: each endpoint commits `width` qubits.

@@ -13,9 +13,7 @@ Algorithm 3.
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Optional
 
 from repro.exceptions import RoutingError
 from repro.network.demands import Demand
@@ -23,14 +21,13 @@ from repro.network.graph import QuantumNetwork
 from repro.quantum.noise import LinkModel, SwapModel
 from repro.routing.alg1_largest_rate import largest_entanglement_rate_path
 from repro.routing.allocation import QubitLedger
+from repro.routing.compiled import (
+    active_routing_core,
+    compiled_select_paths,
+    yen_deviation_loop,
+)
 from repro.routing.metrics import ChannelRateCache, path_entanglement_rate
 from repro.routing.paths import PathCandidate
-
-EdgeKey = Tuple[int, int]
-
-
-def _ekey(a: int, b: int) -> EdgeKey:
-    return (a, b) if a < b else (b, a)
 
 
 def select_paths(
@@ -59,20 +56,32 @@ def select_paths(
         max_width = default_max_width(network)
     if max_width < 1:
         raise RoutingError(f"max_width must be >= 1, got {max_width}")
-    if ledger is None:
-        ledger = QubitLedger(network)
     if rate_cache is None:
         rate_cache = ChannelRateCache(network, link_model)
-    result: Dict[int, List[PathCandidate]] = {}
-    for width in range(max_width, 0, -1):
-        paths = _yen_best_paths(
-            network, link_model, swap_model, demand, width, h, ledger,
-            rate_cache,
+    if active_routing_core() == "compiled":
+        # One CSR snapshot and one set of mask buffers serve every
+        # width and every Yen deviation; results are bit-identical.
+        result = compiled_select_paths(
+            network, link_model, swap_model, demand, h, max_width,
+            ledger, rate_cache,
         )
-        if max_hops is not None:
-            paths = [p for p in paths if p.hops <= max_hops]
-        if paths:
-            result[width] = paths
+    else:
+        if ledger is None:
+            ledger = QubitLedger(network)
+        result = {}
+        for width in range(max_width, 0, -1):
+            paths = _yen_best_paths(
+                network, link_model, swap_model, demand, width, h, ledger,
+                rate_cache,
+            )
+            if paths:
+                result[width] = paths
+    if max_hops is not None:
+        result = {
+            width: kept
+            for width, paths in result.items()
+            if (kept := [p for p in paths if p.hops <= max_hops])
+        }
     return result
 
 
@@ -99,73 +108,39 @@ def _yen_best_paths(
     ledger: QubitLedger,
     rate_cache: Optional[ChannelRateCache] = None,
 ) -> List[PathCandidate]:
-    """Yen's algorithm with Algorithm 1 as the shortest-path subroutine."""
-    first = largest_entanglement_rate_path(
-        network,
-        link_model,
-        swap_model,
-        demand.source,
-        demand.destination,
-        width,
-        ledger,
-        rate_cache=rate_cache,
-    )
+    """Yen's algorithm with Algorithm 1 as the shortest-path subroutine.
+
+    The deviation orchestration itself is the shared
+    :func:`~repro.routing.compiled.yen_deviation_loop`; only the solver
+    and path scorer below are reference-core specific.
+    """
+
+    def search(spur_source, banned_node_ids, banned_edge_keys):
+        return largest_entanglement_rate_path(
+            network,
+            link_model,
+            swap_model,
+            spur_source,
+            demand.destination,
+            width,
+            ledger,
+            banned_nodes=frozenset(banned_node_ids),
+            banned_edges=frozenset(banned_edge_keys),
+            rate_cache=rate_cache,
+        )
+
+    def path_rate(nodes):
+        try:
+            return path_entanglement_rate(
+                network, link_model, swap_model, nodes, width, rate_cache
+            )
+        except RoutingError:  # pragma: no cover - spur paths are valid
+            return None
+
+    first = search(demand.source, (), ())
     if first is None:
         return []
-    accepted: List[Tuple[Tuple[int, ...], float]] = [first]
-    seen: Set[Tuple[int, ...]] = {first[0]}
-    counter = itertools.count()
-    # Max-heap of candidate deviations: (-rate, tiebreak, nodes).
-    candidates: List[Tuple[float, int, Tuple[int, ...]]] = []
-
-    while len(accepted) < h:
-        previous_nodes = accepted[-1][0]
-        for deviation_index in range(len(previous_nodes) - 1):
-            root = previous_nodes[: deviation_index + 1]
-            spur_node = previous_nodes[deviation_index]
-            banned_edges: Set[EdgeKey] = set()
-            for path_nodes, _ in accepted:
-                if tuple(path_nodes[: deviation_index + 1]) == root:
-                    banned_edges.add(
-                        _ekey(
-                            path_nodes[deviation_index],
-                            path_nodes[deviation_index + 1],
-                        )
-                    )
-            banned_nodes = frozenset(root[:-1])
-            spur = largest_entanglement_rate_path(
-                network,
-                link_model,
-                swap_model,
-                spur_node,
-                demand.destination,
-                width,
-                ledger,
-                banned_nodes=banned_nodes,
-                banned_edges=frozenset(banned_edges),
-                rate_cache=rate_cache,
-            )
-            if spur is None:
-                continue
-            total_nodes = root[:-1] + spur[0]
-            if total_nodes in seen:
-                continue
-            seen.add(total_nodes)
-            try:
-                total_rate = path_entanglement_rate(
-                    network, link_model, swap_model, total_nodes, width,
-                    rate_cache,
-                )
-            except RoutingError:  # pragma: no cover - spur paths are valid
-                continue
-            heapq.heappush(
-                candidates, (-total_rate, next(counter), total_nodes)
-            )
-        if not candidates:
-            break
-        negative_rate, _, nodes = heapq.heappop(candidates)
-        accepted.append((nodes, -negative_rate))
-
+    accepted = yen_deviation_loop(first, h, search, path_rate)
     return [
         PathCandidate(demand.demand_id, nodes, width, rate)
         for nodes, rate in accepted

@@ -121,18 +121,45 @@ def admit_paths_efficiency(
         for path in paths
     ]
     admitted = 0
+    # A candidate's charges, cycle feasibility and rate gain are pure
+    # functions of its demand's current flow — not of the ledger — yet
+    # the scan below revisits every candidate after every admission.
+    # Memoise that structural evaluation per flow version (bumped when a
+    # demand's flow changes) and re-check only the cheap ledger
+    # feasibility each scan; every value replayed from the memo is
+    # identical to a fresh evaluation, so the admission sequence is
+    # unchanged.
+    base_rates: Dict[int, float] = {}
+    versions: Dict[int, int] = {}
+    struct_memo: Dict[
+        PathCandidate,
+        Tuple[int, Optional[Tuple[Dict[int, int], float, int]]],
+    ] = {}
     while pool:
         best_index = -1
         best_efficiency = 0.0
         best_gain = 0.0
         for index, candidate in enumerate(pool):
-            evaluation = _evaluate_candidate(
-                network, link_model, swap_model, candidate, flows, ledger,
-                rate_cache,
-            )
+            version = versions.get(candidate.demand_id, 0)
+            cached = struct_memo.get(candidate)
+            if cached is not None and cached[0] == version:
+                evaluation = cached[1]
+            else:
+                evaluation = _evaluate_candidate(
+                    network, link_model, swap_model, candidate, flows,
+                    rate_cache, base_rates,
+                )
+                struct_memo[candidate] = (version, evaluation)
             if evaluation is None:
                 continue
-            gain, cost = evaluation
+            needed, gain, cost = evaluation
+            feasible = True
+            for node, count in needed.items():
+                if not ledger.has_at_least(node, count):
+                    feasible = False
+                    break
+            if not feasible:
+                continue
             efficiency = gain / max(cost, 1)
             better = efficiency > best_efficiency + 1e-15
             tie_break = (
@@ -150,6 +177,10 @@ def admit_paths_efficiency(
         if _try_admit(network, demand_by_id[candidate.demand_id], candidate,
                       flows, ledger):
             admitted += 1
+            base_rates.pop(candidate.demand_id, None)
+            versions[candidate.demand_id] = (
+                versions.get(candidate.demand_id, 0) + 1
+            )
     return admitted
 
 
@@ -159,13 +190,20 @@ def _evaluate_candidate(
     swap_model: SwapModel,
     candidate: PathCandidate,
     flows: Dict[int, FlowLikeGraph],
-    ledger: QubitLedger,
     rate_cache: Optional[ChannelRateCache] = None,
-) -> Optional[Tuple[float, int]]:
-    """Rate gain and switch-qubit cost of admitting *candidate* now.
+    base_rates: Optional[Dict[int, float]] = None,
+) -> Optional[Tuple[Dict[int, int], float, int]]:
+    """Structural evaluation of admitting *candidate* to its flow now.
 
-    Returns ``None`` when the candidate is infeasible (not enough qubits,
-    or the merge would create a cycle).
+    Returns ``(needed, gain, cost)`` — the per-node qubit charges, the
+    Equation-1 rate gain and the switch-qubit cost — or ``None`` when
+    the candidate can never be admitted at this flow state (the merge
+    would create a cycle, or it does not improve its demand's rate).
+    Everything here depends only on the flow, so the caller may cache
+    the result until that flow changes; ledger feasibility (the part
+    that changes between admissions) is the caller's to check.
+    ``base_rates`` memoises each demand's current rate across one
+    admission scan (the caller drops an entry when its flow changes).
     """
     flow = flows.get(candidate.demand_id)
     needed: Dict[int, int] = {}
@@ -175,9 +213,6 @@ def _evaluate_candidate(
             needed[node] = needed.get(node, 0) + amount
             if network.node(node).is_switch:
                 cost += amount
-    for node, count in needed.items():
-        if not ledger.has_at_least(node, count):
-            return None
     if flow is None:
         trial = FlowLikeGraph(
             candidate.demand_id, candidate.nodes[0], candidate.nodes[-1]
@@ -185,9 +220,16 @@ def _evaluate_candidate(
         base_rate = 0.0
     else:
         trial = flow.copy()
-        base_rate = flow.entanglement_rate(
-            network, link_model, swap_model, rate_cache=rate_cache
+        base_rate = (
+            None if base_rates is None
+            else base_rates.get(candidate.demand_id)
         )
+        if base_rate is None:
+            base_rate = flow.entanglement_rate(
+                network, link_model, swap_model, rate_cache=rate_cache
+            )
+            if base_rates is not None:
+                base_rates[candidate.demand_id] = base_rate
     try:
         trial.add_path(candidate.nodes, candidate.width)
     except RoutingError:
@@ -197,7 +239,7 @@ def _evaluate_candidate(
     ) - base_rate
     if gain <= 0.0:
         return None
-    return gain, cost
+    return needed, gain, cost
 
 
 def _max_width(path_sets: PathSets) -> int:

@@ -51,6 +51,10 @@ def assign_remaining_qubits(
     candidate_edges = sorted(
         {edge for flow in flows for edge in flow.edges()}
     )
+    # A flow's base rate only changes when the flow itself is widened,
+    # yet the candidate loop re-reads it per (edge, probe); memoise it
+    # per demand and drop the entry on widening.
+    base_rates: Dict[int, float] = {}
     for u, v in candidate_edges:
         while ledger.can_reserve_edge(u, v, 1):
             best_gain = 0.0
@@ -58,9 +62,12 @@ def assign_remaining_qubits(
             for flow in flows:
                 if not flow.contains_edge(u, v):
                     continue
-                base = flow.entanglement_rate(
-                    network, link_model, swap_model, rate_cache=rate_cache
-                )
+                base = base_rates.get(flow.demand_id)
+                if base is None:
+                    base = flow.entanglement_rate(
+                        network, link_model, swap_model, rate_cache=rate_cache
+                    )
+                    base_rates[flow.demand_id] = base
                 widened = flow.entanglement_rate(
                     network, link_model, swap_model,
                     extra_widths={(u, v) if u < v else (v, u): 1},
@@ -74,5 +81,6 @@ def assign_remaining_qubits(
                 break
             ledger.reserve_edge(u, v, 1)
             best_flow.widen_edge(u, v)
+            base_rates.pop(best_flow.demand_id, None)
             assignments.append(((u, v) if u < v else (v, u), best_flow.demand_id))
     return assignments

@@ -1,0 +1,603 @@
+"""Compiled routing core: CSR network snapshots for the hot search paths.
+
+Every experiment reduces to thousands of runs of Algorithm 1's modified
+Dijkstra inside Yen's deviation loop plus repeated Equation-1
+evaluations.  The reference implementations traverse Python objects —
+``network.neighbors()`` allocates a sorted list per relaxation,
+``network.node(n).is_user`` and ``ledger.has_at_least()`` are dict
+lookups per edge, and every channel rate goes through a tuple-keyed
+memo.  :class:`CompiledNetwork` flattens one ``(QuantumNetwork,
+LinkModel)`` pair into flat arrays once, after which the search kernels
+run over integer indices:
+
+* **CSR adjacency** — ``indptr``/``adj_nodes``/``adj_edges`` with
+  neighbours in ascending node-id order (the exact order the reference
+  relaxes them, so heap tie-breaking and therefore the returned paths
+  are bit-identical);
+* **per-node flags** — ``is_user`` and qubit capacities as positional
+  arrays;
+* **width-indexed rate tables** — one per-edge column per channel
+  width, filled through the same scalar
+  :func:`~repro.quantum.noise.channel_success_probability` the
+  reference :class:`~repro.routing.metrics.ChannelRateCache` uses, so
+  every rate is bit-identical;
+* **reusable mask/scratch buffers** — banned nodes/edges are byte
+  masks and the Dijkstra state is stamp-versioned, so Yen's deviation
+  loop resets them in O(1) instead of reallocating per spur search.
+
+Core selection
+--------------
+
+``REPRO_ROUTING_CORE`` selects the implementation (``compiled`` is the
+default; ``reference`` keeps the original object-graph code).  The
+switch is read per routing call, so a test or CI job can flip cores
+without restarting the process.  Both cores produce bit-identical
+paths, rates and plans; the parity suite in
+``tests/test_routing_cores.py`` and the ``routing-parity`` CI job
+enforce this.
+
+Snapshot lifetime
+-----------------
+
+A snapshot freezes the network *topology* (nodes, edges, lengths,
+capacities) and the link model at compile time.  It stays valid for as
+long as a :class:`~repro.routing.metrics.ChannelRateCache` over the
+same pair would — i.e. until the network is structurally mutated
+(``add_edge``/``remove_edge``/``add_node``) or a different link model
+is wanted; after that a new snapshot must be compiled.  Qubit *ledger*
+state is deliberately not baked in: feasibility flags are rebuilt from
+the live ledger per search (cheap, O(nodes)), so admission loops can
+keep one snapshot across an entire routing call.  Routers get this for
+free: :func:`snapshot_for` hangs the snapshot off the
+``ChannelRateCache`` they already thread through the call.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, RoutingError
+from repro.network.demands import Demand
+from repro.network.graph import QuantumNetwork
+from repro.quantum.noise import LinkModel, SwapModel, channel_success_probability
+from repro.routing.paths import PathCandidate
+
+EdgeKey = Tuple[int, int]
+
+#: Environment variable selecting the routing core.
+ROUTING_CORE_ENV = "REPRO_ROUTING_CORE"
+
+#: Valid core names; ``compiled`` is the default.
+ROUTING_CORES = ("compiled", "reference")
+
+# Last (raw env value, parsed core) pair: the switch is consulted on
+# every routing call, so avoid re-validating an unchanged setting.
+_core_memo: Tuple[Optional[str], str] = (None, "compiled")
+
+
+def active_routing_core() -> str:
+    """The routing core selected by ``REPRO_ROUTING_CORE``.
+
+    Returns ``"compiled"`` (the default) or ``"reference"``; raises
+    :class:`~repro.exceptions.ConfigurationError` on any other value.
+    Read at call time so tests and CI can flip cores per invocation.
+    """
+    global _core_memo
+    raw = os.environ.get(ROUTING_CORE_ENV)
+    memo_raw, memo_core = _core_memo
+    if raw == memo_raw:
+        return memo_core
+    core = "compiled" if raw is None else raw.strip().lower()
+    if core not in ROUTING_CORES:
+        raise ConfigurationError(
+            f"{ROUTING_CORE_ENV} must be one of "
+            f"{', '.join(ROUTING_CORES)}; got {raw!r}"
+        )
+    _core_memo = (raw, core)
+    return core
+
+
+def _ekey(a: int, b: int) -> EdgeKey:
+    return (a, b) if a < b else (b, a)
+
+
+class CompiledNetwork:
+    """Flat-array snapshot of one ``(QuantumNetwork, LinkModel)`` pair.
+
+    See the module docstring for the layout and lifetime rules.  Use
+    :func:`compile_network` (or :func:`snapshot_for` inside a routing
+    call) rather than constructing instances ad hoc, so snapshots are
+    shared where the rate cache already is.
+    """
+
+    __slots__ = (
+        "node_ids",
+        "index_of",
+        "is_user",
+        "capacity",
+        "indptr",
+        "adj_nodes",
+        "adj_edges",
+        "edge_keys",
+        "edge_index",
+        "edge_probability",
+        "node_mask",
+        "edge_mask",
+        "_width_columns",
+        "_best",
+        "_pred",
+        "_seen",
+        "_visited",
+        "_stamp",
+    )
+
+    def __init__(self, network: QuantumNetwork, link_model: LinkModel):
+        node_ids = network.nodes()
+        self.node_ids: List[int] = node_ids
+        self.index_of: Dict[int, int] = {
+            nid: i for i, nid in enumerate(node_ids)
+        }
+        self.is_user: List[bool] = [
+            network.node(nid).is_user for nid in node_ids
+        ]
+        self.capacity: List[Optional[int]] = [
+            network.qubit_capacity(nid) for nid in node_ids
+        ]
+        edge_keys = network.edge_keys()
+        self.edge_keys: List[EdgeKey] = edge_keys
+        self.edge_index: Dict[EdgeKey, int] = {
+            key: e for e, key in enumerate(edge_keys)
+        }
+        # The same scalar chain the ChannelRateCache memoises:
+        # link probability from the edge length, so the width columns
+        # built from it are bit-identical to the reference rates.
+        self.edge_probability: List[float] = [
+            link_model.success_probability(network.edge_length(u, v))
+            for u, v in edge_keys
+        ]
+        indptr: List[int] = [0]
+        adj_nodes: List[int] = []
+        adj_edges: List[int] = []
+        index_of = self.index_of
+        edge_index = self.edge_index
+        for nid in node_ids:
+            # network.neighbors() is ascending by node id; the id->index
+            # map is monotone, so CSR order == reference relax order.
+            for nbr in network.neighbors(nid):
+                adj_nodes.append(index_of[nbr])
+                adj_edges.append(edge_index[_ekey(nid, nbr)])
+            indptr.append(len(adj_nodes))
+        self.indptr = indptr
+        self.adj_nodes = adj_nodes
+        self.adj_edges = adj_edges
+        n = len(node_ids)
+        self.node_mask = bytearray(n)
+        self.edge_mask = bytearray(len(edge_keys))
+        self._width_columns: Dict[int, List[float]] = {}
+        self._best: List[float] = [0.0] * n
+        self._pred: List[int] = [0] * n
+        self._seen: List[int] = [0] * n
+        self._visited: List[int] = [0] * n
+        self._stamp = 0
+
+    @property
+    def num_nodes(self) -> int:
+        """Node count of the snapshot."""
+        return len(self.node_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count of the snapshot."""
+        return len(self.edge_keys)
+
+    # ------------------------------------------------------------------
+    # Rate tables and feasibility flags
+
+    def width_rates(self, width: int) -> List[float]:
+        """The per-edge channel-rate column for *width*, filled once.
+
+        ``column[edge_id]`` equals ``ChannelRateCache.rate(u, v, width)``
+        for the edge's endpoints — same scalar function, same inputs.
+        """
+        column = self._width_columns.get(width)
+        if column is None:
+            column = [
+                channel_success_probability(p, width)
+                for p in self.edge_probability
+            ]
+            self._width_columns[width] = column
+        return column
+
+    def relay_feasible(self, ledger, width: int) -> List[bool]:
+        """Per-node "may relay at this width" flags for one search batch.
+
+        A relay must be a switch holding ``2 * width`` free qubits
+        (*width* towards each side).  ``ledger`` is a
+        :class:`~repro.routing.allocation.QubitLedger` or ``None`` for
+        full capacities — matching the reference's default ledger.
+        """
+        need = 2 * width
+        if ledger is None:
+            return [
+                (not user) and (cap is None or cap >= need)
+                for user, cap in zip(self.is_user, self.capacity)
+            ]
+        has = ledger.has_at_least
+        return [
+            (not user) and has(nid, need)
+            for user, nid in zip(self.is_user, self.node_ids)
+        ]
+
+    def endpoint_feasible(self, ledger, node_id: int, width: int) -> bool:
+        """True iff *node_id* can commit *width* qubits as an endpoint."""
+        if ledger is None:
+            cap = self.capacity[self.index_of[node_id]]
+            return cap is None or cap >= width
+        return ledger.has_at_least(node_id, width)
+
+    # ------------------------------------------------------------------
+    # The Algorithm 1 kernel
+
+    def search(
+        self,
+        source: int,
+        destination: int,
+        rates: Sequence[float],
+        relay_ok: Sequence[bool],
+        swap2: float,
+    ) -> Optional[Tuple[List[int], float]]:
+        """Algorithm 1's modified Dijkstra over the CSR arrays.
+
+        *source*/*destination* are node **indices**; banned nodes and
+        edges are whatever the caller currently has set in
+        ``node_mask``/``edge_mask`` (cleared by the caller afterwards).
+        The Dijkstra state is stamp-versioned, so entering the kernel
+        resets it in O(1).  Returns ``(index_path, rate)`` or ``None``.
+
+        The relaxation replays the reference implementation move for
+        move — same push sequence, same tie-break counters, same strict
+        improvement test — so the returned path is bit-identical, not
+        merely rate-equal.
+        """
+        self._stamp += 1
+        stamp = self._stamp
+        best = self._best
+        seen = self._seen
+        visited = self._visited
+        pred = self._pred
+        node_mask = self.node_mask
+        edge_mask = self.edge_mask
+        indptr = self.indptr
+        adj_nodes = self.adj_nodes
+        adj_edges = self.adj_edges
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        best[source] = 1.0
+        seen[source] = stamp
+        heap: List[Tuple[float, int, int]] = [(-1.0, 0, source)]
+        counter = 1
+        while heap:
+            negative_rate, _, node = heappop(heap)
+            if visited[node] == stamp:
+                continue
+            visited[node] = stamp
+            if node == destination:
+                break
+            rate = -negative_rate
+            if node != source:
+                if not relay_ok[node]:
+                    continue
+                rate *= swap2
+            for slot in range(indptr[node], indptr[node + 1]):
+                nbr = adj_nodes[slot]
+                if visited[nbr] == stamp or node_mask[nbr]:
+                    continue
+                eid = adj_edges[slot]
+                if edge_mask[eid]:
+                    continue
+                if nbr != destination and not relay_ok[nbr]:
+                    continue
+                candidate = rate * rates[eid]
+                if candidate > (best[nbr] if seen[nbr] == stamp else 0.0):
+                    best[nbr] = candidate
+                    seen[nbr] = stamp
+                    pred[nbr] = node
+                    heappush(heap, (-candidate, counter, nbr))
+                    counter += 1
+        if visited[destination] != stamp:
+            return None
+        path = [destination]
+        while path[-1] != source:
+            path.append(pred[path[-1]])
+        path.reverse()
+        return path, best[destination]
+
+    def masked_search(
+        self,
+        source: int,
+        destination: int,
+        rates: Sequence[float],
+        relay_ok: Sequence[bool],
+        swap2: float,
+        banned_node_idx: Sequence[int],
+        banned_edge_idx: Sequence[int],
+    ) -> Optional[Tuple[Tuple[int, ...], float]]:
+        """:meth:`search` under the given banned **indices**, translated
+        back to node ids.
+
+        Sets the shared masks, searches, and always clears them again —
+        the one masking protocol every compiled entry point (standalone
+        Algorithm 1 and Yen's deviations) goes through.
+        """
+        node_mask = self.node_mask
+        edge_mask = self.edge_mask
+        for i in banned_node_idx:
+            node_mask[i] = 1
+        for e in banned_edge_idx:
+            edge_mask[e] = 1
+        try:
+            found = self.search(source, destination, rates, relay_ok, swap2)
+        finally:
+            for i in banned_node_idx:
+                node_mask[i] = 0
+            for e in banned_edge_idx:
+                edge_mask[e] = 0
+        if found is None:
+            return None
+        path, rate = found
+        ids = self.node_ids
+        return tuple(ids[i] for i in path), rate
+
+
+def compile_network(
+    network: QuantumNetwork, link_model: LinkModel
+) -> CompiledNetwork:
+    """Flatten *network* + *link_model* into a :class:`CompiledNetwork`."""
+    return CompiledNetwork(network, link_model)
+
+
+def snapshot_for(
+    network: QuantumNetwork,
+    link_model: LinkModel,
+    rate_cache=None,
+) -> CompiledNetwork:
+    """The snapshot for ``(network, link_model)``, shared via *rate_cache*.
+
+    Routers already thread one
+    :class:`~repro.routing.metrics.ChannelRateCache` through a
+    ``route()`` call; hanging the snapshot off it gives every search in
+    the call one snapshot with no new plumbing.  A cache bound to a
+    different network or link model is ignored (fresh snapshot) rather
+    than trusted.
+    """
+    if (
+        rate_cache is not None
+        and rate_cache.network is network
+        and rate_cache.link_model is link_model
+    ):
+        snapshot = rate_cache.compiled_snapshot
+        if snapshot is None:
+            snapshot = CompiledNetwork(network, link_model)
+            rate_cache.compiled_snapshot = snapshot
+        return snapshot
+    return CompiledNetwork(network, link_model)
+
+
+# ----------------------------------------------------------------------
+# Compiled Algorithm 1 entry point
+
+
+def compiled_search(
+    network: QuantumNetwork,
+    link_model: LinkModel,
+    swap_model: SwapModel,
+    source: int,
+    destination: int,
+    width: int,
+    ledger=None,
+    banned_nodes: FrozenSet[int] = frozenset(),
+    banned_edges: FrozenSet[EdgeKey] = frozenset(),
+    rate_cache=None,
+) -> Optional[Tuple[Tuple[int, ...], float]]:
+    """Compiled body of Algorithm 1 (arguments as the reference wrapper).
+
+    The caller —
+    :func:`~repro.routing.alg1_largest_rate.largest_entanglement_rate_path`
+    — has already validated widths, endpoints and banned-endpoint
+    cases; this function only snapshots, masks and searches.
+    """
+    snapshot = snapshot_for(network, link_model, rate_cache)
+    if not snapshot.endpoint_feasible(ledger, source, width):
+        return None
+    if not snapshot.endpoint_feasible(ledger, destination, width):
+        return None
+    relay_ok = snapshot.relay_feasible(ledger, width)
+    rates = snapshot.width_rates(width)
+    swap2 = swap_model.success_probability(2)
+    index_of = snapshot.index_of
+    # Banned entries outside the network are unreachable anyway.
+    banned_node_idx = [
+        index_of[n] for n in banned_nodes if n in index_of
+    ]
+    banned_edge_idx = [
+        snapshot.edge_index[e]
+        for e in banned_edges
+        if e in snapshot.edge_index
+    ]
+    return snapshot.masked_search(
+        index_of[source], index_of[destination], rates, relay_ok, swap2,
+        banned_node_idx, banned_edge_idx,
+    )
+
+
+# ----------------------------------------------------------------------
+# Yen's deviation scheme (core-independent orchestration)
+
+
+def yen_deviation_loop(first, h, search, path_rate):
+    """Yen's k-best deviation scheme around a single-path solver.
+
+    ``first`` is the solver's ``(nodes, rate)`` for the full demand;
+    ``search(spur_source, banned_node_ids, banned_edge_keys)`` returns
+    the best ``(nodes, rate)`` under those bans or ``None``;
+    ``path_rate(nodes)`` scores a stitched root+spur candidate (``None``
+    skips it).  Returns the accepted ``(nodes, rate)`` list, best first.
+
+    This single driver serves both routing cores — only the solver and
+    the path scorer differ — so the orchestration that bit-parity
+    depends on (banned-edge accumulation, dedup, candidate heap,
+    tie-break counters) cannot drift between them.
+    """
+    accepted: List[Tuple[Tuple[int, ...], float]] = [first]
+    seen = {first[0]}
+    counter = itertools.count()
+    candidates: List[Tuple[float, int, Tuple[int, ...]]] = []
+
+    while len(accepted) < h:
+        previous_nodes = accepted[-1][0]
+        for deviation_index in range(len(previous_nodes) - 1):
+            root = previous_nodes[: deviation_index + 1]
+            spur_node = previous_nodes[deviation_index]
+            banned_edges = set()
+            for path_nodes, _ in accepted:
+                if tuple(path_nodes[: deviation_index + 1]) == root:
+                    banned_edges.add(
+                        _ekey(
+                            path_nodes[deviation_index],
+                            path_nodes[deviation_index + 1],
+                        )
+                    )
+            spur = search(spur_node, root[:-1], banned_edges)
+            if spur is None:
+                continue
+            total_nodes = root[:-1] + spur[0]
+            if total_nodes in seen:
+                continue
+            seen.add(total_nodes)
+            total_rate = path_rate(total_nodes)
+            if total_rate is None:  # pragma: no cover - spur paths are valid
+                continue
+            heapq.heappush(
+                candidates, (-total_rate, next(counter), total_nodes)
+            )
+        if not candidates:
+            break
+        negative_rate, _, nodes = heapq.heappop(candidates)
+        accepted.append((nodes, -negative_rate))
+
+    return accepted
+
+
+# ----------------------------------------------------------------------
+# Compiled Algorithm 2 (Yen + the kernel)
+
+
+def compiled_select_paths(
+    network: QuantumNetwork,
+    link_model: LinkModel,
+    swap_model: SwapModel,
+    demand: Demand,
+    h: int,
+    max_width: int,
+    ledger=None,
+    rate_cache=None,
+) -> Dict[int, List[PathCandidate]]:
+    """Compiled body of Algorithm 2's per-width Yen loop.
+
+    One snapshot and one set of mask buffers serve every deviation of
+    every width; per-width relay feasibility is computed once instead of
+    per ``ledger.has_at_least`` call inside the relaxations.  Parameter
+    validation and the ``max_hops`` filter stay in
+    :func:`~repro.routing.alg2_path_selection.select_paths`.
+    """
+    snapshot = snapshot_for(network, link_model, rate_cache)
+    source, destination = demand.source, demand.destination
+    if source == destination:
+        raise RoutingError("source and destination must differ")
+    if source not in snapshot.index_of or destination not in snapshot.index_of:
+        raise RoutingError(
+            f"endpoints ({source}, {destination}) must exist in the network"
+        )
+    swap2 = swap_model.success_probability(2)
+    result: Dict[int, List[PathCandidate]] = {}
+    for width in range(max_width, 0, -1):
+        paths = _compiled_yen_best_paths(
+            snapshot, swap_model, swap2, demand, width, h, ledger
+        )
+        if paths:
+            result[width] = paths
+    return result
+
+
+def _compiled_yen_best_paths(
+    snapshot: CompiledNetwork,
+    swap_model: SwapModel,
+    swap2: float,
+    demand: Demand,
+    width: int,
+    h: int,
+    ledger,
+) -> List[PathCandidate]:
+    """The shared :func:`yen_deviation_loop` driven by the compiled
+    kernel, with the per-width feasibility flags and rate column hoisted
+    out of the deviation searches."""
+    source, destination = demand.source, demand.destination
+    if not snapshot.endpoint_feasible(ledger, destination, width):
+        # Every (spur) search shares this endpoint; the reference
+        # re-checks it per Algorithm 1 call with the same outcome.
+        return []
+    rates = snapshot.width_rates(width)
+    relay_ok = snapshot.relay_feasible(ledger, width)
+    index_of = snapshot.index_of
+    edge_index = snapshot.edge_index
+    destination_idx = index_of[destination]
+
+    def run_alg1(spur_source, banned_node_ids, banned_edge_keys):
+        if not snapshot.endpoint_feasible(ledger, spur_source, width):
+            return None
+        return snapshot.masked_search(
+            index_of[spur_source], destination_idx, rates, relay_ok, swap2,
+            [index_of[n] for n in banned_node_ids],
+            [edge_index[e] for e in banned_edge_keys],
+        )
+
+    first = run_alg1(source, (), ())
+    if first is None:
+        return []
+    accepted = yen_deviation_loop(
+        first, h, run_alg1,
+        lambda nodes: _compiled_path_rate(snapshot, nodes, rates, swap2),
+    )
+    return [
+        PathCandidate(demand.demand_id, nodes, width, rate)
+        for nodes, rate in accepted
+    ]
+
+
+def _compiled_path_rate(
+    snapshot: CompiledNetwork,
+    nodes: Tuple[int, ...],
+    rates: Sequence[float],
+    swap2: float,
+) -> float:
+    """Uniform-width path rate over the snapshot's rate column.
+
+    Multiplication order matches
+    :func:`~repro.routing.metrics.path_entanglement_rate` — edges in
+    path order, then intermediate swap factors in path order (users
+    contribute an exact 1.0, i.e. no multiply) — so the float result is
+    bit-identical.
+    """
+    edge_index = snapshot.edge_index
+    rate = 1.0
+    for a, b in zip(nodes, nodes[1:]):
+        rate *= rates[edge_index[(a, b) if a < b else (b, a)]]
+    is_user = snapshot.is_user
+    index_of = snapshot.index_of
+    for node in nodes[1:-1]:
+        if not is_user[index_of[node]]:
+            rate *= swap2
+    return rate

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.exceptions import RoutingError
 from repro.network.graph import QuantumNetwork
 from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.compiled import active_routing_core
 from repro.routing.metrics import ChannelRateCache, channel_rate
 
 EdgeKey = Tuple[int, int]
@@ -49,6 +50,12 @@ class FlowLikeGraph:
         self._paths: List[Tuple[int, ...]] = []
         self._children: Dict[int, Set[int]] = {}
         self._edge_widths: Dict[EdgeKey, int] = {}
+        # Derived-state memos, rebuilt lazily after any mutation: the
+        # node->fusion-arity map (else every rate call rescans all
+        # edges per node) and the source-rooted topological order the
+        # iterative Equation-1 evaluator walks.
+        self._arity_cache: Optional[Dict[int, int]] = None
+        self._topo_cache: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -80,6 +87,7 @@ class FlowLikeGraph:
             for a, b in zip(nodes, nodes[1:]):
                 key = _ekey(a, b)
                 self._edge_widths[key] = max(self._edge_widths[key], width)
+            self._arity_cache = None
             return
         trial_children = {k: set(v) for k, v in self._children.items()}
         for a, b in zip(nodes, nodes[1:]):
@@ -94,6 +102,8 @@ class FlowLikeGraph:
         for a, b in zip(nodes, nodes[1:]):
             key = _ekey(a, b)
             self._edge_widths[key] = max(self._edge_widths.get(key, 0), width)
+        self._arity_cache = None
+        self._topo_cache = None
 
     def copy(self) -> "FlowLikeGraph":
         """Independent deep copy (used for trial merges)."""
@@ -111,6 +121,7 @@ class FlowLikeGraph:
         if extra < 1:
             raise RoutingError(f"extra width must be >= 1, got {extra}")
         self._edge_widths[key] += extra
+        self._arity_cache = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -170,11 +181,54 @@ class FlowLikeGraph:
         Counts one link per unit of width on every incident edge; the
         destination/source users terminate rather than fuse.
         """
-        arity = 0
-        for (a, b), width in self._edge_widths.items():
-            if node in (a, b):
-                arity += width
-        return arity
+        return self._fusion_arities().get(node, 0)
+
+    def _fusion_arities(self) -> Dict[int, int]:
+        """The node->fusion-arity map, memoised until the next mutation.
+
+        Equation 1 queries the arity of every child per evaluation and
+        Algorithm 4 evaluates per (edge, flow, probe); without the memo
+        each query rescans every edge of the graph.
+        """
+        cache = self._arity_cache
+        if cache is None:
+            cache = {}
+            for (a, b), width in self._edge_widths.items():
+                cache[a] = cache.get(a, 0) + width
+                cache[b] = cache.get(b, 0) + width
+            self._arity_cache = cache
+        return cache
+
+    def _topological_order(self) -> List[int]:
+        """Nodes reachable from the source, parents before children.
+
+        Memoised until the next :meth:`add_path`; well defined because
+        merges that would create a directed cycle are rejected.
+        """
+        order = self._topo_cache
+        if order is None:
+            order = []
+            visited = {self.source}
+            stack: List[Tuple[int, object]] = [
+                (self.source, iter(sorted(self._children.get(self.source, ()))))
+            ]
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if child not in visited:
+                        visited.add(child)
+                        stack.append(
+                            (child, iter(sorted(self._children.get(child, ()))))
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+            order.reverse()
+            self._topo_cache = order
+        return order
 
     def qubits_used_at(self, node: int) -> int:
         """Communication qubits this state consumes at *node*."""
@@ -201,11 +255,83 @@ class FlowLikeGraph:
         """
         if not self._paths:
             return 0.0
+        if active_routing_core() == "compiled":
+            return self._rate_iterative(
+                network, link_model, swap_model, extra_widths or {},
+                rate_cache,
+            )
         memo: Dict[int, float] = {}
         return self._rate_from(
             self.source, network, link_model, swap_model, memo,
             extra_widths or {}, rate_cache,
         )
+
+    def _rate_iterative(
+        self,
+        network: QuantumNetwork,
+        link_model: LinkModel,
+        swap_model: SwapModel,
+        extra_widths: Dict[EdgeKey, int],
+        rate_cache: Optional[ChannelRateCache],
+    ) -> float:
+        """Equation 1 evaluated bottom-up in reverse topological order.
+
+        Per-node the failure product iterates the same child set in the
+        same order as the recursive reference, so the result is
+        bit-identical; the win is the memoised arity map and the absence
+        of Python call frames per node.
+        """
+        arities = self._fusion_arities()
+        destination = self.destination
+        memo: Dict[int, float] = {destination: 1.0}
+        children_of = self._children
+        edge_widths = self._edge_widths
+        rate_fn = rate_cache.rate if rate_cache is not None else None
+        # The snapshot the routing call already compiled (if any) turns
+        # the per-child user test into an array read; the flags were
+        # copied from the same node records, so the outcome is equal.
+        snapshot = (
+            rate_cache.compiled_snapshot if rate_cache is not None else None
+        )
+        swap_fn = swap_model.success_probability
+        # success_probability is a pure function of the arity; one memo
+        # per evaluation skips its re-validation for repeated arities.
+        swap_memo: Dict[int, float] = {}
+        has_extra = bool(extra_widths)
+        for node in reversed(self._topological_order()):
+            if node == destination:
+                continue
+            failure = 1.0
+            for child in children_of.get(node, ()):
+                key = (node, child) if node < child else (child, node)
+                width = edge_widths[key]
+                if has_extra:
+                    width += extra_widths.get(key, 0)
+                if rate_fn is not None:
+                    edge_rate = rate_fn(node, child, width)
+                else:
+                    edge_rate = channel_rate(
+                        network, link_model, node, child, width
+                    )
+                if child == destination:
+                    swap = 1.0
+                elif (
+                    snapshot.is_user[snapshot.index_of[child]]
+                    if snapshot is not None
+                    else network.node(child).is_user
+                ):
+                    swap = 1.0
+                else:
+                    arity = arities[child]
+                    if has_extra:
+                        arity += extra_widths_total(extra_widths, child)
+                    swap = swap_memo.get(arity)
+                    if swap is None:
+                        swap = swap_fn(arity)
+                        swap_memo[arity] = swap
+                failure *= 1.0 - edge_rate * swap * memo[child]
+            memo[node] = 1.0 - failure
+        return memo[self.source]
 
     def _rate_from(
         self,

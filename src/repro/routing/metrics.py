@@ -41,13 +41,21 @@ class ChannelRateCache:
     probability is computed once and each (edge, width) rate once.
     """
 
-    __slots__ = ("network", "link_model", "_probabilities", "_rates")
+    __slots__ = (
+        "network", "link_model", "_probabilities", "_rates",
+        "compiled_snapshot",
+    )
 
     def __init__(self, network: QuantumNetwork, link_model: LinkModel):
         self.network = network
         self.link_model = link_model
         self._probabilities: Dict[Tuple[int, int], float] = {}
         self._rates: Dict[Tuple[int, int, int], float] = {}
+        #: The CSR snapshot of the same (network, link_model) pair,
+        #: compiled lazily by repro.routing.compiled.snapshot_for so a
+        #: router's whole route() call shares one snapshot through the
+        #: rate cache it already threads everywhere.
+        self.compiled_snapshot = None
 
     def edge_probability(self, u: int, v: int) -> float:
         """Single-link success probability of edge (*u*, *v*), memoised."""

@@ -32,6 +32,7 @@ from repro.network.graph import QuantumNetwork
 from repro.quantum.noise import LinkModel, SwapModel
 from repro.routing.alg1_largest_rate import largest_entanglement_rate_path
 from repro.routing.allocation import QubitLedger
+from repro.routing.metrics import ChannelRateCache
 
 
 @dataclass(frozen=True)
@@ -85,18 +86,25 @@ class MultipartiteRouter:
         link_model: Optional[LinkModel] = None,
         swap_model: Optional[SwapModel] = None,
         ledger: Optional[QubitLedger] = None,
+        rate_cache: Optional[ChannelRateCache] = None,
     ) -> Optional[StarRoute]:
         """Best star route for one demand, or ``None`` if infeasible.
 
         When *ledger* is given, the chosen star's qubits are reserved.
+        ``rate_cache`` shares memoised channel rates (and the compiled
+        core's network snapshot) across the center x user searches; one
+        is created per call when not handed down.
         """
         link_model = link_model or LinkModel()
         swap_model = swap_model or SwapModel()
         working = ledger if ledger is not None else QubitLedger(network)
+        if rate_cache is None:
+            rate_cache = ChannelRateCache(network, link_model)
         best: Optional[StarRoute] = None
         for center in self._candidate_centers(network, demand):
             star = self._evaluate_center(
-                network, demand, center, link_model, swap_model, working
+                network, demand, center, link_model, swap_model, working,
+                rate_cache,
             )
             if star is not None and (best is None or star.rate > best.rate):
                 best = star
@@ -112,11 +120,16 @@ class MultipartiteRouter:
         swap_model: Optional[SwapModel] = None,
     ) -> Dict[int, StarRoute]:
         """Route demands sequentially on a shared ledger."""
+        # Normalise once so every demand shares the same model instances
+        # — and therefore one rate cache and one compiled snapshot.
+        link_model = link_model or LinkModel()
+        swap_model = swap_model or SwapModel()
         ledger = QubitLedger(network)
+        rate_cache = ChannelRateCache(network, link_model)
         routes: Dict[int, StarRoute] = {}
         for demand in demands:
             star = self.route_demand(
-                network, demand, link_model, swap_model, ledger
+                network, demand, link_model, swap_model, ledger, rate_cache
             )
             if star is not None:
                 routes[demand.demand_id] = star
@@ -145,6 +158,7 @@ class MultipartiteRouter:
         link_model: LinkModel,
         swap_model: SwapModel,
         ledger: QubitLedger,
+        rate_cache: ChannelRateCache,
     ) -> Optional[StarRoute]:
         # The center must be able to hold one qubit per arm on top of the
         # per-arm relay qubits charged by the paths themselves.
@@ -163,6 +177,7 @@ class MultipartiteRouter:
                 width=self.width,
                 ledger=ledger,
                 banned_nodes=frozenset(used_nodes),
+                rate_cache=rate_cache,
             )
             if found is None:
                 return None

@@ -14,6 +14,7 @@ from repro.experiments.harness import (
     merge_outcomes,
     parallel_map,
     sample_seeds,
+    submit_chunksize,
 )
 from repro.experiments.runner import (
     run_setting,
@@ -87,6 +88,19 @@ class TestParallelDeterminism:
         items = [1, 2, 3, 4]
         assert parallel_map(_square, items, workers=2) == [1, 4, 9, 16]
         assert parallel_map(_square, items, workers=0) == [1, 4, 9, 16]
+
+    def test_submit_chunksize_is_deterministic_in_grid_size(self):
+        """Chunks derive from (grid size, workers) alone — never timing —
+        and amortise IPC without starving workers of chunks."""
+        assert submit_chunksize(0, 4) == 1
+        assert submit_chunksize(1, 4) == 1
+        assert submit_chunksize(15, 4) == 1
+        assert submit_chunksize(160, 4) == 10
+        assert submit_chunksize(160, 0) == 40  # sequential guard
+        # Every worker can hold at least one chunk with spares to steal.
+        for items, workers in ((160, 4), (1000, 8), (37, 3)):
+            chunks = -(-items // submit_chunksize(items, workers))
+            assert chunks >= min(items, workers)
 
 
 def _square(x):

@@ -1,0 +1,292 @@
+"""Parity suite for the compiled routing core.
+
+The compiled core (CSR snapshots + array kernels, the default) must
+match the reference object-graph implementations **bit-for-bit** —
+same paths, same floats, same plans — across topology families, seeds,
+banned node/edge sets, widths, partially consumed ledgers and
+``extra_widths`` probes.  Any drift here is a correctness bug, not a
+tolerance issue, so every comparison is exact equality.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.scenarios import parse_scenario
+from repro.network import CompiledNetwork, compile_network
+from repro.network.builder import build_network
+from repro.network.demands import Demand, generate_demands
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.alg1_largest_rate import largest_entanglement_rate_path
+from repro.routing.alg2_path_selection import default_max_width, select_paths
+from repro.routing.allocation import QubitLedger
+from repro.routing.compiled import (
+    ROUTING_CORE_ENV,
+    active_routing_core,
+    snapshot_for,
+)
+from repro.routing.flow_graph import FlowLikeGraph
+from repro.routing.metrics import ChannelRateCache
+from repro.routing.registry import make_router, router_keys
+from repro.utils.rng import ensure_rng
+
+LINK = LinkModel(fixed_p=0.4)
+SWAP = SwapModel(q=0.9)
+
+#: Scenario-registry workloads the parity sweeps run over — one spec
+#: per structurally distinct family (geometric, lattice, power-law,
+#: uniform-random), shrunk to keep the suite fast.
+SCENARIOS = (
+    "waxman:switches=30,users=6,states=6",
+    "grid:switches=25,users=6,states=6",
+    "aiello:switches=30,users=6,states=6",
+    "erdos-renyi:switches=30,users=6,states=6",
+)
+
+SEEDS = (7, 20230601)
+
+
+@contextlib.contextmanager
+def routing_core(name):
+    """Run a block under ``REPRO_ROUTING_CORE=name``."""
+    previous = os.environ.get(ROUTING_CORE_ENV)
+    os.environ[ROUTING_CORE_ENV] = name
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[ROUTING_CORE_ENV]
+        else:
+            os.environ[ROUTING_CORE_ENV] = previous
+
+
+def _instance(scenario: str, seed: int):
+    spec = parse_scenario(scenario)
+    rng = ensure_rng(seed)
+    network = build_network(spec.network_config(), rng)
+    demands = generate_demands(network, spec.num_states, rng)
+    return network, demands
+
+
+def _plan_shape(result):
+    """The exact admitted structure: per-demand paths and edge widths."""
+    return {
+        flow.demand_id: (tuple(flow.paths), tuple(sorted(
+            flow.edge_widths().items()
+        )))
+        for flow in result.plan.flows()
+    }
+
+
+# ----------------------------------------------------------------------
+# Core selection
+
+
+def test_default_core_is_compiled(monkeypatch):
+    monkeypatch.delenv(ROUTING_CORE_ENV, raising=False)
+    assert active_routing_core() == "compiled"
+
+
+def test_invalid_core_rejected(monkeypatch):
+    monkeypatch.setenv(ROUTING_CORE_ENV, "vectorised")
+    with pytest.raises(ConfigurationError, match="REPRO_ROUTING_CORE"):
+        active_routing_core()
+
+
+def test_core_env_read_per_call(monkeypatch):
+    monkeypatch.setenv(ROUTING_CORE_ENV, "reference")
+    assert active_routing_core() == "reference"
+    monkeypatch.setenv(ROUTING_CORE_ENV, "compiled")
+    assert active_routing_core() == "compiled"
+
+
+# ----------------------------------------------------------------------
+# Snapshot layer
+
+
+def test_snapshot_matches_reference_rates():
+    network, _ = _instance(SCENARIOS[0], SEEDS[0])
+    link = LinkModel()  # length-based probabilities, the realistic case
+    snapshot = compile_network(network, link)
+    cache = ChannelRateCache(network, link)
+    for width in (1, 2, 5):
+        column = snapshot.width_rates(width)
+        for (u, v), eid in snapshot.edge_index.items():
+            assert column[eid] == cache.rate(u, v, width)
+    assert snapshot.num_nodes == network.num_nodes
+    assert snapshot.num_edges == network.num_edges
+
+
+def test_snapshot_shared_through_rate_cache():
+    network, _ = _instance(SCENARIOS[0], SEEDS[0])
+    cache = ChannelRateCache(network, LINK)
+    first = snapshot_for(network, LINK, cache)
+    assert isinstance(first, CompiledNetwork)
+    assert snapshot_for(network, LINK, cache) is first
+    # A cache bound to a different link model must not leak its snapshot.
+    assert snapshot_for(network, LinkModel(fixed_p=0.9), cache) is not first
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 parity
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_alg1_parity_random_banned_sets(scenario, seed):
+    network, demands = _instance(scenario, seed)
+    rng = ensure_rng(seed + 1)
+    switches = network.switches()
+    edges = network.edge_keys()
+    ledger = QubitLedger(network)
+    # Consume some qubits so the feasibility checks actually bite.
+    for node in switches[::3]:
+        ledger.reserve(node, min(2, int(ledger.remaining(node))))
+    for trial in range(12):
+        demand = demands[trial % len(demands)]
+        width = 1 + trial % 3
+        banned_nodes = frozenset(
+            int(s) for s in rng.choice(switches, size=3, replace=False)
+        )
+        picked = rng.choice(len(edges), size=4, replace=False)
+        banned_edges = frozenset(edges[int(i)] for i in picked)
+        results = {}
+        for core in ("reference", "compiled"):
+            with routing_core(core):
+                results[core] = largest_entanglement_rate_path(
+                    network, LINK, SWAP, demand.source, demand.destination,
+                    width, ledger, banned_nodes=banned_nodes,
+                    banned_edges=banned_edges,
+                )
+        assert results["reference"] == results["compiled"]
+
+
+def test_alg1_parity_infeasible_cases(diamond_network):
+    ledger = QubitLedger(diamond_network)
+    for node in (2, 3, 4, 5):
+        ledger.reserve(node, 10)  # drain every switch
+    for core in ("reference", "compiled"):
+        with routing_core(core):
+            assert largest_entanglement_rate_path(
+                diamond_network, LINK, SWAP, 0, 1, 1, ledger
+            ) is None
+            # Banned endpoint short-circuits identically.
+            assert largest_entanglement_rate_path(
+                diamond_network, LINK, SWAP, 0, 1, 1,
+                banned_nodes=frozenset({0}),
+            ) is None
+
+
+# ----------------------------------------------------------------------
+# Algorithm 2 parity
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_alg2_parity(scenario, seed):
+    network, demands = _instance(scenario, seed)
+    ledger = QubitLedger(network)
+    for node in network.switches()[::4]:
+        ledger.reserve(node, min(3, int(ledger.remaining(node))))
+    max_width = min(3, default_max_width(network))
+    for demand in demands[:3]:
+        per_core = {}
+        for core in ("reference", "compiled"):
+            with routing_core(core):
+                per_core[core] = select_paths(
+                    network, LINK, SWAP, demand, h=3, max_width=max_width,
+                    ledger=ledger,
+                )
+        # PathCandidate is a frozen dataclass: equality covers nodes,
+        # width and the exact float rate of every selected path.
+        assert per_core["reference"] == per_core["compiled"]
+
+
+def test_alg2_parity_max_hops(line_network):
+    demand = Demand(0, *line_network.users())
+    per_core = {}
+    for core in ("reference", "compiled"):
+        with routing_core(core):
+            per_core[core] = select_paths(
+                line_network, LINK, SWAP, demand, h=2, max_width=2,
+                max_hops=4,
+            )
+    assert per_core["reference"] == per_core["compiled"]
+
+
+# ----------------------------------------------------------------------
+# Equation 1 parity
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS[:2])
+def test_equation1_parity_with_extra_width_probes(scenario):
+    network, demands = _instance(scenario, SEEDS[0])
+    with routing_core("compiled"):
+        result = make_router("alg-n-fusion").route(network, demands, LINK, SWAP)
+    cache = ChannelRateCache(network, LINK)
+    arity_swap = SwapModel(q=0.9, per_qubit=True)  # arity-sensitive
+    for flow in result.plan.flows():
+        probes = [None] + [{edge: 1} for edge in flow.edges()]
+        if len(flow.edges()) >= 2:
+            probes.append({edge: 2 for edge in flow.edges()[:2]})
+        for extra in probes:
+            for swap_model in (SWAP, arity_swap):
+                rates = {}
+                for core in ("reference", "compiled"):
+                    with routing_core(core):
+                        rates[core] = flow.entanglement_rate(
+                            network, LINK, swap_model,
+                            extra_widths=extra, rate_cache=cache,
+                        )
+                assert rates["reference"] == rates["compiled"]
+                # The rate cache is an optimisation, never a semantic.
+                with routing_core("compiled"):
+                    assert flow.entanglement_rate(
+                        network, LINK, swap_model, extra_widths=extra
+                    ) == rates["compiled"]
+
+
+def test_fusion_arity_cache_tracks_mutations():
+    flow = FlowLikeGraph(0, 0, 1)
+    flow.add_path((0, 2, 3, 1), width=2)
+
+    def brute_force(node):
+        return sum(
+            width
+            for (a, b), width in flow.edge_widths().items()
+            if node in (a, b)
+        )
+
+    assert all(flow.fusion_arity(n) == brute_force(n) for n in flow.nodes())
+    flow.add_path((0, 4, 5, 1), width=1)
+    assert all(flow.fusion_arity(n) == brute_force(n) for n in flow.nodes())
+    flow.widen_edge(2, 3)
+    assert flow.fusion_arity(2) == brute_force(2) == 5
+    # Re-adding an existing path is a width upgrade and must invalidate.
+    flow.add_path((0, 4, 5, 1), width=3)
+    assert flow.fusion_arity(4) == brute_force(4) == 6
+    assert flow.fusion_arity(99) == 0
+
+
+# ----------------------------------------------------------------------
+# Whole-router parity
+
+
+@pytest.mark.parametrize("key", sorted(router_keys()))
+def test_router_parity_across_cores(key):
+    network, demands = _instance(SCENARIOS[0], SEEDS[1])
+    results = {}
+    for core in ("reference", "compiled"):
+        with routing_core(core):
+            results[core] = make_router(key).route(
+                network, demands, LINK, SWAP
+            )
+    reference, compiled = results["reference"], results["compiled"]
+    assert reference.total_rate == compiled.total_rate
+    assert reference.demand_rates == compiled.demand_rates
+    assert _plan_shape(reference) == _plan_shape(compiled)
+    assert reference.remaining_qubits == compiled.remaining_qubits
