@@ -25,6 +25,34 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 _BENCH_DIR = pathlib.Path(__file__).parent
 
 
+@pytest.fixture(scope="session", autouse=True)
+def lint_speed_guard():
+    """The repo linter must stay cheap: <5s over the full ``src/`` tree.
+
+    The ``static-analysis`` CI job and pre-push habits both assume
+    ``python -m repro.lint src`` is effectively free; a rule that grows
+    a quadratic scan would silently erode that.  Asserting here (the
+    bench tier runs nightly at full scale) keeps the budget honest —
+    and re-checks that the shipped tree stays lint-clean.
+    """
+    import time
+
+    from repro.lint.engine import run_lint
+
+    src = _BENCH_DIR.parent / "src"
+    start = time.perf_counter()
+    report = run_lint([src])
+    elapsed = time.perf_counter() - start
+    assert elapsed < 5.0, (
+        f"repro.lint took {elapsed:.2f}s over {report.files_checked} "
+        "files; the linter must stay under 5s to be run on every push"
+    )
+    assert report.ok(), "src/ tree has lint findings:\n" + "\n".join(
+        d.render() for d in report.diagnostics
+    )
+    yield
+
+
 def pytest_collection_modifyitems(items):
     """Mark every benchmark test ``slow`` so the quick tier can deselect
     the whole tree with ``-m "not slow"``.

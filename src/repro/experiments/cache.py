@@ -27,7 +27,7 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from repro.experiments.config import ExperimentSetting
+from repro.experiments.config import ExperimentSetting, env_text
 from repro.experiments.estimators import ANALYTIC, EstimatorSpec, as_estimator
 from repro.routing.registry import RouterSpecError
 
@@ -222,5 +222,5 @@ def default_result_cache() -> Optional[ResultCache]:
     ``cache``/``--cache-dir`` was given, so a whole pytest bench run can
     be made cache-aware with one variable.
     """
-    raw = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    raw = env_text("REPRO_CACHE_DIR")
     return ResultCache(raw) if raw else None

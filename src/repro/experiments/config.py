@@ -11,9 +11,31 @@ from repro.network.registry import quick_switch_count
 from repro.quantum.noise import DEFAULT_ALPHA, LinkModel, SwapModel
 
 
+def env_raw(name: str) -> Optional[str]:
+    """Raw environment read: the value as set, or ``None`` when unset.
+
+    This module is the package's single sanctioned ``os.environ`` read
+    path (lint rule RPL003): every variable the library recognises is
+    either read here or routed through these accessors, so the full
+    environment surface stays greppable in one file.
+    """
+    return os.environ.get(name)
+
+
+def env_text(name: str) -> str:
+    """Environment read normalised to stripped text (``""`` when unset).
+
+    The common accessor shape: callers that only care whether a value
+    was provided (``REPRO_CACHE_DIR``, ``REPRO_WORKERS``) never have to
+    distinguish unset from blank.  See :func:`env_raw` for the
+    unset-vs-set distinction.
+    """
+    return os.environ.get(name, "").strip()
+
+
 def is_full_run() -> bool:
     """True when the environment requests paper-scale experiment runs."""
-    return os.environ.get("REPRO_FULL", "").strip() not in ("", "0", "false")
+    return env_text("REPRO_FULL") not in ("", "0", "false")
 
 
 def default_workers() -> int:
@@ -23,7 +45,7 @@ def default_workers() -> int:
     one environment variable parallelises every figure/table sweep without
     touching call sites.
     """
-    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    raw = env_text("REPRO_WORKERS")
     if not raw:
         return 0
     try:

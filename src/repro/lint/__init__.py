@@ -1,0 +1,46 @@
+"""repro.lint: AST-based determinism & cache-integrity linter.
+
+The reproduction's guarantees — bit-identical ``--workers 1/4`` and
+``--shard`` merges, compiled/reference core parity, content-addressed
+cache correctness — are enforced at runtime by expensive parity tests.
+This package enforces the *source-level discipline* those guarantees
+rest on, cheaply and on every push:
+
+========  ==============================================================
+RPL001    no nondeterminism primitives (``random``, ``np.random.*``
+          global state, ``time.time``, ``datetime.now``, unseeded
+          ``default_rng``) outside ``repro/utils/rng.py``
+RPL002    no iteration over unordered sets in ``repro/routing/`` and
+          ``repro/experiments/`` where order can leak into floats/plans
+RPL003    no ``os.environ`` reads outside the sanctioned accessors
+          (``repro/experiments/config.py``, ``repro/utils/rng.py``)
+RPL004    cache-key completeness: every field of a ``*Spec`` dataclass
+          must be reflected in its ``config_dict()``/``to_string()``
+          emission (or the module's param maps feeding them)
+RPL005    registry conventions: every ``@register_router`` /
+          ``@register_topology`` target structurally satisfies its
+          protocol (``route``/``name``; ``(config, rng)`` arity)
+RPL006    no mutable default arguments or module-level mutable state in
+          ``repro/routing/`` (poisonous under the process pool)
+========  ==============================================================
+
+Run it with ``python -m repro.lint [paths]`` (``--format=json`` for the
+machine-readable form).  Suppress a finding on one line with
+``# repro: noqa[RPL001]`` (multiple codes comma-separated; a bare
+``# repro: noqa`` suppresses every code on the line).
+"""
+
+from repro.lint.diagnostics import Diagnostic, parse_suppressions
+from repro.lint.engine import FileContext, LintReport, run_lint
+from repro.lint.rules import ALL_RULES, LintRule, all_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "FileContext",
+    "LintReport",
+    "LintRule",
+    "all_rules",
+    "parse_suppressions",
+    "run_lint",
+]

@@ -1,0 +1,91 @@
+"""CLI entry point: ``python -m repro.lint [paths] [--format=json]``.
+
+Exit codes: 0 clean, 1 findings, 2 usage/IO errors — so CI can
+distinguish "violations" from "the linter itself broke".
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import run_lint
+from repro.lint.rules import all_rules, known_codes
+
+
+def _default_paths() -> List[str]:
+    """``src/`` when run from the repo root, else the current tree."""
+    return ["src"] if Path("src").is_dir() else ["."]
+
+
+def _parse_select(text: str) -> List[str]:
+    codes = [token.strip().upper() for token in text.split(",") if token.strip()]
+    unknown = sorted(set(codes) - set(known_codes()))
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown rule code(s) {', '.join(unknown)}; known codes: "
+            f"{', '.join(known_codes())}"
+        )
+    return codes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based determinism & cache-integrity linter (rules "
+            f"{known_codes()[0]}-{known_codes()[-1]}; suppress one line "
+            "with '# repro: noqa[RPL001]')"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/ if present)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", type=_parse_select, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}: {rule.summary}")
+        return 0
+    paths = args.paths or _default_paths()
+    try:
+        report = run_lint(paths, select=args.select)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        for diag in report.diagnostics:
+            print(diag.render())
+        if report.diagnostics:
+            print(
+                f"{len(report.diagnostics)} finding(s) in "
+                f"{report.files_checked} file(s)",
+                file=sys.stderr,
+            )
+    return 1 if report.diagnostics else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Diagnostic records and ``# repro: noqa[...]`` suppression parsing."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List
+
+#: Sentinel suppression set meaning "every code on this line".
+ALL_CODES: FrozenSet[str] = frozenset({"*"})
+
+_NOQA_PATTERN = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[^\]]*)\])?")
+_CODE_PATTERN = re.compile(r"RPL\d{3}\Z")
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: file position plus rule code and message.
+
+    Field order doubles as the report sort order (path, line, column,
+    code), which is also the order ``render()`` prints.
+    """
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The ``path:line:col: CODE message`` text form."""
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        """The JSON-report entry for this finding."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers of *source* to their suppressed codes.
+
+    The grammar is ``# repro: noqa[RPL001]`` (one code),
+    ``# repro: noqa[RPL001,RPL006]`` (several), or a bare
+    ``# repro: noqa`` which suppresses every code on that line
+    (represented by :data:`ALL_CODES`).  Tokens that are not well-formed
+    rule codes are ignored, so ``# repro: noqa[bogus]`` suppresses
+    nothing rather than silently suppressing everything.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line:
+            continue
+        match = _NOQA_PATTERN.search(line)
+        if match is None:
+            continue
+        raw = match.group("codes")
+        if raw is None:
+            suppressions[lineno] = ALL_CODES
+            continue
+        codes = frozenset(
+            token.strip().upper()
+            for token in raw.split(",")
+            if _CODE_PATTERN.fullmatch(token.strip().upper())
+        )
+        if codes:
+            suppressions[lineno] = codes
+    return suppressions
+
+
+def is_suppressed(
+    diagnostic: Diagnostic, suppressions: Dict[int, FrozenSet[str]]
+) -> bool:
+    """True when *diagnostic*'s line carries a matching noqa comment."""
+    codes = suppressions.get(diagnostic.line)
+    if codes is None:
+        return False
+    return "*" in codes or diagnostic.code in codes
+
+
+def filter_suppressed(
+    diagnostics: Iterable[Diagnostic],
+    suppressions: Dict[int, FrozenSet[str]],
+) -> List[Diagnostic]:
+    """*diagnostics* minus the ones a noqa comment suppresses."""
+    return [d for d in diagnostics if not is_suppressed(d, suppressions)]

@@ -1,0 +1,153 @@
+"""File collection, rule execution and report assembly.
+
+The engine is deliberately rule-agnostic: it turns paths into parsed
+:class:`FileContext` records, hands each to every selected rule, strips
+``# repro: noqa[...]``-suppressed findings and returns a sorted
+:class:`LintReport`.  Rules live in :mod:`repro.lint.rules`; the lazy
+import in :func:`run_lint` keeps the dependency one-directional so rule
+modules can import this one for :class:`FileContext`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    filter_suppressed,
+    parse_suppressions,
+)
+
+#: Directory names never descended into while collecting files.
+SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".hg", ".eggs", ".tox", "build", "dist"}
+)
+
+#: Code attached to files the parser rejects (not a rule finding, but
+#: reported through the same channel so CI fails loudly).
+PARSE_ERROR_CODE = "RPL000"
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """One parsed file as the rules see it.
+
+    ``path`` is the path as reported in diagnostics (what the caller
+    passed); ``module_path`` is the canonical ``repro/...``-rooted form
+    scope-restricted rules match against, so the same rule fires whether
+    the tree was linted as ``src/``, ``src/repro/`` or an absolute path.
+    """
+
+    path: str
+    module_path: str
+    source: str
+    tree: ast.Module
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Every surviving diagnostic plus the file count, render-ready."""
+
+    diagnostics: Sequence[Diagnostic]
+    files_checked: int
+
+    def ok(self) -> bool:
+        """True when the lint pass found nothing."""
+        return not self.diagnostics
+
+    def to_json(self) -> Dict[str, object]:
+        """The machine-readable report (``--format=json``)."""
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+        }
+
+
+def module_path_for(path: Path) -> str:
+    """*path* rooted at its innermost ``repro`` package directory.
+
+    Falls back to the posix form of *path* for files outside any
+    ``repro`` tree (standalone fixtures), so path-scoped rules simply
+    never match them.
+    """
+    parts = path.as_posix().split("/")
+    for i in range(len(parts) - 2, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return path.as_posix()
+
+
+def _collectable(path: Path) -> bool:
+    return not any(
+        part in SKIP_DIRS or (part.startswith(".") and len(part) > 1)
+        for part in path.parts
+    )
+
+
+def iter_python_files(paths: Iterable[object]) -> Iterator[Path]:
+    """Expand files/directories into a deterministic ``*.py`` sequence."""
+    for raw in paths:
+        path = Path(str(raw))
+        if path.is_dir():
+            for found in sorted(path.rglob("*.py")):
+                if _collectable(found.relative_to(path)):
+                    yield found
+        elif path.is_file():
+            yield path
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+
+
+def lint_source(
+    source: str,
+    path: str,
+    select: Optional[Iterable[str]] = None,
+) -> List[Diagnostic]:
+    """Lint one in-memory source blob (the test-fixture entry point)."""
+    from repro.lint.rules import all_rules
+
+    wanted = None if select is None else frozenset(select)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                column=exc.offset or 1,
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    context = FileContext(
+        path=path,
+        module_path=module_path_for(Path(path)),
+        source=source,
+        tree=tree,
+    )
+    findings: List[Diagnostic] = []
+    for rule in all_rules():
+        if wanted is not None and rule.code not in wanted:
+            continue
+        findings.extend(rule.check(context))
+    return sorted(filter_suppressed(findings, parse_suppressions(source)))
+
+
+def run_lint(
+    paths: Iterable[object],
+    select: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint *paths* (files or directory trees) with the selected rules."""
+    diagnostics: List[Diagnostic] = []
+    files_checked = 0
+    for path in iter_python_files(paths):
+        files_checked += 1
+        source = path.read_text(encoding="utf-8")
+        diagnostics.extend(lint_source(source, str(path), select=select))
+    return LintReport(
+        diagnostics=sorted(diagnostics), files_checked=files_checked
+    )

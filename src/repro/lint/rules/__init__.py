@@ -1,0 +1,38 @@
+"""Rule registry: the stable-code rule set the engine runs."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.lint.rules.common import LintRule
+from repro.lint.rules import (
+    rpl001_nondeterminism as _rpl001,
+    rpl002_unordered_iteration as _rpl002,
+    rpl003_environ as _rpl003,
+    rpl004_cache_keys as _rpl004,
+    rpl005_registry as _rpl005,
+    rpl006_mutable_state as _rpl006,
+)
+
+#: Every shipped rule, in code order.
+ALL_RULES: Tuple[LintRule, ...] = (
+    _rpl001.RULE,
+    _rpl002.RULE,
+    _rpl003.RULE,
+    _rpl004.RULE,
+    _rpl005.RULE,
+    _rpl006.RULE,
+)
+
+
+def all_rules() -> Tuple[LintRule, ...]:
+    """The shipped rule set (one entry per RPL code)."""
+    return ALL_RULES
+
+
+def known_codes() -> Tuple[str, ...]:
+    """Every valid rule code, in order."""
+    return tuple(rule.code for rule in ALL_RULES)
+
+
+__all__ = ["ALL_RULES", "LintRule", "all_rules", "known_codes"]

@@ -1,0 +1,123 @@
+"""Shared rule machinery: the rule record and AST name resolution."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One lint rule: a stable code plus a per-file check function."""
+
+    code: str
+    name: str
+    summary: str
+    check: Callable[[FileContext], Iterator[Diagnostic]]
+
+
+def diagnostic(ctx: FileContext, node: ast.AST, code: str, message: str
+               ) -> Diagnostic:
+    """A finding anchored at *node*'s position (1-based column)."""
+    return Diagnostic(
+        path=ctx.path,
+        line=getattr(node, "lineno", 1),
+        column=getattr(node, "col_offset", 0) + 1,
+        code=code,
+        message=message,
+    )
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the absolute dotted origins they import.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``import numpy.random``
+    maps ``numpy -> numpy`` (attribute resolution walks the rest);
+    ``from numpy.random import default_rng as rng_fn`` maps
+    ``rng_fn -> numpy.random.default_rng``.  Relative imports are
+    skipped — the rules only care about stdlib/numpy origins.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or not node.module:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_dotted(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """The absolute dotted name *node* refers to, or ``None``.
+
+    Resolves ``Name`` and ``Attribute`` chains whose base is an imported
+    name; anything rooted in a local variable resolves to ``None``.
+    """
+    parts: list = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = aliases.get(node.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def decorator_key(node: ast.expr) -> str:
+    """The final name segment of a decorator expression.
+
+    ``@register_router("x")``, ``@registry.register_router(...)`` and a
+    bare ``@register_router`` all yield ``"register_router"``.
+    """
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    if isinstance(target, ast.Name):
+        return target.id
+    return ""
+
+
+def iter_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Every descendant of *node* that shares its variable scope.
+
+    Descends through compound statements but not into nested function,
+    class or lambda bodies — each of those is its own scope and is
+    visited separately by scope-aware rules.
+    """
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(
+            child,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """The module plus every (nested) function/class scope within it."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                   ast.Lambda)
+        ):
+            yield node

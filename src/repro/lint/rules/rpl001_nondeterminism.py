@@ -1,0 +1,135 @@
+"""RPL001: nondeterminism primitives outside ``repro/utils/rng.py``.
+
+Every guarantee in the repo (worker/shard bit-parity, the content-
+addressed cache) assumes all randomness flows through the seeded
+``numpy`` generators that :mod:`repro.utils.rng` hands out.  A single
+``random.random()``, ``np.random.seed`` or wall-clock read introduces
+state the cache key cannot see, so results stop being a pure function
+of their spec.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext
+from repro.lint.rules.common import (
+    LintRule,
+    diagnostic,
+    import_aliases,
+    resolve_dotted,
+)
+
+CODE = "RPL001"
+
+#: The one module allowed to touch RNG construction primitives.
+ALLOWED_FILES = ("repro/utils/rng.py",)
+
+#: ``numpy.random`` attributes that read or mutate the legacy global
+#: state (anything drawing from the process-wide default stream).
+_NUMPY_GLOBAL_STATE = frozenset({
+    "seed", "get_state", "set_state", "random", "rand", "randn",
+    "randint", "random_integers", "random_sample", "ranf", "sample",
+    "bytes", "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "binomial", "poisson", "exponential", "beta",
+    "gamma", "RandomState",
+})
+
+#: Wall-clock reads whose values leak into anything they touch.
+_FORBIDDEN_DOTTED = frozenset({
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+
+def _is_unseeded_default_rng(node: ast.Call) -> bool:
+    """True for ``default_rng()`` / ``default_rng(None)`` calls."""
+    seed_args = [a for a in node.args if not isinstance(a, ast.Starred)]
+    if node.args and isinstance(node.args[0], ast.Starred):
+        return False  # can't see through *args; give it the benefit
+    for keyword in node.keywords:
+        if keyword.arg == "seed":
+            seed_args.append(keyword.value)
+        elif keyword.arg is None:
+            return False  # **kwargs, same
+    if not seed_args:
+        return True
+    first = seed_args[0]
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+def check(ctx: FileContext) -> Iterator[Diagnostic]:
+    if ctx.module_path.endswith(ALLOWED_FILES):
+        return
+    aliases = import_aliases(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "random":
+                    yield diagnostic(
+                        ctx, node, CODE,
+                        "the stdlib 'random' module is forbidden; draw "
+                        "from a seeded generator via repro.utils.rng",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or not node.module:
+                continue
+            root = node.module.split(".")[0]
+            if root == "random":
+                yield diagnostic(
+                    ctx, node, CODE,
+                    "the stdlib 'random' module is forbidden; draw "
+                    "from a seeded generator via repro.utils.rng",
+                )
+            elif node.module == "time":
+                for alias in node.names:
+                    if alias.name in ("time", "time_ns"):
+                        yield diagnostic(
+                            ctx, node, CODE,
+                            f"wall-clock read 'time.{alias.name}' is "
+                            "nondeterministic; results must be a pure "
+                            "function of their spec",
+                        )
+        elif isinstance(node, ast.Call):
+            resolved = resolve_dotted(node.func, aliases)
+            if resolved == "numpy.random.default_rng" \
+                    and _is_unseeded_default_rng(node):
+                yield diagnostic(
+                    ctx, node, CODE,
+                    "unseeded default_rng() draws fresh OS entropy; pass "
+                    "a seed or use repro.utils.rng.ensure_rng/stream_rng",
+                )
+        elif isinstance(node, ast.Attribute):
+            resolved = resolve_dotted(node, aliases)
+            if resolved is None:
+                continue
+            if resolved in _FORBIDDEN_DOTTED:
+                yield diagnostic(
+                    ctx, node, CODE,
+                    f"wall-clock read '{resolved}' is nondeterministic; "
+                    "results must be a pure function of their spec",
+                )
+            elif resolved.startswith("numpy.random.") \
+                    and resolved.rsplit(".", 1)[1] in _NUMPY_GLOBAL_STATE:
+                yield diagnostic(
+                    ctx, node, CODE,
+                    f"'{resolved}' uses numpy's process-global RNG "
+                    "state; use a generator from repro.utils.rng",
+                )
+
+
+RULE = LintRule(
+    code=CODE,
+    name="no-nondeterminism-primitives",
+    summary=(
+        "random / np.random global state / wall-clock reads / unseeded "
+        "default_rng are only allowed inside repro/utils/rng.py"
+    ),
+    check=check,
+)

@@ -1,0 +1,130 @@
+"""RPL002: iteration over unordered sets in order-sensitive layers.
+
+Set iteration order is arbitrary (it follows hash layout, which varies
+with insertion history and, for str keys under hash randomization,
+across processes).  In ``repro/routing/`` and ``repro/experiments/``
+that order can leak into float accumulation order, path tie-breaks and
+plan layout — exactly the silent divergence the worker/shard parity
+guarantees forbid.  Iterate ``sorted(the_set)`` or an ordered container
+instead; order-insensitive consumers (``len``, ``sum`` of exact ints,
+membership tests) are naturally not flagged because only ``for`` loops,
+list/dict comprehensions and ``list()``/``tuple()`` materialisations
+count as iteration here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext
+from repro.lint.rules.common import LintRule, diagnostic, iter_scope, iter_scopes
+
+CODE = "RPL002"
+
+#: Path fragments this rule applies to.
+SCOPED_TO = ("repro/routing/", "repro/experiments/")
+
+#: Set methods returning sets — propagate set-origin through chaining.
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    """True when *node* evaluates to a set of detectable origin."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return _is_set_expr(func.value, set_names)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return (_is_set_expr(node.left, set_names)
+                or _is_set_expr(node.right, set_names))
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    return False
+
+
+def _set_names_in(scope: ast.AST) -> Set[str]:
+    """Local names that only ever hold set-origin values in *scope*.
+
+    Two passes give one level of name-through-name propagation
+    (``a = set(...); b = a | other``); a name ever assigned a non-set
+    value is dropped so false positives stay rare.
+    """
+    names: Set[str] = set()
+    for _ in range(2):
+        tainted: Set[str] = set()
+        for node in iter_scope(scope):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if _is_set_expr(value, names):
+                    names.add(target.id)
+                else:
+                    tainted.add(target.id)
+        names -= tainted
+    return names
+
+
+def _iteration_sites(scope: ast.AST) -> Iterator[ast.AST]:
+    """Expressions iterated in order-sensitive positions within *scope*."""
+    for node in iter_scope(scope):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.DictComp)):
+            # Set comprehensions and bare generators are skipped: a
+            # set-to-set rebuild loses no order, and generators feeding
+            # sorted()/sum() are legitimate.  Lists and dicts freeze
+            # the arrival order.
+            for generator in node.generators:
+                yield generator.iter
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("list", "tuple") \
+                    and len(node.args) == 1 \
+                    and not isinstance(node.args[0], ast.Starred):
+                yield node.args[0]
+
+
+def check(ctx: FileContext) -> Iterator[Diagnostic]:
+    if not any(fragment in ctx.module_path for fragment in SCOPED_TO):
+        return
+    for scope in iter_scopes(ctx.tree):
+        set_names = _set_names_in(scope)
+        for iterable in _iteration_sites(scope):
+            if _is_set_expr(iterable, set_names):
+                yield diagnostic(
+                    ctx, iterable, CODE,
+                    "iteration over an unordered set; wrap it in "
+                    "sorted(...) (or keep an ordered container) so "
+                    "order cannot leak into floats or plans",
+                )
+
+
+RULE = LintRule(
+    code=CODE,
+    name="no-unordered-iteration",
+    summary=(
+        "no iteration over sets in repro/routing/ and repro/experiments/"
+        " — set order can leak into float sums, tie-breaks and plans"
+    ),
+    check=check,
+)

@@ -1,0 +1,72 @@
+"""RPL003: ``os.environ`` reads outside the sanctioned accessors.
+
+Environment variables are invisible to cache keys and to anyone reading
+a spec string, so every read is a potential source of "same spec,
+different result".  All reads go through the accessors in
+``repro/experiments/config.py`` (``env_raw``/``env_text`` plus the
+named helpers), which keeps the full set of recognised variables
+greppable in one file.  ``repro/utils/rng.py`` stays allowlisted as the
+RNG-discipline module the other allowlist entry builds on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext
+from repro.lint.rules.common import (
+    LintRule,
+    diagnostic,
+    import_aliases,
+    resolve_dotted,
+)
+
+CODE = "RPL003"
+
+#: Files allowed to touch the environment directly.
+ALLOWED_FILES = (
+    "repro/experiments/config.py",
+    "repro/utils/rng.py",
+)
+
+_FORBIDDEN_DOTTED = frozenset({"os.environ", "os.getenv", "os.putenv"})
+
+
+def check(ctx: FileContext) -> Iterator[Diagnostic]:
+    if ctx.module_path.endswith(ALLOWED_FILES):
+        return
+    aliases = import_aliases(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.level or node.module != "os":
+                continue
+            for alias in node.names:
+                if alias.name in ("environ", "getenv", "putenv"):
+                    yield diagnostic(
+                        ctx, node, CODE,
+                        f"importing os.{alias.name} outside the "
+                        "sanctioned accessor module; read the "
+                        "environment through repro.experiments.config",
+                    )
+        elif isinstance(node, ast.Attribute):
+            resolved = resolve_dotted(node, aliases)
+            if resolved in _FORBIDDEN_DOTTED:
+                yield diagnostic(
+                    ctx, node, CODE,
+                    f"direct '{resolved}' access; read the environment "
+                    "through repro.experiments.config so every "
+                    "recognised variable has one greppable read path",
+                )
+
+
+RULE = LintRule(
+    code=CODE,
+    name="no-scattered-environ-reads",
+    summary=(
+        "os.environ/os.getenv only inside repro/experiments/config.py "
+        "(and repro/utils/rng.py)"
+    ),
+    check=check,
+)

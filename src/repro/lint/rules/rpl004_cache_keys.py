@@ -1,0 +1,127 @@
+"""RPL004: cache-key completeness for ``*Spec`` dataclasses.
+
+The result cache keys work by each spec's ``config_dict()`` /
+``to_string()`` emission.  Those emissions are complete today — some by
+construction (``dataclasses.asdict``), some via hand-maintained
+enumerations (``EstimatorSpec.to_string``, ``ScenarioSpec``'s
+param-name table).  The hand-maintained kind is where stale-cache
+incidents are born: add a dataclass field, forget the table, and two
+genuinely different workloads share a cache entry or a spec string
+stops round-tripping.
+
+The check is a mention audit: every declared field of a dataclass whose
+name ends in ``Spec`` (and that has at least one emission method) must
+be *mentioned by name* — as a ``self.<field>`` access or a whole-word
+string literal — somewhere in the class body or the module-level
+constants feeding it.  Adding a field without threading it through the
+emission machinery therefore fails lint instead of corrupting caches.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Set, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext
+from repro.lint.rules.common import LintRule, diagnostic
+
+CODE = "RPL004"
+
+#: Methods whose bodies constitute a spec's cache/serialization identity.
+EMISSION_METHODS = ("config_dict", "to_string", "fingerprint", "cache_key")
+
+_CLASS_NAME = re.compile(r".+Spec\Z")
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else ""
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _declared_fields(node: ast.ClassDef) -> List[ast.AnnAssign]:
+    fields: List[ast.AnnAssign] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        if stmt.target.id.startswith("_"):
+            continue
+        annotation = ast.unparse(stmt.annotation)
+        if "ClassVar" in annotation or "InitVar" in annotation:
+            continue
+        fields.append(stmt)
+    return fields
+
+
+def _mentions(nodes: List[ast.AST]) -> "Tuple[Set[str], str]":
+    """(self-attribute names, concatenated string literals) in *nodes*."""
+    attrs: Set[str] = set()
+    strings: List[str] = []
+    for root in nodes:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Attribute) \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id == "self":
+                attrs.add(node.attr)
+            elif isinstance(node, ast.Constant) \
+                    and isinstance(node.value, str):
+                strings.append(node.value)
+    return attrs, "\n".join(strings)
+
+
+def _word_in(name: str, text: str) -> bool:
+    return re.search(rf"(?<![A-Za-z0-9_]){re.escape(name)}(?![A-Za-z0-9_])",
+                     text) is not None
+
+
+def check(ctx: FileContext) -> Iterator[Diagnostic]:
+    module_constants: List[ast.AST] = [
+        stmt for stmt in ctx.tree.body
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign))
+    ]
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not _CLASS_NAME.fullmatch(node.name):
+            continue
+        if not _is_dataclass_decorated(node):
+            continue
+        method_names = {
+            stmt.name for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if not method_names.intersection(EMISSION_METHODS):
+            continue  # not a cache-key class; nothing to audit
+        attrs, strings = _mentions([node, *module_constants])
+        for field in _declared_fields(node):
+            assert isinstance(field.target, ast.Name)
+            name = field.target.id
+            if name in attrs or _word_in(name, strings):
+                continue
+            yield diagnostic(
+                ctx, field, CODE,
+                f"field {name!r} of {node.name} appears in no "
+                f"emission path ({'/'.join(EMISSION_METHODS[:2])} or the "
+                "module's param tables); an unkeyed spec knob means "
+                "stale cache hits — thread it through or noqa it",
+            )
+
+
+RULE = LintRule(
+    code=CODE,
+    name="cache-key-completeness",
+    summary=(
+        "every field of a *Spec dataclass must be reflected in its "
+        "config_dict()/to_string() emission machinery"
+    ),
+    check=check,
+)

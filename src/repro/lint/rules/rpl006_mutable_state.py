@@ -1,0 +1,101 @@
+"""RPL006: mutable defaults / module-level mutable state in routing.
+
+Routing code runs inside worker processes and is re-imported per
+process.  A mutable default argument or a module-level dict/list cache
+accumulates *per-process* state: results then depend on how tasks were
+packed onto workers, which is exactly what the ``--workers``/``--shard``
+bit-parity guarantees rule out.  Intentional registries (write-once at
+import time) carry an explicit ``# repro: noqa[RPL006]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext
+from repro.lint.rules.common import LintRule, diagnostic
+
+CODE = "RPL006"
+
+#: Path fragment this rule applies to.
+SCOPED_TO = ("repro/routing/",)
+
+#: Names exempt at module level: sealed-by-convention interpreter
+#: metadata, not caches.
+_EXEMPT_NAMES = frozenset({"__all__"})
+
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "deque",
+    "OrderedDict", "Counter",
+})
+
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _check_defaults(
+    ctx: FileContext, fn: ast.AST
+) -> Iterator[Diagnostic]:
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+    defaults = [*fn.args.defaults,
+                *[d for d in fn.args.kw_defaults if d is not None]]
+    for default in defaults:
+        if _is_mutable_value(default):
+            yield diagnostic(
+                ctx, default, CODE,
+                "mutable default argument is shared across calls (and "
+                "accumulates per worker process); default to None and "
+                "build inside the function",
+            )
+
+
+def check(ctx: FileContext) -> Iterator[Diagnostic]:
+    if not any(fragment in ctx.module_path for fragment in SCOPED_TO):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            yield from _check_defaults(ctx, node)
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if not names or all(name in _EXEMPT_NAMES for name in names):
+            continue
+        if _is_mutable_value(value):
+            yield diagnostic(
+                ctx, stmt, CODE,
+                f"module-level mutable state ({', '.join(names)}) "
+                "accumulates per worker process and breaks run-shape "
+                "invariance; make it immutable, scope it to a call, or "
+                "noqa a deliberate write-once registry",
+            )
+
+
+RULE = LintRule(
+    code=CODE,
+    name="no-mutable-shared-state",
+    summary=(
+        "no mutable default arguments or module-level mutable state in "
+        "repro/routing/ (poisonous under the process pool)"
+    ),
+    check=check,
+)

@@ -56,7 +56,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import os
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError, RoutingError
@@ -86,7 +85,12 @@ def active_routing_core() -> str:
     Read at call time so tests and CI can flip cores per invocation.
     """
     global _core_memo
-    raw = os.environ.get(ROUTING_CORE_ENV)
+    # Deferred import: the accessor lives in the experiments layer
+    # (the one sanctioned environment read path — lint rule RPL003),
+    # and routing must not pull that package in at module load.
+    from repro.experiments.config import env_raw
+
+    raw = env_raw(ROUTING_CORE_ENV)
     memo_raw, memo_core = _core_memo
     if raw == memo_raw:
         return memo_core

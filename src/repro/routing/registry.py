@@ -74,8 +74,11 @@ class Router(Protocol):
         ...
 
 
-_REGISTRY: Dict[str, type] = {}
-_ALIASES: Dict[str, str] = {}
+# Write-once at import time (decorators run as modules load), identical
+# in every worker process — deliberate registries, not accumulating
+# caches, hence the RPL006 suppressions.
+_REGISTRY: Dict[str, type] = {}  # repro: noqa[RPL006]
+_ALIASES: Dict[str, str] = {}  # repro: noqa[RPL006]
 _BUILTINS_LOADED = False
 
 
