@@ -14,6 +14,7 @@ unchanged figure into a read.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -65,8 +66,18 @@ def pytest_collection_modifyitems(items):
             item.add_marker(pytest.mark.slow)
 
 
-def report(name: str, text: str) -> None:
-    """Print *text* and persist it as ``benchmarks/results/<name>.txt``."""
+def report(name: str, text: str, data=None) -> None:
+    """Print *text* and persist it as ``benchmarks/results/<name>.txt``.
+
+    When *data* is given (any JSON-serializable value), a
+    machine-readable twin lands at ``results/<name>.json`` so dashboards
+    and regression diffs can consume the numbers without scraping the
+    rendered table.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
     print(f"\n{text}\n")

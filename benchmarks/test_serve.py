@@ -1,0 +1,124 @@
+"""Benchmark: incremental re-planning vs per-arrival resnapshot.
+
+Serves the same Poisson arrival stream on the paper-default scenario
+under both re-planning modes and times the whole serving loop.  The two
+modes are decision-identical by construction — asserted on the full
+deterministic metrics — so the only thing the incremental path buys is
+speed: it must stay measurably (>= 1.3x) faster than rebuilding a
+residual network per arrival, or the journal/patching machinery has
+regressed into pure overhead.
+
+Results land in ``benchmarks/results/serve.txt`` plus a
+machine-readable ``serve.json`` twin (per-mode wall time, re-plan
+latency percentiles, speedup).
+"""
+
+import dataclasses
+import time
+
+from repro.experiments.config import is_full_run
+from repro.experiments.scenarios import parse_scenario
+from repro.network.builder import build_network
+from repro.routing.registry import make_router
+from repro.service.arrivals import parse_arrivals, poisson_events
+from repro.service.loop import REPLAN_MODES, latency_summary, run_serve
+from repro.utils.rng import ensure_rng
+from repro.utils.tables import AsciiTable
+
+from conftest import report
+
+SCENARIO = "paper-default"
+ARRIVALS = "poisson:rate=2.0,hold=exp:mean=30"
+SEED = 7
+WARMUP = 20.0
+
+#: Per-mode timing: best of ROUNDS full serving-loop runs.
+ROUNDS = 3
+
+#: The incremental path's acceptance bar over resnapshot.
+MIN_SPEEDUP = 1.3
+
+
+def test_serve_incremental_vs_resnapshot():
+    duration = 400.0 if is_full_run() else 120.0
+    scenario = parse_scenario(SCENARIO)
+    network = build_network(scenario.network_config(), ensure_rng(SEED))
+    setting = scenario.setting()
+    arrivals = parse_arrivals(ARRIVALS)
+    events = poisson_events(arrivals, SEED, len(network.users()), duration)
+
+    timings = {}
+    runs = {}
+    for mode in REPLAN_MODES:
+        best = float("inf")
+        for _ in range(ROUNDS):
+            router = make_router("alg-n-fusion", include_alg4=False)
+            start = time.perf_counter()
+            run = run_serve(
+                network,
+                setting.link_model(),
+                setting.swap_model(),
+                router,
+                events,
+                duration,
+                WARMUP,
+                mode,
+            )
+            best = min(best, time.perf_counter() - start)
+        assert run.mode == mode
+        timings[mode] = best
+        runs[mode] = run
+
+    # Decision parity: the modes must agree on every deterministic
+    # metric — the cache keys them identically on this guarantee.
+    assert (
+        runs["incremental"].metrics == runs["resnapshot"].metrics
+    ), "re-planning modes diverged; the serve cache key is now unsound"
+
+    speedup = timings["resnapshot"] / timings["incremental"]
+    metrics = runs["incremental"].metrics
+
+    table = AsciiTable(
+        ["mode", "loop (s)", "p50 (ms)", "p99 (ms)", "speedup"]
+    )
+    summaries = {}
+    for mode in REPLAN_MODES:
+        summaries[mode] = latency_summary(runs[mode].latencies_s)
+        table.add_row([
+            mode,
+            f"{timings[mode]:.3f}",
+            f"{summaries[mode]['p50_ms']:.2f}",
+            f"{summaries[mode]['p99_ms']:.2f}",
+            f"{speedup:.2f}x" if mode == "incremental" else "1.00x",
+        ])
+    report(
+        "serve",
+        f"Online serving: incremental vs resnapshot re-planning\n"
+        f"scenario={SCENARIO} arrivals={ARRIVALS} duration={duration!r} "
+        f"warmup={WARMUP!r} seed={SEED} (best of {ROUNDS})\n"
+        + table.render()
+        + f"\narrivals={metrics.arrivals} admitted={metrics.admitted} "
+        f"ratio={metrics.admission_ratio:.4f} "
+        f"throughput={metrics.throughput:.6f}",
+        data={
+            "scenario": SCENARIO,
+            "arrivals": ARRIVALS,
+            "duration": duration,
+            "warmup": WARMUP,
+            "seed": SEED,
+            "rounds": ROUNDS,
+            "speedup": speedup,
+            "modes": {
+                mode: {
+                    "loop_seconds": timings[mode],
+                    "latency": summaries[mode],
+                }
+                for mode in REPLAN_MODES
+            },
+            "metrics": dataclasses.asdict(metrics),
+        },
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"incremental re-planning is only {speedup:.2f}x faster than "
+        f"resnapshot (bar: {MIN_SPEEDUP}x)"
+    )

@@ -17,6 +17,11 @@ Usage::
     python -m repro.experiments mc-validate --routers alg-n-fusion
     python -m repro.experiments all --workers 4 --cache-dir .sweep-cache
     python -m repro.experiments regen-regression
+    python -m repro.experiments serve --scenario paper-default \
+        --arrivals poisson:rate=2.0,hold=exp:mean=30 --duration 200 --seed 7
+    python -m repro.experiments serve --replan resnapshot
+    python -m repro.experiments serve --record-trace run.trace
+    python -m repro.experiments serve --arrivals trace:file=run.trace
 
 ``--full`` runs at paper scale (equivalent to REPRO_FULL=1); the default
 quick mode shrinks networks and averaging for fast turnaround.
@@ -57,6 +62,16 @@ and relative-error columns for any ``--routers`` set.
 by cumulative time to stderr (``--profile-out FILE`` additionally dumps
 the raw stats for pstats/snakeviz), so perf work starts from data
 rather than guesses.
+
+``serve`` runs the online routing service (``repro.service``): demands
+arrive continuously (``--arrivals``), hold capacity for their holding
+time and release it on departure; each arrival re-plans against the
+residual network (``--replan incremental|resnapshot``, deterministic
+metrics identical either way).  Steady-state throughput / admission
+ratio go to stdout (cached, bit-identical for any ``--workers`` and
+routing core); p50/p99 re-plan latency goes to stderr and is never
+cached.  ``--record-trace FILE`` captures the event streams for replay
+via ``--arrivals trace:file=FILE``.
 
 ``regen-regression`` rewrites the pinned regression fixture under
 ``tests/data/`` bit-exactly from its frozen recipe.
@@ -99,6 +114,9 @@ from repro.experiments.scenarios import (
 )
 from repro.network.registry import topology_keys
 from repro.routing.registry import parse_router_specs, router_keys
+from repro.service.arrivals import parse_arrivals
+from repro.service.loop import REPLAN_MODES
+from repro.service.runner import run_serve_experiment
 from repro.utils.cli import argparse_type
 
 EXPERIMENTS: Dict[str, Callable] = {
@@ -138,13 +156,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=[
-            *EXPERIMENTS, "all", "list", "routers", "scenarios",
+            *EXPERIMENTS, "serve", "all", "list", "routers", "scenarios",
             "regen-regression",
         ],
         help=(
             "experiment id (figN / headline / ablation / protocol / "
-            "lattice / mc-validate / topology-compare), 'all', 'list', "
-            "'routers', 'scenarios' or 'regen-regression'"
+            "lattice / mc-validate / topology-compare), 'serve', 'all', "
+            "'list', 'routers', 'scenarios' or 'regen-regression'"
         ),
     )
     parser.add_argument(
@@ -243,6 +261,74 @@ def build_parser() -> argparse.ArgumentParser:
             "series (fig7/fig8/fig9/topology-compare); the optional "
             "SPEC is an mc estimator spec, default 'mc' (500 trials, "
             "vectorized engine)"
+        ),
+    )
+    serve_group = parser.add_argument_group(
+        "serve", "online-serving options (the 'serve' experiment only)"
+    )
+    serve_group.add_argument(
+        "--arrivals",
+        type=argparse_type(parse_arrivals),
+        default=None,
+        metavar="SPEC",
+        help=(
+            "arrival process: poisson[:rate=R,hold=DIST:mean=M] or "
+            "trace:file=PATH (default "
+            "'poisson:rate=2.0,hold=exp:mean=30.0')"
+        ),
+    )
+    serve_group.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="T",
+        help="serving horizon in simulated time units (default 200)",
+    )
+    serve_group.add_argument(
+        "--warmup",
+        type=float,
+        default=None,
+        metavar="T",
+        help=(
+            "measurement starts at this simulated time; earlier "
+            "arrivals still occupy capacity (default 20)"
+        ),
+    )
+    serve_group.add_argument(
+        "--replications",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "independently sampled networks to serve (default 3; a "
+            "trace replay uses its recorded count)"
+        ),
+    )
+    serve_group.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="replication seed (default: the harness seed, 20230601)",
+    )
+    serve_group.add_argument(
+        "--replan",
+        choices=REPLAN_MODES,
+        default=None,
+        help=(
+            "re-planning mode per arrival: 'incremental' (session "
+            "ledger + caches; falls back per router) or 'resnapshot' "
+            "(rebuild a residual network copy); both produce identical "
+            "metrics (default incremental)"
+        ),
+    )
+    serve_group.add_argument(
+        "--record-trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the generated arrival streams to FILE for "
+            "trace:file=FILE replay (forces fresh execution)"
         ),
     )
     parser.add_argument(
@@ -363,6 +449,7 @@ def main(argv=None) -> int:
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
+        print("serve")
         return 0
     if args.experiment == "routers":
         for key in router_keys():
@@ -418,6 +505,34 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 2
+    serve_flags = (
+        ("--arrivals", args.arrivals),
+        ("--duration", args.duration),
+        ("--warmup", args.warmup),
+        ("--replications", args.replications),
+        ("--seed", args.seed),
+        ("--replan", args.replan),
+        ("--record-trace", args.record_trace),
+    )
+    if args.experiment != "serve":
+        for flag, value in serve_flags:
+            if value is not None:
+                _note(args.experiment, flag, "only 'serve' reads it")
+    else:
+        if args.full:
+            _note("serve", "--full", "--duration controls the run scale")
+        if args.shard is not None:
+            _note("serve", "--shard", "no (setting, router) grid to shard")
+        if args.estimator is not None:
+            _note("serve", "--estimator", "serve reports analytic rates")
+        if mc_overlay is not None:
+            _note("serve", "--mc-overlay", "serve reports analytic rates")
+        if args.scenarios is not None:
+            print(
+                "error: serve takes a single --scenario, not --scenarios",
+                file=sys.stderr,
+            )
+            return 2
     quick = not args.full
     routers_used = args.routers is not None and (
         args.experiment == "all"
@@ -445,6 +560,38 @@ def main(argv=None) -> int:
         return 2
 
     def run_experiments() -> None:
+        if args.experiment == "serve":
+            report = run_serve_experiment(
+                scenario=(
+                    args.scenario if args.scenario is not None
+                    else "paper-default"
+                ),
+                routers=args.routers,
+                arrivals=args.arrivals,
+                duration=(
+                    args.duration if args.duration is not None else 200.0
+                ),
+                warmup=args.warmup if args.warmup is not None else 20.0,
+                replications=(
+                    args.replications if args.replications is not None else 3
+                ),
+                seed=args.seed,
+                replan=(
+                    args.replan if args.replan is not None else "incremental"
+                ),
+                workers=args.workers,
+                cache=cache,
+                record_trace=args.record_trace,
+            )
+            print(report.to_text())
+            print()
+            print(report.latency_text(), file=sys.stderr)
+            if args.record_trace is not None:
+                print(
+                    f"trace written to {args.record_trace}",
+                    file=sys.stderr,
+                )
+            return
         if args.experiment == "all":
             for name in EXPERIMENTS:
                 if name == "fig9b-ext" and quick:

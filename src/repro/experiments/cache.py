@@ -46,6 +46,17 @@ from repro.routing.registry import RouterSpecError
 CACHE_FORMAT_VERSION = 4
 
 
+def payload_key(payload: Dict) -> str:
+    """Content hash of a JSON-ready *payload* dict (sorted-key JSON).
+
+    The one hashing recipe every cache key goes through —
+    :meth:`ResultCache.key_for` for sweep grids, the serve runner for
+    online-serving results — so key stability rules live in one place.
+    """
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def router_fingerprint(router) -> Dict:
     """A stable, JSON-ready description of *router*'s configuration.
 
@@ -115,14 +126,12 @@ class ResultCache:
         estimator's trials and engine are part of the key, so changing
         either recomputes only the affected points.
         """
-        payload = {
+        return payload_key({
             "cache_format_version": CACHE_FORMAT_VERSION,
             "setting": setting_fingerprint(setting),
             "router": router_fingerprint(router),
             "estimator": as_estimator(estimator).fingerprint(),
-        }
-        canonical = json.dumps(payload, sort_keys=True, default=str)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        })
 
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.json"
@@ -170,6 +179,45 @@ class ResultCache:
             "analytic_rates": [float(a) for a in analytic_rates],
             "trials": trials,
         }
+
+    def get_json(self, key: str, kind: str) -> Optional[Dict]:
+        """A generic JSON entry of the given *kind*, or ``None``.
+
+        Entries written by :meth:`put_json` carry a ``kind`` tag so
+        differently-shaped payloads (sweep grids vs serve results) can
+        never masquerade as each other, plus the format version gate the
+        sweep entries use.  Returns the stored ``payload`` dict.
+        """
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("cache_format_version") != CACHE_FORMAT_VERSION:
+            return None
+        if entry.get("kind") != kind:
+            return None
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put_json(self, key: str, kind: str, payload: Dict) -> None:
+        """Store a generic JSON *payload* under *key*, atomically.
+
+        JSON round-trips ``repr`` float precision, so a cache hit
+        reproduces the cold-run payload bit-exactly.
+        """
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "cache_format_version": CACHE_FORMAT_VERSION,
+            "kind": kind,
+            "payload": payload,
+        }
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        os.replace(tmp, path)
 
     def put(
         self,

@@ -27,6 +27,18 @@ CODE = "RPL001"
 #: The one module allowed to touch RNG construction primitives.
 ALLOWED_FILES = ("repro/utils/rng.py",)
 
+#: The one module allowed to read clocks (the sanctioned ``perf_timer``
+#: accessor).  Everything else must import it — latency measurement is
+#: legitimate, but only through a path that is greppable in one place.
+CLOCK_ALLOWED_FILES = ("repro/utils/timing.py",)
+
+#: ``from time import <name>`` targets that count as clock reads.
+_TIME_IMPORT_NAMES = (
+    "time", "time_ns",
+    "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns",
+)
+
 #: ``numpy.random`` attributes that read or mutate the legacy global
 #: state (anything drawing from the process-wide default stream).
 _NUMPY_GLOBAL_STATE = frozenset({
@@ -41,6 +53,10 @@ _NUMPY_GLOBAL_STATE = frozenset({
 _FORBIDDEN_DOTTED = frozenset({
     "time.time",
     "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
     "datetime.datetime.now",
     "datetime.datetime.utcnow",
     "datetime.datetime.today",
@@ -67,6 +83,8 @@ def _is_unseeded_default_rng(node: ast.Call) -> bool:
 def check(ctx: FileContext) -> Iterator[Diagnostic]:
     if ctx.module_path.endswith(ALLOWED_FILES):
         return
+    # The timing accessor may read clocks but nothing else in this rule.
+    clock_ok = ctx.module_path.endswith(CLOCK_ALLOWED_FILES)
     aliases = import_aliases(ctx.tree)
     for node in ast.walk(ctx.tree):
         if isinstance(node, ast.Import):
@@ -87,14 +105,16 @@ def check(ctx: FileContext) -> Iterator[Diagnostic]:
                     "the stdlib 'random' module is forbidden; draw "
                     "from a seeded generator via repro.utils.rng",
                 )
-            elif node.module == "time":
+            elif node.module == "time" and not clock_ok:
                 for alias in node.names:
-                    if alias.name in ("time", "time_ns"):
+                    if alias.name in _TIME_IMPORT_NAMES:
                         yield diagnostic(
                             ctx, node, CODE,
                             f"wall-clock read 'time.{alias.name}' is "
                             "nondeterministic; results must be a pure "
-                            "function of their spec",
+                            "function of their spec (for latency "
+                            "measurement use repro.utils.timing."
+                            "perf_timer)",
                         )
         elif isinstance(node, ast.Call):
             resolved = resolve_dotted(node.func, aliases)
@@ -109,11 +129,13 @@ def check(ctx: FileContext) -> Iterator[Diagnostic]:
             resolved = resolve_dotted(node, aliases)
             if resolved is None:
                 continue
-            if resolved in _FORBIDDEN_DOTTED:
+            if resolved in _FORBIDDEN_DOTTED and not clock_ok:
                 yield diagnostic(
                     ctx, node, CODE,
                     f"wall-clock read '{resolved}' is nondeterministic; "
-                    "results must be a pure function of their spec",
+                    "results must be a pure function of their spec "
+                    "(for latency measurement use "
+                    "repro.utils.timing.perf_timer)",
                 )
             elif resolved.startswith("numpy.random.") \
                     and resolved.rsplit(".", 1)[1] in _NUMPY_GLOBAL_STATE:
@@ -129,7 +151,8 @@ RULE = LintRule(
     name="no-nondeterminism-primitives",
     summary=(
         "random / np.random global state / wall-clock reads / unseeded "
-        "default_rng are only allowed inside repro/utils/rng.py"
+        "default_rng are only allowed inside repro/utils/rng.py "
+        "(clock reads: repro/utils/timing.py)"
     ),
     check=check,
 )

@@ -130,6 +130,7 @@ class CompiledNetwork:
         "edge_probability",
         "node_mask",
         "edge_mask",
+        "_relay_cache",
         "_width_columns",
         "_best",
         "_pred",
@@ -180,6 +181,10 @@ class CompiledNetwork:
         n = len(node_ids)
         self.node_mask = bytearray(n)
         self.edge_mask = bytearray(len(edge_keys))
+        # Per-width relay-feasibility flags, patched incrementally from
+        # the owning ledger's feasibility journal (see relay_feasible):
+        # width -> [ledger, epoch, consumed_journal_length, flags].
+        self._relay_cache: Dict[int, list] = {}
         self._width_columns: Dict[int, List[float]] = {}
         self._best: List[float] = [0.0] * n
         self._pred: List[int] = [0] * n
@@ -222,6 +227,16 @@ class CompiledNetwork:
         (*width* towards each side).  ``ledger`` is a
         :class:`~repro.routing.allocation.QubitLedger` or ``None`` for
         full capacities — matching the reference's default ledger.
+
+        Flags for a journalled ledger are cached per width and patched
+        incrementally: between two calls only the nodes the ledger's
+        feasibility journal names (reserves *and* releases — the online
+        serving loop's departures) are recomputed, so a long-lived
+        session re-plans against a mutating snapshot in O(changes)
+        instead of O(nodes) per search batch.  The patched flags equal a
+        full rebuild bit-for-bit — each flag is a pure function of that
+        node's remaining count.  Callers must not mutate the ledger
+        while holding the returned list.
         """
         need = 2 * width
         if ledger is None:
@@ -230,10 +245,31 @@ class CompiledNetwork:
                 for user, cap in zip(self.is_user, self.capacity)
             ]
         has = ledger.has_at_least
-        return [
+        token = getattr(ledger, "feasibility_token", None)
+        if token is None:  # a ledger-like without a journal: full scan
+            return [
+                (not user) and has(nid, need)
+                for user, nid in zip(self.is_user, self.node_ids)
+            ]
+        epoch, length = token()
+        entry = self._relay_cache.get(width)
+        if entry is not None and entry[0] is ledger and entry[1] == epoch:
+            flags = entry[3]
+            if entry[2] != length:
+                index_of = self.index_of
+                is_user = self.is_user
+                for nid in ledger.journal_since(entry[2]):
+                    i = index_of[nid]
+                    if not is_user[i]:
+                        flags[i] = has(nid, need)
+                entry[2] = length
+            return flags
+        flags = [
             (not user) and has(nid, need)
             for user, nid in zip(self.is_user, self.node_ids)
         ]
+        self._relay_cache[width] = [ledger, epoch, length, flags]
+        return flags
 
     def endpoint_feasible(self, ledger, node_id: int, width: int) -> bool:
         """True iff *node_id* can commit *width* qubits as an endpoint."""

@@ -48,6 +48,9 @@ class FlowLikeGraph:
         self.source = source
         self.destination = destination
         self._paths: List[Tuple[int, ...]] = []
+        # Per-path widths in merge order: the record remove_path needs
+        # to recompute shared-edge widths after a departure.
+        self._path_widths: List[int] = []
         self._children: Dict[int, Set[int]] = {}
         self._edge_widths: Dict[EdgeKey, int] = {}
         # Derived-state memos, rebuilt lazily after any mutation: the
@@ -84,6 +87,8 @@ class FlowLikeGraph:
             raise RoutingError(f"width must be >= 1, got {width}")
         if nodes in self._paths:
             # Re-adding an existing path is a pure width upgrade.
+            index = self._paths.index(nodes)
+            self._path_widths[index] = max(self._path_widths[index], width)
             for a, b in zip(nodes, nodes[1:]):
                 key = _ekey(a, b)
                 self._edge_widths[key] = max(self._edge_widths[key], width)
@@ -99,16 +104,72 @@ class FlowLikeGraph:
             )
         self._children = trial_children
         self._paths.append(nodes)
+        self._path_widths.append(width)
         for a, b in zip(nodes, nodes[1:]):
             key = _ekey(a, b)
             self._edge_widths[key] = max(self._edge_widths.get(key, 0), width)
         self._arity_cache = None
         self._topo_cache = None
 
+    def remove_path(self, nodes: Sequence[int]) -> Dict[EdgeKey, int]:
+        """Remove one constituent path; returns the per-edge freed widths.
+
+        The inverse of :meth:`add_path`, for online departures.  Edges no
+        remaining constituent path covers are dropped entirely — taking
+        any :meth:`widen_edge` extras piled onto them with them — while
+        shared edges shrink to the largest remaining constituent width
+        plus their surviving extras.  The returned ``{edge: width}`` map
+        is exactly the capacity a qubit ledger should release at each
+        endpoint; an empty graph (last path removed) evaluates to rate 0.
+        Raises :class:`RoutingError` when *nodes* is not a constituent.
+        """
+        nodes = tuple(nodes)
+        try:
+            index = self._paths.index(nodes)
+        except ValueError:
+            raise RoutingError(
+                f"path {nodes} is not a constituent of this flow-like graph"
+            ) from None
+        # Width cover by constituent paths before/after the removal; the
+        # difference between the live edge width and the full cover is
+        # the widen_edge extras, which survive on edges that stay.
+        full_cover: Dict[EdgeKey, int] = {}
+        for path, width in zip(self._paths, self._path_widths):
+            for a, b in zip(path, path[1:]):
+                key = _ekey(a, b)
+                full_cover[key] = max(full_cover.get(key, 0), width)
+        del self._paths[index]
+        del self._path_widths[index]
+        remaining_cover: Dict[EdgeKey, int] = {}
+        children: Dict[int, Set[int]] = {}
+        for path, width in zip(self._paths, self._path_widths):
+            for a, b in zip(path, path[1:]):
+                children.setdefault(a, set()).add(b)
+                key = _ekey(a, b)
+                remaining_cover[key] = max(remaining_cover.get(key, 0), width)
+        self._children = children
+        released: Dict[EdgeKey, int] = {}
+        for a, b in zip(nodes, nodes[1:]):
+            key = _ekey(a, b)
+            current = self._edge_widths[key]
+            kept = remaining_cover.get(key, 0)
+            if kept == 0:
+                released[key] = current
+                del self._edge_widths[key]
+                continue
+            new_width = kept + (current - full_cover[key])
+            if new_width < current:
+                released[key] = current - new_width
+                self._edge_widths[key] = new_width
+        self._arity_cache = None
+        self._topo_cache = None
+        return released
+
     def copy(self) -> "FlowLikeGraph":
         """Independent deep copy (used for trial merges)."""
         clone = FlowLikeGraph(self.demand_id, self.source, self.destination)
         clone._paths = list(self._paths)
+        clone._path_widths = list(self._path_widths)
         clone._children = {k: set(v) for k, v in self._children.items()}
         clone._edge_widths = dict(self._edge_widths)
         return clone

@@ -201,3 +201,110 @@ class AlgNFusion:
             demand_rates=demand_rates,
             remaining_qubits=ledger.total_free_switch_qubits(),
         )
+
+    @staticmethod
+    def _residual_max_width(network: QuantumNetwork,
+                            ledger: QubitLedger) -> int:
+        """``default_max_width`` computed from the ledger's remaining
+        counts — what ``default_max_width`` would report on a network
+        whose switch capacities are the residual."""
+        capacities = [
+            int(ledger.remaining(s))
+            for s in network.switches()
+            if network.qubit_capacity(s) is not None
+        ]
+        if not capacities:
+            return 1
+        return max(1, max(capacities) // 2)
+
+    def route_online(
+        self,
+        network: QuantumNetwork,
+        demand,
+        link_model: Optional[LinkModel] = None,
+        swap_model: Optional[SwapModel] = None,
+        *,
+        ledger: QubitLedger,
+        rate_cache: Optional[ChannelRateCache] = None,
+    ) -> RoutingResult:
+        """Route ONE arriving demand against the residual in *ledger*.
+
+        The serving loop's incremental re-planning interface.  Decision-
+        identical to :meth:`route` on a network whose switch capacities
+        are the ledger's remaining counts (same candidate search — the
+        residual view's "full capacities" *are* the ledger — admission
+        policy, refill sweeps and, when enabled, Algorithm 4), so the
+        ``incremental`` and ``resnapshot`` serving modes produce the
+        same flows and rates bit-for-bit.  The difference is cost: the
+        session-long *rate_cache* (with the compiled snapshot and
+        journal-patched relay-feasibility flags hanging off it) carries
+        over between arrivals instead of being rebuilt per arrival.
+
+        Admitted qubits stay reserved in *ledger* when this returns;
+        releasing them when the flow departs is the caller's job.
+        """
+        link_model = link_model or LinkModel()
+        swap_model = swap_model or SwapModel()
+        max_width = self.max_width or self._residual_max_width(
+            network, ledger
+        )
+        if rate_cache is None:
+            rate_cache = ChannelRateCache(network, link_model)
+        demands = DemandSet([demand])
+
+        path_sets = {
+            demand.demand_id: select_paths(
+                network,
+                link_model,
+                swap_model,
+                demand,
+                h=self.h,
+                max_width=max_width,
+                ledger=ledger,
+                max_hops=self.max_hops,
+                rate_cache=rate_cache,
+            )
+        }
+        flows: Dict[int, FlowLikeGraph] = {}
+        self._admit(network, link_model, swap_model, demands, path_sets,
+                    flows, ledger, rate_cache)
+
+        for _ in range(self.refill_rounds):
+            selected = select_paths(
+                network,
+                link_model,
+                swap_model,
+                demand,
+                h=self.h,
+                max_width=max_width,
+                ledger=ledger,
+                max_hops=self.max_hops,
+                rate_cache=rate_cache,
+            )
+            if not selected:
+                break
+            if self._admit(network, link_model, swap_model, demands,
+                           {demand.demand_id: selected}, flows, ledger,
+                           rate_cache) == 0:
+                break
+
+        plan = RoutingPlan()
+        for flow in flows.values():
+            plan.add_flow(flow)
+
+        if self.include_alg4:
+            assign_remaining_qubits(
+                network, link_model, swap_model, plan, ledger,
+                rate_cache=rate_cache,
+            )
+
+        demand_rates = plan.demand_rates(
+            network, link_model, swap_model, rate_cache
+        )
+        return RoutingResult(
+            algorithm=self.algorithm_label,
+            plan=plan,
+            total_rate=sum(demand_rates.values()),
+            demand_rates=demand_rates,
+            remaining_qubits=ledger.total_free_switch_qubits(),
+        )

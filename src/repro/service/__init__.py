@@ -1,0 +1,59 @@
+"""Online routing service: continuous arrival/departure serving.
+
+The batch experiments route a fixed demand set once; this package
+serves a *stream* — demands arrive (Poisson or trace-driven), admitted
+flows hold qubits until they depart, departures release capacity, and
+every arrival is re-planned against the residual network.  See
+:mod:`repro.service.arrivals` (the arrival-process grammar),
+:mod:`repro.service.loop` (the event loop and its two re-planning
+modes) and :mod:`repro.service.runner` (multi-seed replication,
+caching and the CLI report).
+"""
+
+from repro.service.arrivals import (
+    ArrivalEvent,
+    ArrivalSpec,
+    ArrivalSpecError,
+    HoldSpec,
+    as_arrivals,
+    parse_arrivals,
+    poisson_events,
+    read_trace,
+    write_trace,
+)
+from repro.service.loop import (
+    REPLAN_MODES,
+    ServeMetrics,
+    ServeRun,
+    ServeSession,
+    latency_summary,
+    residual_view,
+    run_serve,
+)
+from repro.service.runner import (
+    ServeReport,
+    run_serve_experiment,
+    serve_key,
+)
+
+__all__ = [
+    "ArrivalEvent",
+    "ArrivalSpec",
+    "ArrivalSpecError",
+    "HoldSpec",
+    "REPLAN_MODES",
+    "ServeMetrics",
+    "ServeReport",
+    "ServeRun",
+    "ServeSession",
+    "as_arrivals",
+    "latency_summary",
+    "parse_arrivals",
+    "poisson_events",
+    "read_trace",
+    "residual_view",
+    "run_serve",
+    "run_serve_experiment",
+    "serve_key",
+    "write_trace",
+]

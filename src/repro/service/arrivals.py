@@ -1,0 +1,442 @@
+"""Arrival processes for the online serving loop.
+
+An :class:`ArrivalSpec` describes how demands arrive at the serving
+loop, in the same parse/serialize/``config_dict`` grammar the router,
+estimator and scenario axes use::
+
+    poisson:rate=2.0,hold=exp:mean=30.0     (memoryless arrivals)
+    poisson:rate=0.5,hold=fixed:mean=10.0
+    trace:file=runs/monday.trace            (replay a recorded trace)
+
+A Poisson spec draws every event from its own RNG substream
+(:func:`stream_rng` of the replication's sample seed), so the k-th
+arrival is a pure function of ``(sample_seed, k)`` — bit-identical
+whatever the worker count and unperturbed by how earlier events were
+served.  A trace spec replays a file recorded with
+``--record-trace`` (or written by hand); its ``config_dict`` identity
+hashes the file *contents*, so cached serve results can never outlive
+an edited trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomState, stream_rng
+
+#: Substream index of the k-th arrival event is ``EVENT_STREAM_BASE + k``.
+#: Far above the estimation substream (``ESTIMATION_STREAM = 0x4D43``)
+#: that shares the per-sample seed, so the two families can never
+#: collide.
+EVENT_STREAM_BASE = 0x100000
+
+#: Trace file header identity.
+TRACE_FORMAT = "repro-serve-trace"
+TRACE_VERSION = 1
+
+
+class ArrivalSpecError(ConfigurationError, ValueError):
+    """An arrival spec string, parameter or trace file is invalid.
+
+    Subclasses :class:`ValueError` so ``argparse`` type callables can
+    surface the message as a normal usage error.
+    """
+
+
+def _parse_float(name: str, text: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ArrivalSpecError(
+            f"arrival parameter {name!r} must be a number, got {text!r}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class HoldSpec:
+    """How long an admitted flow holds its capacity.
+
+    ``exp`` draws holding times from an exponential distribution with
+    the given mean (the M/M/. holding model); ``fixed`` holds exactly
+    ``mean``.  Single-parameter by construction so the enclosing
+    arrival grammar stays comma-separable.
+    """
+
+    dist: str = "exp"
+    mean: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.dist not in ("exp", "fixed"):
+            raise ArrivalSpecError(
+                f"hold distribution must be 'exp' or 'fixed', got "
+                f"{self.dist!r}"
+            )
+        object.__setattr__(self, "mean", float(self.mean))
+        if not self.mean > 0:
+            raise ArrivalSpecError(
+                f"hold mean must be > 0, got {self.mean!r}"
+            )
+
+    @classmethod
+    def from_string(cls, text: str) -> "HoldSpec":
+        """Parse ``dist:mean=VALUE`` (e.g. ``exp:mean=30``)."""
+        dist, sep, rest = text.strip().partition(":")
+        if not sep or not dist:
+            raise ArrivalSpecError(
+                f"hold spec {text!r} must look like dist:mean=VALUE "
+                "(e.g. exp:mean=30)"
+            )
+        name, eq, value = rest.partition("=")
+        if not eq or name.strip() != "mean" or not value.strip():
+            raise ArrivalSpecError(
+                f"hold spec {text!r} takes exactly one parameter, "
+                "mean=VALUE"
+            )
+        return cls(dist=dist, mean=_parse_float("hold mean", value.strip()))
+
+    def to_string(self) -> str:
+        """Canonical ``dist:mean=VALUE`` form; round-trips via
+        :meth:`from_string`."""
+        return f"{self.dist}:mean={self.mean!r}"
+
+    def sample(self, rng: RandomState) -> float:
+        """Draw one holding time (``fixed`` consumes no randomness)."""
+        if self.dist == "exp":
+            return float(rng.exponential(self.mean))
+        return self.mean
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One demand arrival: when, which user pair, and for how long.
+
+    ``source_index``/``dest_index`` index the network's sorted user
+    list rather than naming node ids, so one trace replays on every
+    replication's independently sampled topology.
+    """
+
+    time: float
+    source_index: int
+    dest_index: int
+    hold: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ArrivalSpecError(
+                f"arrival time must be >= 0, got {self.time!r}"
+            )
+        if self.source_index < 0 or self.dest_index < 0:
+            raise ArrivalSpecError("arrival user indices must be >= 0")
+        if self.source_index == self.dest_index:
+            raise ArrivalSpecError(
+                f"arrival at t={self.time!r}: source and destination "
+                "user indices must differ"
+            )
+        if not self.hold > 0:
+            raise ArrivalSpecError(
+                f"arrival holding time must be > 0, got {self.hold!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """One arrival process: Poisson with a holding model, or a trace.
+
+    ``rate``/``hold`` parameterise Poisson arrivals and are meaningless
+    for traces (every trace event carries its own holding time), so the
+    grammar rejects them on ``trace:`` specs rather than ignore them
+    silently.
+    """
+
+    kind: str = "poisson"
+    rate: float = 2.0
+    hold: HoldSpec = HoldSpec()
+    file: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("poisson", "trace"):
+            raise ArrivalSpecError(
+                f"arrival kind must be 'poisson' or 'trace', got "
+                f"{self.kind!r}"
+            )
+        if isinstance(self.hold, str):
+            object.__setattr__(self, "hold", HoldSpec.from_string(self.hold))
+        if not isinstance(self.hold, HoldSpec):
+            raise ArrivalSpecError(
+                f"hold must be a HoldSpec or spec string, got "
+                f"{type(self.hold).__name__}"
+            )
+        if self.kind == "poisson":
+            object.__setattr__(self, "rate", float(self.rate))
+            if not self.rate > 0:
+                raise ArrivalSpecError(
+                    f"arrival rate must be > 0, got {self.rate!r}"
+                )
+            if self.file is not None:
+                raise ArrivalSpecError(
+                    "poisson arrivals take no file= parameter"
+                )
+        else:
+            if not self.file:
+                raise ArrivalSpecError(
+                    "trace arrivals need file=PATH"
+                )
+            if "," in self.file:
+                raise ArrivalSpecError(
+                    f"trace file path {self.file!r} must not contain "
+                    "','; rename the file"
+                )
+
+    # ------------------------------------------------------------------
+    # Parsing / serialization
+
+    @classmethod
+    def from_string(cls, text: str) -> "ArrivalSpec":
+        """Parse ``poisson[:rate=R,hold=DIST:mean=M]`` or
+        ``trace:file=PATH``."""
+        kind, sep, rest = text.strip().partition(":")
+        kind = kind.strip().lower()
+        if not kind:
+            raise ArrivalSpecError(f"empty arrival kind in {text!r}")
+        params: Dict[str, object] = {}
+        if sep:
+            for item in rest.split(","):
+                name, eq, value = item.partition("=")
+                name, value = name.strip(), value.strip()
+                if not eq or not name or not value:
+                    raise ArrivalSpecError(
+                        f"malformed parameter {item!r} in arrival spec "
+                        f"{text!r}; expected name=value"
+                    )
+                if name in params:
+                    raise ArrivalSpecError(
+                        f"duplicate parameter {name!r} in arrival spec "
+                        f"{text!r}"
+                    )
+                if name == "rate":
+                    params["rate"] = _parse_float("rate", value)
+                elif name == "hold":
+                    params["hold"] = HoldSpec.from_string(value)
+                elif name == "file":
+                    params["file"] = value
+                else:
+                    raise ArrivalSpecError(
+                        f"unknown parameter {name!r} in arrival spec "
+                        f"{text!r}; valid parameters: rate, hold "
+                        "(poisson) or file (trace)"
+                    )
+        if kind == "trace" and ("rate" in params or "hold" in params):
+            raise ArrivalSpecError(
+                "trace arrivals replay the recorded times and holds; "
+                "rate=/hold= do not apply"
+            )
+        return cls(kind=kind, **params)
+
+    def to_string(self) -> str:
+        """Canonical form (non-default parameters only); round-trips
+        via :meth:`from_string`."""
+        if self.kind == "trace":
+            return f"trace:file={self.file}"
+        rendered = []
+        if self.rate != 2.0:
+            rendered.append(f"rate={self.rate!r}")
+        if self.hold != HoldSpec():
+            rendered.append(f"hold={self.hold.to_string()}")
+        if not rendered:
+            return self.kind
+        return f"{self.kind}:{','.join(rendered)}"
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+    def config_dict(self) -> Dict:
+        """Stable, JSON-ready identity for cache keys.
+
+        Trace identity is the file *contents* (sha256), not its path,
+        so renaming a trace hits the same entries while editing one
+        misses.
+        """
+        if self.kind == "trace":
+            digest = hashlib.sha256(Path(self.file).read_bytes()).hexdigest()
+            return {"kind": self.kind, "trace_sha256": digest}
+        return {
+            "kind": self.kind,
+            "rate": self.rate,
+            "hold": {"dist": self.hold.dist, "mean": self.hold.mean},
+        }
+
+
+def parse_arrivals(text: str) -> ArrivalSpec:
+    """Parse an arrival spec string (the CLI ``--arrivals`` type)."""
+    return ArrivalSpec.from_string(text)
+
+
+def as_arrivals(value: Union[str, ArrivalSpec]) -> ArrivalSpec:
+    """Coerce a spec or spec string to an :class:`ArrivalSpec`."""
+    if isinstance(value, ArrivalSpec):
+        return value
+    if isinstance(value, str):
+        return parse_arrivals(value)
+    raise ArrivalSpecError(
+        f"arrivals must be a spec string or ArrivalSpec, got "
+        f"{type(value).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Event generation
+
+
+def poisson_events(
+    spec: ArrivalSpec,
+    sample_seed: int,
+    num_users: int,
+    duration: float,
+) -> List[ArrivalEvent]:
+    """All arrivals of one replication, in time order.
+
+    Event k draws its inter-arrival gap, user pair and holding time
+    from substream ``EVENT_STREAM_BASE + k`` of *sample_seed* (in that
+    fixed order), so the event list is a pure function of the seed —
+    identical across processes, worker counts and routing cores.
+    """
+    if spec.kind != "poisson":
+        raise ArrivalSpecError(
+            f"cannot generate events for arrival kind {spec.kind!r}"
+        )
+    if num_users < 2:
+        raise ArrivalSpecError(
+            f"need at least 2 users to generate arrivals, got {num_users}"
+        )
+    events: List[ArrivalEvent] = []
+    time = 0.0
+    k = 0
+    while True:
+        rng = stream_rng(sample_seed, EVENT_STREAM_BASE + k)
+        time += float(rng.exponential(1.0 / spec.rate))
+        if time >= duration:
+            return events
+        i, j = rng.choice(num_users, size=2, replace=False)
+        events.append(
+            ArrivalEvent(
+                time=time,
+                source_index=int(i),
+                dest_index=int(j),
+                hold=spec.hold.sample(rng),
+            )
+        )
+        k += 1
+
+
+# ----------------------------------------------------------------------
+# Trace files (JSON lines: one header, then one event per line)
+
+
+def write_trace(
+    path: Union[str, Path],
+    replications: List[List[ArrivalEvent]],
+) -> None:
+    """Record per-replication event lists as a replayable trace file.
+
+    Sorted-key JSON with ``repr``-round-tripped floats, so replaying
+    the file reproduces the recording run's events bit-exactly.
+    """
+    lines = [
+        json.dumps(
+            {
+                "format": TRACE_FORMAT,
+                "version": TRACE_VERSION,
+                "replications": len(replications),
+            },
+            sort_keys=True,
+        )
+    ]
+    for replication, events in enumerate(replications):
+        for event in events:
+            lines.append(
+                json.dumps(
+                    {
+                        "replication": replication,
+                        "time": event.time,
+                        "source": event.source_index,
+                        "dest": event.dest_index,
+                        "hold": event.hold,
+                    },
+                    sort_keys=True,
+                )
+            )
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_trace(path: Union[str, Path]) -> List[List[ArrivalEvent]]:
+    """Load a trace file into per-replication event lists.
+
+    Validates the header, that every event names a declared
+    replication, and that each replication's times are non-decreasing.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ArrivalSpecError(f"cannot read trace file {path}: {exc}") from None
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ArrivalSpecError(f"trace file {path} is empty")
+    try:
+        header = json.loads(lines[0])
+    except ValueError:
+        raise ArrivalSpecError(
+            f"trace file {path} has an unreadable header line"
+        ) from None
+    if (
+        not isinstance(header, dict)
+        or header.get("format") != TRACE_FORMAT
+        or header.get("version") != TRACE_VERSION
+    ):
+        raise ArrivalSpecError(
+            f"trace file {path} is not a {TRACE_FORMAT} v{TRACE_VERSION} "
+            "file"
+        )
+    count = header.get("replications")
+    if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+        raise ArrivalSpecError(
+            f"trace file {path}: header 'replications' must be a "
+            f"positive int, got {count!r}"
+        )
+    replications: List[List[ArrivalEvent]] = [[] for _ in range(count)]
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+        except ValueError:
+            raise ArrivalSpecError(
+                f"trace file {path} line {lineno}: unreadable JSON"
+            ) from None
+        try:
+            replication = record["replication"]
+            event = ArrivalEvent(
+                time=float(record["time"]),
+                source_index=int(record["source"]),
+                dest_index=int(record["dest"]),
+                hold=float(record["hold"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArrivalSpecError(
+                f"trace file {path} line {lineno}: {exc}"
+            ) from None
+        if not 0 <= replication < count:
+            raise ArrivalSpecError(
+                f"trace file {path} line {lineno}: replication "
+                f"{replication} outside the declared 0..{count - 1}"
+            )
+        events = replications[replication]
+        if events and event.time < events[-1].time:
+            raise ArrivalSpecError(
+                f"trace file {path} line {lineno}: times must be "
+                "non-decreasing within a replication"
+            )
+        events.append(event)
+    return replications

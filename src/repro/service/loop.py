@@ -1,0 +1,280 @@
+"""The event-driven serving loop.
+
+Demands arrive one at a time (:mod:`repro.service.arrivals`), are
+routed against whatever capacity earlier flows left behind, hold their
+qubits for their holding time and then depart, releasing the capacity
+for later arrivals.  Two re-planning modes drive the router per
+arrival:
+
+``incremental``
+    Calls the router's ``route_online`` interface (when it has one)
+    with a session-long :class:`~repro.routing.allocation.QubitLedger`
+    and channel-rate cache, so each arrival re-plans against O(changes)
+    of incremental state — the ledger's feasibility journal patches the
+    compiled core's cached relay flags instead of rebuilding them.
+
+``resnapshot``
+    Rebuilds a residual-capacity copy of the network per arrival and
+    runs the router's ordinary batch ``route`` on it.  Works with
+    *any* registry router; the baseline the incremental path must beat.
+
+The two modes are decision-identical by construction (``route_online``
+mirrors ``route`` on the residual view), so the deterministic metrics
+never depend on the mode — only the re-plan latency does.  Wall-clock
+latency is measured through the sanctioned
+:func:`repro.utils.timing.perf_timer` accessor and reported separately
+from the deterministic metrics; it must never reach stdout or a cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.network.demands import Demand, DemandSet
+from repro.network.graph import QuantumNetwork
+from repro.quantum.noise import LinkModel, SwapModel
+from repro.routing.allocation import QubitLedger
+from repro.routing.flow_graph import FlowLikeGraph
+from repro.routing.metrics import ChannelRateCache
+from repro.service.arrivals import ArrivalEvent
+from repro.utils.timing import perf_timer
+
+#: Valid re-planning modes, in CLI listing order.
+REPLAN_MODES = ("incremental", "resnapshot")
+
+
+@dataclass(frozen=True)
+class ServeMetrics:
+    """Deterministic steady-state metrics of one serving run.
+
+    Counters cover arrivals inside the measurement window
+    ``[warmup, duration)``; the time-averaged quantities integrate over
+    that window, including the contribution of flows admitted during
+    warmup that are still held.  Every field is a pure function of the
+    event list and the routing decisions — safe to cache and to print
+    on stdout.
+    """
+
+    arrivals: int
+    admitted: int
+    rejected: int
+    admission_ratio: float
+    throughput: float
+    mean_held: float
+    mean_hold: float
+
+
+@dataclass(frozen=True)
+class ServeRun:
+    """One serving run: deterministic metrics plus wall-clock latencies.
+
+    ``latencies_s`` holds one re-plan latency (seconds) per arrival, in
+    arrival order; ``mode`` is the re-planning path actually taken
+    (a router without ``route_online`` falls back to ``resnapshot``).
+    """
+
+    metrics: ServeMetrics
+    latencies_s: List[float]
+    mode: str
+
+
+def latency_summary(latencies_s: Sequence[float]) -> Dict[str, float]:
+    """Nearest-rank percentile summary of re-plan latencies, in ms."""
+    values = sorted(latencies_s)
+    if not values:
+        return {"count": 0, "p50_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0}
+
+    def rank(fraction: float) -> float:
+        index = math.ceil(fraction * len(values)) - 1
+        return values[max(0, min(index, len(values) - 1))] * 1000.0
+
+    return {
+        "count": len(values),
+        "p50_ms": rank(0.50),
+        "p99_ms": rank(0.99),
+        "mean_ms": sum(values) / len(values) * 1000.0,
+    }
+
+
+def residual_view(
+    network: QuantumNetwork, ledger: QubitLedger
+) -> QuantumNetwork:
+    """A copy of *network* whose switch capacities are the ledger's
+    remaining counts (users stay unlimited, lengths are preserved)."""
+    view = QuantumNetwork()
+    for node_id in network.nodes():
+        node = network.node(node_id)
+        if node.qubit_capacity is not None:
+            node = dataclasses.replace(
+                node, qubit_capacity=int(ledger.remaining(node_id))
+            )
+        view.add_node(node)
+    for u, v in network.edge_keys():
+        view.add_edge(u, v, network.edge_length(u, v))
+    return view
+
+
+class ServeSession:
+    """Mutable serving state over one network: ledger, caches, router."""
+
+    def __init__(
+        self,
+        network: QuantumNetwork,
+        link_model: LinkModel,
+        swap_model: SwapModel,
+        router,
+        replan: str = "incremental",
+    ):
+        if replan not in REPLAN_MODES:
+            raise ConfigurationError(
+                f"replan mode must be one of {', '.join(REPLAN_MODES)}, "
+                f"got {replan!r}"
+            )
+        self.network = network
+        self.users = network.users()
+        self.link_model = link_model
+        self.swap_model = swap_model
+        self.router = router
+        self.ledger = QubitLedger(network)
+        # Session-long channel-rate memo: the incremental path reuses it
+        # (and the compiled snapshot hanging off it) across arrivals.
+        self.rate_cache = ChannelRateCache(network, link_model)
+        self._online = (
+            getattr(router, "route_online", None)
+            if replan == "incremental"
+            else None
+        )
+        self.mode = "incremental" if self._online is not None else "resnapshot"
+
+    def route_arrival(
+        self, demand: Demand
+    ) -> Optional[Tuple[FlowLikeGraph, float]]:
+        """Plan one arrival; returns ``(flow, rate)`` or ``None``.
+
+        On admission the session ledger is charged with the flow's full
+        qubit usage; :meth:`release_flow` undoes it at departure.
+        """
+        if self._online is not None:
+            result = self._online(
+                self.network,
+                demand,
+                self.link_model,
+                self.swap_model,
+                ledger=self.ledger,
+                rate_cache=self.rate_cache,
+            )
+        else:
+            view = residual_view(self.network, self.ledger)
+            result = self.router.route(
+                view, DemandSet([demand]), self.link_model, self.swap_model
+            )
+        flow = result.plan.flow_for(demand.demand_id)
+        if flow is None or flow.num_paths == 0:
+            return None
+        if self._online is None:
+            # The batch route charged its own ledger over the view;
+            # mirror the reservation onto the session ledger.
+            for node in flow.nodes():
+                self.ledger.reserve(node, flow.qubits_used_at(node))
+        return flow, result.demand_rates[demand.demand_id]
+
+    def release_flow(self, flow: FlowLikeGraph) -> None:
+        """Dismantle a departing flow, returning its qubits to the
+        ledger path by path (exercising the incremental release APIs)."""
+        for path in flow.paths:
+            released = flow.remove_path(path)
+            for (u, v), width in sorted(released.items()):
+                self.ledger.release(u, width)
+                self.ledger.release(v, width)
+
+
+def run_serve(
+    network: QuantumNetwork,
+    link_model: LinkModel,
+    swap_model: SwapModel,
+    router,
+    events: Sequence[ArrivalEvent],
+    duration: float,
+    warmup: float,
+    replan: str = "incremental",
+) -> ServeRun:
+    """Serve one replication's event list and report its metrics.
+
+    Departures are processed before the arrival they precede (or tie
+    with), so an arrival always sees every release up to its own
+    timestamp.  Window integrals are accumulated at admission time with
+    the flow's ``[arrival, departure)`` interval clamped to
+    ``[warmup, duration)`` — exact, and independent of processing
+    order.
+    """
+    if not duration > 0:
+        raise ConfigurationError(f"duration must be > 0, got {duration!r}")
+    if not 0 <= warmup < duration:
+        raise ConfigurationError(
+            f"warmup must satisfy 0 <= warmup < duration, got "
+            f"warmup={warmup!r}, duration={duration!r}"
+        )
+    session = ServeSession(network, link_model, swap_model, router, replan)
+    users = session.users
+    window = duration - warmup
+    held: List[Tuple[float, int, FlowLikeGraph]] = []
+    sequence = 0
+    arrivals = admitted = 0
+    hold_sum = 0.0
+    rate_integral = 0.0
+    held_integral = 0.0
+    latencies: List[float] = []
+
+    def overlap(start: float, end: float) -> float:
+        return max(0.0, min(end, duration) - max(start, warmup))
+
+    for index, event in enumerate(events):
+        if event.time >= duration:
+            break
+        if event.source_index >= len(users) or event.dest_index >= len(users):
+            raise ConfigurationError(
+                f"arrival at t={event.time!r} names user index "
+                f"{max(event.source_index, event.dest_index)} but the "
+                f"network has {len(users)} users"
+            )
+        while held and held[0][0] <= event.time:
+            _, _, flow = heappop(held)
+            session.release_flow(flow)
+        demand = Demand(
+            demand_id=index,
+            source=users[event.source_index],
+            destination=users[event.dest_index],
+        )
+        start = perf_timer()
+        routed = session.route_arrival(demand)
+        latencies.append(perf_timer() - start)
+        in_window = event.time >= warmup
+        if in_window:
+            arrivals += 1
+        if routed is None:
+            continue
+        flow, rate = routed
+        departure = event.time + event.hold
+        if in_window:
+            admitted += 1
+            hold_sum += event.hold
+        rate_integral += rate * overlap(event.time, departure)
+        held_integral += overlap(event.time, departure)
+        heappush(held, (departure, sequence, flow))
+        sequence += 1
+
+    metrics = ServeMetrics(
+        arrivals=arrivals,
+        admitted=admitted,
+        rejected=arrivals - admitted,
+        admission_ratio=admitted / arrivals if arrivals else 0.0,
+        throughput=rate_integral / window,
+        mean_held=held_integral / window,
+        mean_hold=hold_sum / admitted if admitted else 0.0,
+    )
+    return ServeRun(metrics=metrics, latencies_s=latencies, mode=session.mode)

@@ -1,0 +1,423 @@
+"""Multi-seed replication runner for the online serving loop.
+
+Fans one serve configuration out over ``replications`` independently
+sampled networks — the sample seeds come from the exact harness
+derivation the sweep grids use (:func:`sample_seeds`), so replication r
+of a serve run rebuilds the same network as sample r of any sweep on
+the same scenario/seed.  Replications execute through
+:func:`parallel_map`; each one's event stream is addressed statelessly
+from its sample seed, so the report is bit-identical whatever the
+worker count.
+
+Deterministic per-replication metrics round-trip through the shared
+:class:`~repro.experiments.cache.ResultCache` under a ``serve``-kind
+key (scenario + router + arrivals + duration + warmup + sample seed).
+The re-planning mode is deliberately **not** part of the key: the
+``incremental`` and ``resnapshot`` modes are decision-identical by
+construction, and keying them separately would let the cache hide a
+divergence instead of exposing it.  Re-plan latencies are wall-clock
+and are never cached (cache hits report no latency).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.cache import (
+    CACHE_FORMAT_VERSION,
+    ResultCache,
+    default_result_cache,
+    payload_key,
+    router_fingerprint,
+)
+from repro.experiments.config import default_workers
+from repro.experiments.harness import parallel_map, sample_seeds
+from repro.experiments.runner import reject_duplicate_labels
+from repro.experiments.scenarios import ScenarioSpec, as_scenario
+from repro.network.builder import build_network
+from repro.service.arrivals import (
+    ArrivalEvent,
+    ArrivalSpec,
+    as_arrivals,
+    poisson_events,
+    read_trace,
+    write_trace,
+)
+from repro.service.loop import (
+    REPLAN_MODES,
+    ServeMetrics,
+    latency_summary,
+    run_serve,
+)
+from repro.utils.rng import ensure_rng
+
+#: Cache entry kind tag for serve results.
+SERVE_KIND = "serve"
+
+
+def router_label(router) -> str:
+    """The series label a router will report, knowable upfront."""
+    label = getattr(router, "algorithm_label", None)
+    if label is None:
+        label = getattr(router, "name", None)
+    return label if label is not None else type(router).__name__
+
+
+def serve_key(
+    scenario: ScenarioSpec,
+    router,
+    arrivals: ArrivalSpec,
+    duration: float,
+    warmup: float,
+    sample_seed: int,
+) -> str:
+    """Content hash addressing one replication's deterministic metrics."""
+    return payload_key({
+        "cache_format_version": CACHE_FORMAT_VERSION,
+        "kind": SERVE_KIND,
+        "scenario": scenario.config_dict(),
+        "router": router_fingerprint(router),
+        "arrivals": arrivals.config_dict(),
+        "duration": duration,
+        "warmup": warmup,
+        "sample_seed": sample_seed,
+    })
+
+
+@dataclass(frozen=True)
+class ServeTask:
+    """One replication of one router's serving run (picklable unit)."""
+
+    scenario: ScenarioSpec
+    router: object
+    router_index: int
+    replication: int
+    sample_seed: int
+    arrivals: ArrivalSpec
+    events: Optional[Tuple[ArrivalEvent, ...]]
+    duration: float
+    warmup: float
+    replan: str
+    collect_events: bool = False
+
+
+def _execute_serve_task(task: ServeTask) -> Dict:
+    """Run one replication: rebuild its network, serve its events."""
+    rng = ensure_rng(task.sample_seed)
+    network = build_network(task.scenario.network_config(), rng)
+    setting = task.scenario.setting()
+    if task.events is not None:
+        events = list(task.events)
+    else:
+        events = poisson_events(
+            task.arrivals, task.sample_seed, len(network.users()),
+            task.duration,
+        )
+    run = run_serve(
+        network,
+        setting.link_model(),
+        setting.swap_model(),
+        task.router,
+        events,
+        task.duration,
+        task.warmup,
+        task.replan,
+    )
+    result = {
+        "router_index": task.router_index,
+        "replication": task.replication,
+        "mode": run.mode,
+        "metrics": dataclasses.asdict(run.metrics),
+        "latencies_s": run.latencies_s,
+    }
+    if task.collect_events:
+        result["events"] = events
+    return result
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """The full serve run: per-replication metrics plus latency stats.
+
+    ``rows`` maps ``(router_index, replication)`` to deterministic
+    metrics; ``latencies_s`` pools re-plan latencies per router over
+    the replications that actually executed (cache hits contribute
+    none); ``cached`` counts hits per router.
+    """
+
+    scenario: ScenarioSpec
+    arrivals: ArrivalSpec
+    duration: float
+    warmup: float
+    replications: int
+    seed: Optional[int]
+    replan: str
+    labels: List[str]
+    modes: List[str]
+    rows: Dict[Tuple[int, int], ServeMetrics]
+    latencies_s: Dict[int, List[float]]
+    cached: Dict[int, int]
+
+    def metrics_for(self, router_index: int) -> List[ServeMetrics]:
+        """One router's metrics, in replication order."""
+        return [
+            self.rows[(router_index, replication)]
+            for replication in range(self.replications)
+        ]
+
+    def to_text(self) -> str:
+        """Deterministic stdout report (header, per-replication rows,
+        per-router means) — a pure function of the run's spec."""
+        lines = [
+            "online serve: "
+            f"scenario={self.scenario.to_string()} "
+            f"arrivals={self.arrivals.to_string()} "
+            f"duration={self.duration!r} warmup={self.warmup!r} "
+            f"replications={self.replications} seed={self.seed}"
+        ]
+        width = max(len(label) for label in self.labels) + 2
+        header = (
+            f"{'router':<{width}}{'rep':>5}{'arrivals':>10}"
+            f"{'admitted':>10}{'ratio':>9}{'throughput':>13}"
+            f"{'mean-held':>11}{'mean-hold':>11}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+
+        def row(label: str, rep: str, m: ServeMetrics) -> str:
+            return (
+                f"{label:<{width}}{rep:>5}{m.arrivals:>10}"
+                f"{m.admitted:>10}{m.admission_ratio:>9.4f}"
+                f"{m.throughput:>13.6f}{m.mean_held:>11.4f}"
+                f"{m.mean_hold:>11.4f}"
+            )
+
+        for router_index, label in enumerate(self.labels):
+            series = self.metrics_for(router_index)
+            for replication, metrics in enumerate(series):
+                lines.append(row(label, str(replication), metrics))
+            n = len(series)
+            mean = ServeMetrics(
+                arrivals=sum(m.arrivals for m in series),
+                admitted=sum(m.admitted for m in series),
+                rejected=sum(m.rejected for m in series),
+                admission_ratio=sum(m.admission_ratio for m in series) / n,
+                throughput=sum(m.throughput for m in series) / n,
+                mean_held=sum(m.mean_held for m in series) / n,
+                mean_hold=sum(m.mean_hold for m in series) / n,
+            )
+            lines.append(row(label, "mean", mean))
+        return "\n".join(lines)
+
+    def latency_text(self) -> str:
+        """Wall-clock latency report (stderr only, never cached)."""
+        lines = []
+        for router_index, label in enumerate(self.labels):
+            mode = self.modes[router_index]
+            pooled = self.latencies_s.get(router_index, [])
+            if not pooled:
+                lines.append(
+                    f"re-plan latency [{label}] ({mode}): all "
+                    f"{self.replications} replication(s) served from "
+                    "cache; latency not re-measured"
+                )
+                continue
+            stats = latency_summary(pooled)
+            note = ""
+            if self.cached.get(router_index):
+                note = (
+                    f" ({self.cached[router_index]} cached replication(s) "
+                    "excluded)"
+                )
+            lines.append(
+                f"re-plan latency [{label}] ({mode}): "
+                f"n={stats['count']} p50={stats['p50_ms']:.2f}ms "
+                f"p99={stats['p99_ms']:.2f}ms "
+                f"mean={stats['mean_ms']:.2f}ms{note}"
+            )
+        return "\n".join(lines)
+
+
+def _metrics_from_entry(entry: Dict) -> Optional[ServeMetrics]:
+    """Reconstruct cached metrics, rejecting malformed entries."""
+    fields = {f.name for f in dataclasses.fields(ServeMetrics)}
+    metrics = entry.get("metrics")
+    if not isinstance(metrics, dict) or set(metrics) != fields:
+        return None
+    values = {}
+    for name in ("arrivals", "admitted", "rejected"):
+        value = metrics[name]
+        if not isinstance(value, int) or isinstance(value, bool):
+            return None
+        values[name] = value
+    for name in ("admission_ratio", "throughput", "mean_held", "mean_hold"):
+        value = metrics[name]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        values[name] = float(value)
+    return ServeMetrics(**values)
+
+
+def run_serve_experiment(
+    scenario: Union[str, ScenarioSpec] = "paper-default",
+    routers: Optional[Sequence] = None,
+    arrivals: Union[str, ArrivalSpec, None] = None,
+    duration: float = 200.0,
+    warmup: float = 20.0,
+    replications: int = 3,
+    seed: Optional[int] = None,
+    replan: str = "incremental",
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    record_trace: Optional[str] = None,
+) -> ServeReport:
+    """Serve one scenario under one arrival process, replicated.
+
+    ``routers`` defaults to ALG-N-FUSION *without* Algorithm 4: the
+    batch end-stage spends every leftover qubit widening the current
+    plan, which in continuous operation would let each admitted flow
+    starve all later arrivals.  ``seed`` defaults to the harness seed;
+    ``replications`` is overridden by a trace's recorded count.
+    ``record_trace`` writes the (Poisson) event streams to a replayable
+    trace file and forces fresh execution (a cache hit has no events).
+    """
+    from repro.routing.registry import parse_router_specs
+
+    if replan not in REPLAN_MODES:
+        raise ConfigurationError(
+            f"replan mode must be one of {', '.join(REPLAN_MODES)}, "
+            f"got {replan!r}"
+        )
+    scenario = as_scenario(scenario)
+    arrivals = as_arrivals(
+        arrivals if arrivals is not None else ArrivalSpec()
+    )
+    if routers is None:
+        routers = [
+            spec.build()
+            for spec in parse_router_specs("alg-n-fusion:include_alg4=false")
+        ]
+    routers = [
+        router.build() if hasattr(router, "build") else router
+        for router in routers
+    ]
+    reject_duplicate_labels(routers)
+    if workers is None:
+        workers = default_workers()
+    if cache is None:
+        cache = default_result_cache()
+
+    trace_events: Optional[List[List[ArrivalEvent]]] = None
+    if arrivals.kind == "trace":
+        if record_trace is not None:
+            raise ConfigurationError(
+                "cannot --record-trace from a trace replay; it would "
+                "copy the input file"
+            )
+        trace_events = read_trace(arrivals.file)
+        replications = len(trace_events)
+    if replications < 1:
+        raise ConfigurationError(
+            f"replications must be >= 1, got {replications}"
+        )
+
+    setting = scenario.setting(num_networks=replications, seed=seed)
+    seeds = sample_seeds(setting)
+    labels = [router_label(router) for router in routers]
+
+    rows: Dict[Tuple[int, int], ServeMetrics] = {}
+    cached: Dict[int, int] = {}
+    tasks: List[ServeTask] = []
+    keys: Dict[Tuple[int, int], str] = {}
+    for router_index, router in enumerate(routers):
+        for replication, sample_seed in enumerate(seeds):
+            key = serve_key(
+                scenario, router, arrivals, duration, warmup, sample_seed
+            )
+            keys[(router_index, replication)] = key
+            if cache is not None and record_trace is None:
+                entry = cache.get_json(key, SERVE_KIND)
+                metrics = (
+                    _metrics_from_entry(entry) if entry is not None else None
+                )
+                if metrics is not None:
+                    rows[(router_index, replication)] = metrics
+                    cached[router_index] = cached.get(router_index, 0) + 1
+                    continue
+            tasks.append(
+                ServeTask(
+                    scenario=scenario,
+                    router=router,
+                    router_index=router_index,
+                    replication=replication,
+                    sample_seed=sample_seed,
+                    arrivals=arrivals,
+                    events=(
+                        tuple(trace_events[replication])
+                        if trace_events is not None
+                        else None
+                    ),
+                    duration=duration,
+                    warmup=warmup,
+                    replan=replan,
+                    collect_events=(
+                        record_trace is not None and router_index == 0
+                    ),
+                )
+            )
+
+    results = parallel_map(_execute_serve_task, tasks, workers)
+
+    latencies: Dict[int, List[float]] = {}
+    modes: Dict[int, str] = {}
+    recorded: Dict[int, List[ArrivalEvent]] = {}
+    for task, result in zip(tasks, results):
+        position = (result["router_index"], result["replication"])
+        metrics = ServeMetrics(**result["metrics"])
+        rows[position] = metrics
+        latencies.setdefault(result["router_index"], []).extend(
+            result["latencies_s"]
+        )
+        modes[result["router_index"]] = result["mode"]
+        if "events" in result:
+            recorded[result["replication"]] = result["events"]
+        if cache is not None:
+            cache.put_json(
+                keys[position], SERVE_KIND,
+                {"metrics": result["metrics"]},
+            )
+
+    if record_trace is not None:
+        write_trace(
+            record_trace,
+            [recorded[r] for r in range(replications)],
+        )
+
+    # A router whose replications all hit the cache never reported its
+    # mode; derive it the way the session would have.
+    mode_list = []
+    for router_index, router in enumerate(routers):
+        if router_index in modes:
+            mode_list.append(modes[router_index])
+        elif replan == "incremental" and hasattr(router, "route_online"):
+            mode_list.append("incremental")
+        else:
+            mode_list.append("resnapshot")
+
+    return ServeReport(
+        scenario=scenario,
+        arrivals=arrivals,
+        duration=duration,
+        warmup=warmup,
+        replications=replications,
+        seed=seed if seed is not None else setting.seed,
+        replan=replan,
+        labels=labels,
+        modes=mode_list,
+        rows=rows,
+        latencies_s=latencies,
+        cached=cached,
+    )

@@ -1,0 +1,34 @@
+"""Sanctioned wall-clock access for latency measurement.
+
+Lint rule RPL001 bans raw clock reads (``time.time``,
+``time.perf_counter``, ``time.monotonic`` and friends) everywhere in
+``src/`` because wall-clock values leaking into results break the
+repo's determinism contract: every cached number must be a pure
+function of its spec.  Latency *reporting* — how long a re-plan took,
+not what it decided — is the one legitimate consumer of a clock, and
+this module is its single sanctioned accessor.
+
+The rule this module's callers must uphold: timer readings may feed
+side-channel diagnostics (latency percentiles on stderr, profiling
+reports, benchmark tables) but never anything that is cached, printed
+on a deterministic stdout stream, or compared across runs for
+bit-identity.  The online serving loop follows exactly this split —
+deterministic metrics on stdout, :func:`perf_timer`-derived latency
+stats on stderr.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def perf_timer() -> float:
+    """A monotonic high-resolution timestamp in seconds.
+
+    Differences between two readings measure elapsed wall-clock time;
+    the absolute value is meaningless.  This is the only sanctioned
+    clock read outside ``repro/utils/timing.py`` fixtures (lint rule
+    RPL001 flags any other ``time.perf_counter``/``time.monotonic``
+    use in ``src/``).
+    """
+    return time.perf_counter()

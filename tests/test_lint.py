@@ -77,10 +77,26 @@ class TestRPL001Nondeterminism:
             """
         ) == []
 
-    def test_silent_on_perf_counter(self):
-        # Profiling reads do not corrupt results; only time.time leaks
-        # into anything cacheable.
-        assert codes("import time\nt = time.perf_counter()\n") == []
+    def test_fires_on_perf_counter_outside_timing(self):
+        # Latency reads go through repro.utils.timing.perf_timer; a raw
+        # perf_counter anywhere else is a lint error.
+        assert codes("import time\nt = time.perf_counter()\n") == ["RPL001"]
+        assert codes("from time import perf_counter\n") == ["RPL001"]
+        assert codes("import time\nt = time.monotonic()\n") == ["RPL001"]
+        assert codes(
+            "from time import monotonic_ns\n"
+        ) == ["RPL001"]
+
+    def test_timing_module_may_read_clocks(self):
+        clock = "import time\nt = time.perf_counter()\n"
+        assert codes(clock, "src/repro/utils/timing.py") == []
+        assert codes(
+            "from time import perf_counter\n", "src/repro/utils/timing.py"
+        ) == []
+        # ... but the exemption covers clocks only, not RNG primitives.
+        assert codes(
+            "import random\n", "src/repro/utils/timing.py"
+        ) == ["RPL001"]
 
     def test_rng_module_is_exempt(self):
         bad = "import numpy as np\nr = np.random.default_rng()\n"

@@ -276,6 +276,130 @@ def test_fusion_arity_cache_tracks_mutations():
 # Whole-router parity
 
 
+# ----------------------------------------------------------------------
+# remove_path / capacity release (the serving loop's departure path)
+
+
+def _incident_width(flow, node):
+    return sum(
+        width
+        for (a, b), width in flow.edge_widths().items()
+        if node in (a, b)
+    )
+
+
+def test_remove_path_released_width_accounting():
+    flow = FlowLikeGraph(0, 0, 1)
+    flow.add_path((0, 2, 3, 1), width=2)
+    flow.add_path((0, 4, 3, 1), width=1)
+    flow.widen_edge(2, 3)  # an Alg-4 extra rides on the removed path
+    before = flow.edge_widths()
+    released = flow.remove_path((0, 2, 3, 1))
+    after = flow.edge_widths()
+    # Conservation: every edge's width is split between released and kept.
+    for key, width in before.items():
+        assert released.get(key, 0) + after.get(key, 0) == width
+    # Edges only the removed path covered go entirely, extras included.
+    assert released[(0, 2)] == 2
+    assert released[(2, 3)] == 3
+    assert (0, 2) not in after and (2, 3) not in after
+    # The shared edge drops to the surviving path's width.
+    assert released[(1, 3)] == 1 and after[(1, 3)] == 1
+    assert flow.paths == [(0, 4, 3, 1)]
+    # The arity cache tracks the removal exactly.
+    for node in (0, 1, 2, 3, 4):
+        assert flow.fusion_arity(node) == _incident_width(flow, node)
+    from repro.exceptions import RoutingError
+
+    with pytest.raises(RoutingError):
+        flow.remove_path((0, 2, 3, 1))
+
+
+def test_remove_path_matches_rebuilt_flow():
+    # Removing a path must leave exactly the flow that would have been
+    # built without it (no widen extras involved).
+    flow = FlowLikeGraph(3, 0, 1)
+    flow.add_path((0, 2, 1), width=3)
+    flow.add_path((0, 4, 5, 1), width=2)
+    flow.add_path((0, 2, 5, 1), width=1)
+    flow.remove_path((0, 4, 5, 1))
+    rebuilt = FlowLikeGraph(3, 0, 1)
+    rebuilt.add_path((0, 2, 1), width=3)
+    rebuilt.add_path((0, 2, 5, 1), width=1)
+    assert flow.edge_widths() == rebuilt.edge_widths()
+    assert flow.paths == rebuilt.paths
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS[:2])
+def test_remove_path_rate_parity_across_cores(scenario):
+    network, demands = _instance(scenario, SEEDS[0])
+    with routing_core("compiled"):
+        result = make_router("alg-n-fusion").route(network, demands, LINK, SWAP)
+    flows = [f for f in result.plan.flows() if f.num_paths >= 2]
+    assert flows, "parity sweep needs at least one multi-path flow"
+    for flow in flows[:3]:
+        probe = flow.copy()
+        # Interleave departure-style removal with a widen in between.
+        probe.remove_path(probe.paths[0])
+        first_edge = probe.edges()[0]
+        probe.widen_edge(*first_edge)
+        rates = {}
+        for core in ("reference", "compiled"):
+            with routing_core(core):
+                rates[core] = probe.entanglement_rate(network, LINK, SWAP)
+        assert rates["reference"] == rates["compiled"]
+        # Draining every path leaves a zero-rate, zero-edge flow.
+        for path in probe.paths:
+            probe.remove_path(path)
+        assert probe.edge_widths() == {}
+        assert probe.entanglement_rate(network, LINK, SWAP) == 0.0
+
+
+def test_relay_feasibility_journal_parity():
+    network, _ = _instance(SCENARIOS[0], SEEDS[0])
+    cache = ChannelRateCache(network, LINK)
+    snapshot = snapshot_for(network, LINK, cache)
+    ledger = QubitLedger(network)
+    switches = network.switches()
+
+    def expected(width):
+        return [
+            (not user) and ledger.has_at_least(nid, 2 * width)
+            for user, nid in zip(snapshot.is_user, snapshot.node_ids)
+        ]
+
+    for width in (1, 2):
+        assert snapshot.relay_feasible(ledger, width) == expected(width)
+    # Incremental reserve/release sequences patch flags via the journal.
+    rng = ensure_rng(SEEDS[0] + 1)
+    for trial in range(40):
+        node = switches[int(rng.integers(len(switches)))]
+        free = int(ledger.remaining(node))
+        if trial % 3 == 2 and free < 10:
+            ledger.release(node, 1)
+        elif free:
+            ledger.reserve(node, min(2, free))
+        for width in (1, 2):
+            assert snapshot.relay_feasible(ledger, width) == expected(width)
+    # restore() bumps the epoch: derived flags must follow wholesale.
+    baseline = ledger.snapshot()
+    ledger.reserve(switches[0], int(ledger.remaining(switches[0])))
+    assert snapshot.relay_feasible(ledger, 1) == expected(1)
+    ledger.restore(baseline)
+    assert snapshot.relay_feasible(ledger, 1) == expected(1)
+    # Journal compaction (epoch bump mid-stream) keeps patching exact.
+    node = switches[0]
+    for _ in range(1200):
+        ledger.reserve(node, 1)
+        ledger.release(node, 1)
+    assert snapshot.relay_feasible(ledger, 1) == expected(1)
+    assert snapshot.relay_feasible(ledger, 2) == expected(2)
+
+
+# ----------------------------------------------------------------------
+# Whole-router parity
+
+
 @pytest.mark.parametrize("key", sorted(router_keys()))
 def test_router_parity_across_cores(key):
     network, demands = _instance(SCENARIOS[0], SEEDS[1])
