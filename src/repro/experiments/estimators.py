@@ -42,8 +42,8 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
-from repro.exceptions import ConfigurationError
 from repro.network.graph import QuantumNetwork
+from repro.specs import SpecBase, SpecError
 from repro.quantum.noise import LinkModel, SwapModel
 from repro.routing.plan import RoutingPlan
 from repro.simulation.monte_carlo import MonteCarloEstimate, estimate_plan_rate
@@ -51,7 +51,7 @@ from repro.simulation.vectorized import VectorizedProcessSimulator
 from repro.utils.rng import RandomState, stream_rng
 
 
-class EstimatorSpecError(ConfigurationError, ValueError):
+class EstimatorSpecError(SpecError):
     """An estimator kind, parameter or spec string is invalid.
 
     Subclasses :class:`ValueError` so ``argparse`` type callables can
@@ -71,7 +71,7 @@ ESTIMATION_STREAM = 0x4D43
 
 
 @dataclass(frozen=True)
-class EstimatorSpec:
+class EstimatorSpec(SpecBase):
     """How a task's routing plan is turned into a rate.
 
     ``trials``/``engine``/``antithetic`` are meaningful only for
@@ -84,6 +84,9 @@ class EstimatorSpec:
     trials: int = 0
     engine: str = ""
     antithetic: bool = False
+
+    spec_what = "estimator"
+    spec_error = EstimatorSpecError
 
     def __post_init__(self):
         if self.kind not in ESTIMATOR_KINDS:
@@ -146,10 +149,10 @@ class EstimatorSpec:
     @classmethod
     def from_string(cls, text: str) -> "EstimatorSpec":
         """Parse ``analytic`` or ``mc[:trials=N][,engine=E]``."""
-        kind, sep, rest = text.strip().partition(":")
-        kind = kind.strip().lower()
+        kind, rest = cls._split_spec(text)
+        kind = kind.lower()
         if kind == "analytic":
-            if sep:
+            if rest is not None:
                 raise EstimatorSpecError(
                     f"the analytic estimator takes no parameters, got "
                     f"{text!r}"
@@ -161,27 +164,9 @@ class EstimatorSpec:
                 f"known kinds: {', '.join(ESTIMATOR_KINDS)}"
             )
         params: Dict[str, str] = {}
-        if sep:
-            for item in rest.split(","):
-                name, eq, value = item.partition("=")
-                name, value = name.strip(), value.strip()
-                if not eq or not name or not value:
-                    raise EstimatorSpecError(
-                        f"malformed parameter {item!r} in estimator spec "
-                        f"{text!r}; expected name=value"
-                    )
-                if name in params:
-                    raise EstimatorSpecError(
-                        f"duplicate parameter {name!r} in estimator spec "
-                        f"{text!r}"
-                    )
-                params[name] = value
-        unknown = sorted(set(params) - {"trials", "engine", "antithetic"})
-        if unknown:
-            raise EstimatorSpecError(
-                f"unknown parameter(s) {', '.join(repr(u) for u in unknown)} "
-                f"in estimator spec {text!r}; valid parameters: antithetic, "
-                "engine, trials"
+        if rest is not None:
+            params = cls._parse_params(
+                rest, text=text, valid=("trials", "engine", "antithetic")
             )
         trials = DEFAULT_MC_TRIALS
         if "trials" in params:
@@ -215,7 +200,8 @@ class EstimatorSpec:
         return rendered
 
     def fingerprint(self) -> Dict:
-        """Stable, JSON-ready identity for cache keys."""
+        """Stable, JSON-ready identity for cache keys (the historical
+        name; identical to the inherited :meth:`config_dict`)."""
         return dataclasses.asdict(self)
 
     def __str__(self) -> str:

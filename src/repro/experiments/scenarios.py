@@ -31,7 +31,6 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.exceptions import ConfigurationError
 from repro.experiments.config import ExperimentSetting
 from repro.network.builder import NetworkConfig
 from repro.network.registry import normalize_topology, topology_keys
@@ -42,9 +41,11 @@ from repro.network.topology.base import (
     DEFAULT_USER_LINKS,
 )
 from repro.quantum.noise import DEFAULT_ALPHA
+import repro.specs as specs
+from repro.specs import SpecBase, SpecError
 
 
-class ScenarioSpecError(ConfigurationError, ValueError):
+class ScenarioSpecError(SpecError):
     """A scenario topology key, parameter or spec string is invalid.
 
     Subclasses :class:`ValueError` so ``argparse`` type callables can
@@ -82,17 +83,14 @@ _SETTING_DEFAULTS = {
 
 
 def _parse_value(text: str):
-    lowered = text.lower()
-    if lowered in ("none", "null"):
-        return None
-    try:
-        return int(text)
-    except ValueError:
-        pass
-    try:
-        return float(text)
-    except ValueError:
-        pass
+    """The shared value grammar restricted to scenario field shapes:
+    numbers and ``none`` (booleans and strings parse fine but are then
+    rejected by the field validators below)."""
+    value = specs.parse_value(text)
+    if value is None or (
+        isinstance(value, (int, float)) and not isinstance(value, bool)
+    ):
+        return value
     raise ScenarioSpecError(
         f"scenario parameter value {text!r} must be a number or 'none'"
     )
@@ -123,7 +121,7 @@ def _require_float(name: str, value) -> float:
 
 
 @dataclass(frozen=True)
-class ScenarioSpec:
+class ScenarioSpec(SpecBase):
     """One workload: topology + demand model + hardware parameters.
 
     Defaults are the paper's Section V-A scenario (Waxman, 100 switches,
@@ -145,6 +143,9 @@ class ScenarioSpec:
     alpha: float = DEFAULT_ALPHA
     fixed_p: Optional[float] = None
     swap_q: float = 0.9
+
+    spec_what = "scenario"
+    spec_error = ScenarioSpecError
 
     def __post_init__(self):
         # Normalizing here (aliases, -/_) makes equal workloads equal
@@ -170,31 +171,16 @@ class ScenarioSpec:
     @classmethod
     def from_string(cls, text: str) -> "ScenarioSpec":
         """Parse ``topology[:param=val,...]`` (see module docstring)."""
-        key, sep, rest = text.strip().partition(":")
-        if not key:
-            raise ScenarioSpecError(f"empty topology key in scenario {text!r}")
+        key, rest = cls._split_spec(text)
         params: Dict[str, object] = {}
-        if sep:
-            for item in rest.split(","):
-                name, eq, value = item.partition("=")
-                name, value = name.strip(), value.strip()
-                if not eq or not name or not value:
-                    raise ScenarioSpecError(
-                        f"malformed parameter {item!r} in scenario {text!r}; "
-                        "expected name=value"
-                    )
-                if name not in _FIELD_BY_PARAM:
-                    raise ScenarioSpecError(
-                        f"unknown parameter {name!r} in scenario {text!r}; "
-                        "valid parameters: "
-                        f"{', '.join(p for p, _ in _PARAM_FIELDS)}"
-                    )
-                field = _FIELD_BY_PARAM[name]
-                if field in params:
-                    raise ScenarioSpecError(
-                        f"duplicate parameter {name!r} in scenario {text!r}"
-                    )
-                params[field] = _parse_value(value)
+        if rest is not None:
+            raw = cls._parse_params(
+                rest, text=text, valid=[p for p, _ in _PARAM_FIELDS]
+            )
+            params = {
+                _FIELD_BY_PARAM[name]: _parse_value(value)
+                for name, value in raw.items()
+            }
         return cls(topology=key, **params)
 
     def to_string(self) -> str:
@@ -210,16 +196,11 @@ class ScenarioSpec:
             return self.topology
         return f"{self.topology}:{','.join(rendered)}"
 
-    def __str__(self) -> str:
-        return self.to_string()
-
     # ------------------------------------------------------------------
     # Conversions
 
-    def config_dict(self) -> Dict:
-        """Stable, JSON-ready identity for cache keys: the topology key
-        plus every workload parameter."""
-        return dataclasses.asdict(self)
+    # __str__ and config_dict (the topology key plus every workload
+    # parameter) come from SpecBase.
 
     def network_config(self) -> NetworkConfig:
         """The :class:`NetworkConfig` this scenario's topology implies."""

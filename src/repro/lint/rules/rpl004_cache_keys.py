@@ -15,6 +15,12 @@ be *mentioned by name* — as a ``self.<field>`` access or a whole-word
 string literal — somewhere in the class body or the module-level
 constants feeding it.  Adding a field without threading it through the
 emission machinery therefore fails lint instead of corrupting caches.
+
+Subclasses of :class:`repro.specs.SpecBase` are always cache-key
+classes — their inherited ``config_dict``/``to_string`` feed the result
+cache by contract — so they are audited even when they define no
+emission method of their own (inheriting every emission must not
+silence the audit).
 """
 
 from __future__ import annotations
@@ -33,6 +39,20 @@ CODE = "RPL004"
 EMISSION_METHODS = ("config_dict", "to_string", "fingerprint", "cache_key")
 
 _CLASS_NAME = re.compile(r".+Spec\Z")
+
+#: Base-class names that mark a class as a cache-key class regardless
+#: of which emission methods it defines itself.
+SPEC_BASES = ("SpecBase",)
+
+
+def _inherits_spec_base(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else (
+            base.id if isinstance(base, ast.Name) else ""
+        )
+        if name in SPEC_BASES:
+            return True
+    return False
 
 
 def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
@@ -99,7 +119,8 @@ def check(ctx: FileContext) -> Iterator[Diagnostic]:
             stmt.name for stmt in node.body
             if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
         }
-        if not method_names.intersection(EMISSION_METHODS):
+        if not method_names.intersection(EMISSION_METHODS) \
+                and not _inherits_spec_base(node):
             continue  # not a cache-key class; nothing to audit
         attrs, strings = _mentions([node, *module_constants])
         for field in _declared_fields(node):

@@ -28,6 +28,17 @@ class QuantumNetwork:
         self._nodes: Dict[int, Node] = {}
         self._edges: Dict[EdgeKey, Edge] = {}
         self._adjacency: Dict[int, Set[int]] = {}
+        # Bumped on every structural change.  Nodes and edges are frozen
+        # dataclasses, so an unchanged version guarantees an unchanged
+        # network — derived caches (the compiled routing snapshot) key
+        # on it to survive across routing calls and invalidate exactly
+        # when the topology mutates.
+        self._topology_version = 0
+
+    @property
+    def topology_version(self) -> int:
+        """Monotone counter of structural mutations (see ``__init__``)."""
+        return self._topology_version
 
     # ------------------------------------------------------------------
     # Construction
@@ -38,6 +49,7 @@ class QuantumNetwork:
             raise TopologyError(f"node {node.node_id} already exists")
         self._nodes[node.node_id] = node
         self._adjacency[node.node_id] = set()
+        self._topology_version += 1
 
     def add_edge(self, u: int, v: int, length: Optional[float] = None) -> Edge:
         """Insert an undirected edge; defaults the length to the Euclidean
@@ -53,6 +65,7 @@ class QuantumNetwork:
         self._edges[key] = edge
         self._adjacency[u].add(v)
         self._adjacency[v].add(u)
+        self._topology_version += 1
         return edge
 
     def remove_edge(self, u: int, v: int) -> None:
@@ -63,6 +76,7 @@ class QuantumNetwork:
         del self._edges[key]
         self._adjacency[u].discard(v)
         self._adjacency[v].discard(u)
+        self._topology_version += 1
 
     def copy(self) -> "QuantumNetwork":
         """Shallow structural copy (nodes/edges are immutable records)."""

@@ -25,8 +25,10 @@ from repro.routing.metrics import (
 from repro.routing.compiled import (
     ROUTING_CORE_ENV,
     CompiledNetwork,
+    WidthSearchBatch,
     active_routing_core,
     compile_network,
+    search_widths,
     snapshot_for,
 )
 from repro.routing.paths import PathCandidate, validate_path
@@ -67,8 +69,10 @@ __all__ = [
     "ChannelRateCache",
     "ROUTING_CORE_ENV",
     "CompiledNetwork",
+    "WidthSearchBatch",
     "active_routing_core",
     "compile_network",
+    "search_widths",
     "snapshot_for",
     "channel_rate",
     "path_entanglement_rate",

@@ -132,16 +132,31 @@ def admit_paths_efficiency(
     base_rates: Dict[int, float] = {}
     versions: Dict[int, int] = {}
     struct_memo: Dict[
-        PathCandidate,
+        int,
         Tuple[int, Optional[Tuple[Dict[int, int], float, int]]],
     ] = {}
-    while pool:
+    # Candidates found unadmittable are *parked* — dropped from the
+    # active scan under the flow version they were rejected at.  Exact,
+    # not heuristic: a candidate's charges and gain are pure functions
+    # of its demand's flow version, and the ledger only ever shrinks
+    # within one sweep (reservations stick, failed trials restore), so
+    # "cycle / no gain / doesn't fit" can only be revisited by the
+    # demand's version bumping — which un-parks that demand's
+    # candidates.  Indices into the (immutable) pool stand in for the
+    # candidates everywhere, keeping scan order — and therefore the
+    # admission sequence and every tie-break — identical to scanning
+    # the full pool, without re-hashing candidate dataclasses.
+    parked_by_demand: Dict[int, List[int]] = {}
+    active: List[int] = list(range(len(pool)))
+    while active:
         best_index = -1
         best_efficiency = 0.0
         best_gain = 0.0
-        for index, candidate in enumerate(pool):
+        keep: List[int] = []
+        for index in active:
+            candidate = pool[index]
             version = versions.get(candidate.demand_id, 0)
-            cached = struct_memo.get(candidate)
+            cached = struct_memo.get(index)
             if cached is not None and cached[0] == version:
                 evaluation = cached[1]
             else:
@@ -149,8 +164,11 @@ def admit_paths_efficiency(
                     network, link_model, swap_model, candidate, flows,
                     rate_cache, base_rates,
                 )
-                struct_memo[candidate] = (version, evaluation)
+                struct_memo[index] = (version, evaluation)
             if evaluation is None:
+                parked_by_demand.setdefault(
+                    candidate.demand_id, []
+                ).append(index)
                 continue
             needed, gain, cost = evaluation
             feasible = True
@@ -159,7 +177,11 @@ def admit_paths_efficiency(
                     feasible = False
                     break
             if not feasible:
+                parked_by_demand.setdefault(
+                    candidate.demand_id, []
+                ).append(index)
                 continue
+            keep.append(index)
             efficiency = gain / max(cost, 1)
             better = efficiency > best_efficiency + 1e-15
             tie_break = (
@@ -171,16 +193,21 @@ def admit_paths_efficiency(
                 best_index = index
                 best_efficiency = efficiency
                 best_gain = gain
+        active = keep
         if best_index < 0 or best_gain <= 1e-12:
             break
-        candidate = pool.pop(best_index)
+        candidate = pool[best_index]
+        active.remove(best_index)
         if _try_admit(network, demand_by_id[candidate.demand_id], candidate,
                       flows, ledger):
             admitted += 1
-            base_rates.pop(candidate.demand_id, None)
-            versions[candidate.demand_id] = (
-                versions.get(candidate.demand_id, 0) + 1
-            )
+            demand_id = candidate.demand_id
+            base_rates.pop(demand_id, None)
+            versions[demand_id] = versions.get(demand_id, 0) + 1
+            unparked = parked_by_demand.pop(demand_id, None)
+            if unparked:
+                active.extend(unparked)
+                active.sort()
     return admitted
 
 

@@ -7,23 +7,55 @@ evaluations.  The reference implementations traverse Python objects —
 ``network.node(n).is_user`` and ``ledger.has_at_least()`` are dict
 lookups per edge, and every channel rate goes through a tuple-keyed
 memo.  :class:`CompiledNetwork` flattens one ``(QuantumNetwork,
-LinkModel)`` pair into flat arrays once, after which the search kernels
-run over integer indices:
+LinkModel)`` pair into numpy arrays once, after which the search kernel
+runs masked array operations over whole CSR rows:
 
 * **CSR adjacency** — ``indptr``/``adj_nodes``/``adj_edges`` with
   neighbours in ascending node-id order (the exact order the reference
   relaxes them, so heap tie-breaking and therefore the returned paths
   are bit-identical);
-* **per-node flags** — ``is_user`` and qubit capacities as positional
-  arrays;
 * **width-indexed rate tables** — one per-edge column per channel
   width, filled through the same scalar
   :func:`~repro.quantum.noise.channel_success_probability` the
   reference :class:`~repro.routing.metrics.ChannelRateCache` uses, so
-  every rate is bit-identical;
-* **reusable mask/scratch buffers** — banned nodes/edges are byte
-  masks and the Dijkstra state is stamp-versioned, so Yen's deviation
-  loop resets them in O(1) instead of reallocating per spur search.
+  every rate is bit-identical, plus slot-aligned copies so a whole CSR
+  row's candidate rates come from one vector multiply;
+* **masked-row relaxation** — feasibility is folded into precomputed
+  per-(width, flags-version, destination) rate rows with infeasible
+  slots zeroed (one vectorised build, cached), so relaxing a popped
+  node's row is a bare multiply + strict-improvement compare per slot
+  with no per-edge lookups; pushes happen in ascending slot order with
+  sequential tie-break counters, replaying the reference push sequence
+  move for move.  Rows of ``_VECTOR_ROW_MIN``+ slots (hub nodes)
+  relax through numpy array ops over the row slice; shorter rows use
+  a scalar loop over the same masked values, the measured win at mesh
+  degrees where array-dispatch overhead dominates.  The relax-time
+  ``visited`` test the reference performs is provably redundant under
+  the strict ``candidate > best`` rule (every rate factor is <= 1, so
+  a candidate can never beat a settled node's rate), which is what
+  reduces the row mask to feasibility x improvement only;
+* **version-tokened feasibility flags** — per-width relay flags are
+  patched from the ledger's feasibility journal in O(changes) and carry
+  a version that only advances when some flag actually flips, giving
+  downstream caches an exact "has anything changed" key.
+
+Batched search API
+------------------
+
+Callers no longer drive the kernel per ``(demand, width)``:
+:class:`WidthSearchBatch` binds one snapshot + one demand + the widths
+under consideration, and :func:`search_widths` (or
+``WidthSearchBatch.search_widths``) answers every width of the batch in
+one call.  All batch searches — every width and every Yen deviation —
+share the snapshot's scratch buffers, per-width rate rows, feasibility
+flags and a **search-result memo** keyed on the exact kernel inputs
+``(source, destination, width, flags-version, swap, banned sets)``.
+Identical queries (Algorithm 2 re-runs the same spur searches across
+widths and refill rounds; ``route_online`` repeats them across
+arrivals) are answered from the memo, which is bit-identity-safe
+because a hit requires every input byte to match.  Algorithm 1
+(:func:`compiled_search`) and Algorithm 2
+(:func:`compiled_select_paths`) both dispatch through the batch API.
 
 Core selection
 --------------
@@ -45,18 +77,23 @@ long as a :class:`~repro.routing.metrics.ChannelRateCache` over the
 same pair would — i.e. until the network is structurally mutated
 (``add_edge``/``remove_edge``/``add_node``) or a different link model
 is wanted; after that a new snapshot must be compiled.  Qubit *ledger*
-state is deliberately not baked in: feasibility flags are rebuilt from
-the live ledger per search (cheap, O(nodes)), so admission loops can
-keep one snapshot across an entire routing call.  Routers get this for
-free: :func:`snapshot_for` hangs the snapshot off the
-``ChannelRateCache`` they already thread through the call.
+state is deliberately not baked in: feasibility flags are patched from
+the live ledger's journal per search batch, so admission loops can
+keep one snapshot across an entire routing call and the serving loop
+can keep one across a whole session.  Routers get this for free:
+:func:`snapshot_for` hangs the snapshot off the ``ChannelRateCache``
+they already thread through the call.  A :class:`WidthSearchBatch` is
+a cheap per-demand view over a snapshot: create as many as needed,
+but never use one after its snapshot's network mutated.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError, RoutingError
 from repro.network.demands import Demand
@@ -76,6 +113,32 @@ ROUTING_CORES = ("compiled", "reference")
 # every routing call, so avoid re-validating an unchanged setting.
 _core_memo: Tuple[Optional[str], str] = (None, "compiled")
 
+# The environment accessor, bound on first use (the hot paths consult
+# the core switch per call; a function-level ``import`` statement there
+# costs more than the read itself).
+_env_raw = None
+
+#: Search-result memo entries kept before a wholesale clear (the clear
+#: is deterministic: it depends only on the query sequence).
+_SEARCH_MEMO_LIMIT = 65536
+
+#: Cached masked rate rows (per width/flags-version/destination) kept
+#: before a wholesale clear.
+_MASKED_ROW_CACHE_LIMIT = 4096
+
+#: Memo sentinel distinguishing "no entry" from a memoised ``None``.
+_MISS = object()
+
+#: Shared empty frozenset: the common no-bans search skips building one.
+_EMPTY: FrozenSet[int] = frozenset()
+
+#: Row length from which the kernel relaxes a CSR row with array ops
+#: instead of the scalar masked loop.  Measured on the regression
+#: fixture: below ~32 slots the fixed dispatch cost of the numpy calls
+#: exceeds the whole scalar loop (typical mesh degrees are 4-10), so
+#: vectorised relaxation only pays on hub-heavy rows.
+_VECTOR_ROW_MIN = 32
+
 
 def active_routing_core() -> str:
     """The routing core selected by ``REPRO_ROUTING_CORE``.
@@ -84,13 +147,15 @@ def active_routing_core() -> str:
     :class:`~repro.exceptions.ConfigurationError` on any other value.
     Read at call time so tests and CI can flip cores per invocation.
     """
-    global _core_memo
-    # Deferred import: the accessor lives in the experiments layer
-    # (the one sanctioned environment read path — lint rule RPL003),
-    # and routing must not pull that package in at module load.
-    from repro.experiments.config import env_raw
+    global _core_memo, _env_raw
+    if _env_raw is None:
+        # Deferred import: the accessor lives in the experiments layer
+        # (the one sanctioned environment read path — lint rule RPL003),
+        # and routing must not pull that package in at module load.
+        from repro.experiments.config import env_raw
 
-    raw = env_raw(ROUTING_CORE_ENV)
+        _env_raw = env_raw
+    raw = _env_raw(ROUTING_CORE_ENV)
     memo_raw, memo_core = _core_memo
     if raw == memo_raw:
         return memo_core
@@ -123,18 +188,30 @@ class CompiledNetwork:
         "is_user",
         "capacity",
         "indptr",
+        "indptr_list",
         "adj_nodes",
+        "adj_nodes_list",
         "adj_edges",
         "edge_keys",
         "edge_index",
+        "edge_slots",
         "edge_probability",
-        "node_mask",
-        "edge_mask",
         "_relay_cache",
+        "_static_relay",
+        "_flags_serial",
+        "_flags_versions",
+        "_flags_lists",
         "_width_columns",
+        "_row_rate_cache",
+        "_row_list_cache",
+        "_base_row_cache",
+        "_masked_row_cache",
+        "_in_slots",
+        "_in_slots_lists",
+        "edge_slots_list",
+        "_search_memo",
         "_best",
         "_pred",
-        "_seen",
         "_visited",
         "_stamp",
     )
@@ -175,20 +252,56 @@ class CompiledNetwork:
                 adj_nodes.append(index_of[nbr])
                 adj_edges.append(edge_index[_ekey(nid, nbr)])
             indptr.append(len(adj_nodes))
-        self.indptr = indptr
-        self.adj_nodes = adj_nodes
-        self.adj_edges = adj_edges
+        # Both layouts are kept: numpy arrays feed the vectorised row
+        # masking/relaxation, while the plain lists serve the kernel's
+        # scalar reads (a list index is ~3x cheaper than an ndarray
+        # scalar index, and the hot loop does several per pop).
+        self.indptr_list: List[int] = indptr
+        self.adj_nodes_list: List[int] = adj_nodes
+        self.indptr = np.asarray(indptr, dtype=np.intp)
+        self.adj_nodes = np.asarray(adj_nodes, dtype=np.intp)
+        self.adj_edges = np.asarray(adj_edges, dtype=np.intp)
+        # Each undirected edge occupies exactly two CSR slots (one per
+        # endpoint row); grouping the stable eid argsort two-by-two maps
+        # an edge id to both its slots for banned-edge masking.
+        if self.adj_edges.size:
+            order = np.argsort(self.adj_edges, kind="stable")
+            self.edge_slots = order.reshape(len(edge_keys), 2)
+        else:
+            self.edge_slots = np.zeros((0, 2), dtype=np.intp)
+        self.edge_slots_list: List[List[int]] = self.edge_slots.tolist()
         n = len(node_ids)
-        self.node_mask = bytearray(n)
-        self.edge_mask = bytearray(len(edge_keys))
         # Per-width relay-feasibility flags, patched incrementally from
         # the owning ledger's feasibility journal (see relay_feasible):
-        # width -> [ledger, epoch, consumed_journal_length, flags].
+        # width -> [ledger, epoch, consumed_length, flags, version].
         self._relay_cache: Dict[int, list] = {}
-        self._width_columns: Dict[int, List[float]] = {}
+        # Ledger-free flags per width: (flags, version), immutable.
+        self._static_relay: Dict[int, Tuple[np.ndarray, int]] = {}
+        self._flags_serial = itertools.count()
+        # Content-addressed flag versions per width: equal contents map
+        # to equal versions across ledgers, restores and routing calls,
+        # which is what keeps the search/masked-row memos hitting.
+        self._flags_versions: Dict[int, Dict[bytes, int]] = {}
+        self._flags_lists: Dict[int, List[bool]] = {}
+        self._width_columns: Dict[int, np.ndarray] = {}
+        self._row_rate_cache: Dict[int, np.ndarray] = {}
+        self._row_list_cache: Dict[int, List[float]] = {}
+        self._base_row_cache: Dict[
+            Tuple[int, int], Tuple[np.ndarray, List[float]]
+        ] = {}
+        self._masked_row_cache: Dict[
+            Tuple[int, int, int, FrozenSet[int]],
+            Tuple[np.ndarray, List[float]],
+        ] = {}
+        self._in_slots: Dict[int, np.ndarray] = {}
+        self._in_slots_lists: Dict[int, List[int]] = {}
+        self._search_memo: Dict[tuple, object] = {}
+        # Dijkstra scratch: plain lists, reset via the touched set (and
+        # a stamp for visited), so back-to-back searches skip the O(n)
+        # clear.  Heap entries therefore stay native floats, which also
+        # compare faster than float64 scalars.
         self._best: List[float] = [0.0] * n
         self._pred: List[int] = [0] * n
-        self._seen: List[int] = [0] * n
         self._visited: List[int] = [0] * n
         self._stamp = 0
 
@@ -205,7 +318,7 @@ class CompiledNetwork:
     # ------------------------------------------------------------------
     # Rate tables and feasibility flags
 
-    def width_rates(self, width: int) -> List[float]:
+    def width_rates(self, width: int) -> np.ndarray:
         """The per-edge channel-rate column for *width*, filled once.
 
         ``column[edge_id]`` equals ``ChannelRateCache.rate(u, v, width)``
@@ -213,15 +326,43 @@ class CompiledNetwork:
         """
         column = self._width_columns.get(width)
         if column is None:
-            column = [
-                channel_success_probability(p, width)
-                for p in self.edge_probability
-            ]
+            column = np.fromiter(
+                (
+                    channel_success_probability(p, width)
+                    for p in self.edge_probability
+                ),
+                dtype=np.float64,
+                count=len(self.edge_probability),
+            )
             self._width_columns[width] = column
         return column
 
-    def relay_feasible(self, ledger, width: int) -> List[bool]:
+    def _row_rates(self, width: int) -> np.ndarray:
+        """``width_rates(width)`` broadcast to CSR slots, filled once."""
+        rows = self._row_rate_cache.get(width)
+        if rows is None:
+            rows = self.width_rates(width)[self.adj_edges]
+            self._row_rate_cache[width] = rows
+        return rows
+
+    def _row_list(self, width: int) -> List[float]:
+        """``_row_rates(width).tolist()``, filled once (``tolist``
+        round-trips float64 bits exactly)."""
+        lst = self._row_list_cache.get(width)
+        if lst is None:
+            lst = self._row_rates(width).tolist()
+            self._row_list_cache[width] = lst
+        return lst
+
+    def relay_feasible(self, ledger, width: int) -> np.ndarray:
         """Per-node "may relay at this width" flags for one search batch.
+
+        See :meth:`relay_state`; this is the flags array alone, kept as
+        the stable public accessor (the parity suite reads it)."""
+        return self.relay_state(ledger, width)[0]
+
+    def relay_state(self, ledger, width: int) -> Tuple[np.ndarray, int]:
+        """``(flags, version)`` for relaying at *width* under *ledger*.
 
         A relay must be a switch holding ``2 * width`` free qubits
         (*width* towards each side).  ``ledger`` is a
@@ -235,22 +376,40 @@ class CompiledNetwork:
         session re-plans against a mutating snapshot in O(changes)
         instead of O(nodes) per search batch.  The patched flags equal a
         full rebuild bit-for-bit — each flag is a pure function of that
-        node's remaining count.  Callers must not mutate the ledger
-        while holding the returned list.
+        node's remaining count.  ``version`` advances exactly when the
+        flag *contents* change (a rebuild, or a journal patch that flips
+        at least one flag), so equal versions guarantee equal flags —
+        the key the search-result memo relies on.  Callers must not
+        mutate the ledger while holding the returned array.
         """
         need = 2 * width
+        n = len(self.node_ids)
         if ledger is None:
-            return [
-                (not user) and (cap is None or cap >= need)
-                for user, cap in zip(self.is_user, self.capacity)
-            ]
+            entry = self._static_relay.get(width)
+            if entry is None:
+                flags = np.fromiter(
+                    (
+                        (not user) and (cap is None or cap >= need)
+                        for user, cap in zip(self.is_user, self.capacity)
+                    ),
+                    dtype=bool,
+                    count=n,
+                )
+                entry = (flags, next(self._flags_serial))
+                self._static_relay[width] = entry
+            return entry
         has = ledger.has_at_least
         token = getattr(ledger, "feasibility_token", None)
         if token is None:  # a ledger-like without a journal: full scan
-            return [
-                (not user) and has(nid, need)
-                for user, nid in zip(self.is_user, self.node_ids)
-            ]
+            flags = np.fromiter(
+                (
+                    (not user) and has(nid, need)
+                    for user, nid in zip(self.is_user, self.node_ids)
+                ),
+                dtype=bool,
+                count=n,
+            )
+            return flags, self._flags_version_for(width, flags)
         epoch, length = token()
         entry = self._relay_cache.get(width)
         if entry is not None and entry[0] is ledger and entry[1] == epoch:
@@ -258,18 +417,69 @@ class CompiledNetwork:
             if entry[2] != length:
                 index_of = self.index_of
                 is_user = self.is_user
+                changed = False
                 for nid in ledger.journal_since(entry[2]):
                     i = index_of[nid]
                     if not is_user[i]:
-                        flags[i] = has(nid, need)
+                        flag = has(nid, need)
+                        if flag != bool(flags[i]):
+                            flags[i] = flag
+                            changed = True
                 entry[2] = length
-            return flags
-        flags = [
-            (not user) and has(nid, need)
-            for user, nid in zip(self.is_user, self.node_ids)
-        ]
-        self._relay_cache[width] = [ledger, epoch, length, flags]
-        return flags
+                if changed:
+                    entry[4] = self._flags_version_for(width, flags)
+            return flags, entry[4]
+        flags = np.fromiter(
+            (
+                (not user) and has(nid, need)
+                for user, nid in zip(self.is_user, self.node_ids)
+            ),
+            dtype=bool,
+            count=n,
+        )
+        # An epoch change (a ledger restore, a journal compaction) or a
+        # new ledger entirely (the next routing call on a persistent
+        # snapshot) forces this rebuild, but often lands back on flag
+        # contents already seen — admission trials restore to the exact
+        # snapshot the last search ran against, and back-to-back calls
+        # start from the same full capacities.  The content-addressed
+        # version map then re-issues the old version, and with it every
+        # memoised search, masked row and flags list.
+        version = self._flags_version_for(width, flags)
+        self._relay_cache[width] = [ledger, epoch, length, flags, version]
+        return flags, version
+
+    def _flags_version_for(self, width: int, flags: np.ndarray) -> int:
+        """The version for these flag *contents* at *width*, memoised.
+
+        A version is issued once per distinct contents and never reused
+        (the serial is global and monotone), so "equal versions imply
+        equal flags" — the invariant every version-keyed memo relies on
+        — holds by construction.  Clearing a full map only forfeits
+        future hits; it cannot alias old versions to new contents.
+        """
+        by_content = self._flags_versions.setdefault(width, {})
+        key = flags.tobytes()
+        version = by_content.get(key)
+        if version is None:
+            if len(by_content) >= 1024:
+                by_content.clear()
+            version = next(self._flags_serial)
+            by_content[key] = version
+        return version
+
+    def _flags_list(self, flags: np.ndarray, version: int) -> List[bool]:
+        """``flags.tolist()`` cached per version (the kernel reads flags
+        one scalar at a time; a list read beats an ndarray read ~3x).
+        Exact for the same reason the masked-row cache is: the version
+        advances whenever the flag contents change."""
+        lst = self._flags_lists.get(version)
+        if lst is None:
+            if len(self._flags_lists) >= 512:
+                self._flags_lists.clear()
+            lst = flags.tolist()
+            self._flags_lists[version] = lst
+        return lst
 
     def endpoint_feasible(self, ledger, node_id: int, width: int) -> bool:
         """True iff *node_id* can commit *width* qubits as an endpoint."""
@@ -281,115 +491,272 @@ class CompiledNetwork:
     # ------------------------------------------------------------------
     # The Algorithm 1 kernel
 
-    def search(
+    def _slots_into(self, node_idx: int) -> np.ndarray:
+        """CSR slots whose neighbour is *node_idx* (topology-static)."""
+        slots = self._in_slots.get(node_idx)
+        if slots is None:
+            slots = np.flatnonzero(self.adj_nodes == node_idx)
+            self._in_slots[node_idx] = slots
+        return slots
+
+    def _slots_into_list(self, node_idx: int) -> List[int]:
+        """``_slots_into(node_idx).tolist()``, filled once."""
+        slots = self._in_slots_lists.get(node_idx)
+        if slots is None:
+            slots = self._slots_into(node_idx).tolist()
+            self._in_slots_lists[node_idx] = slots
+        return slots
+
+    def _base_row(
+        self, width: int, flags: np.ndarray, version: int
+    ) -> Tuple[np.ndarray, List[float]]:
+        """Destination-agnostic masked rate row per (width, version).
+
+        The expensive part of a masked row — folding the relay flags
+        into the rate row and converting to the list layout — does not
+        depend on the destination or the banned set, so it is built once
+        per (width, flags version) and the per-destination / per-ban
+        variants patch a copy (a handful of slots each).
+        """
+        key = (width, version)
+        pair = self._base_row_cache.get(key)
+        if pair is None:
+            if len(self._base_row_cache) >= _MASKED_ROW_CACHE_LIMIT:
+                self._base_row_cache.clear()
+            masked = np.where(flags[self.adj_nodes], self._row_rates(width), 0.0)
+            pair = (masked, masked.tolist())
+            self._base_row_cache[key] = pair
+        return pair
+
+    def _masked_row_rates(
+        self,
+        width: int,
+        flags: np.ndarray,
+        version: int,
+        destination_idx: int,
+        banned_edge_ids: FrozenSet[int] = frozenset(),
+    ) -> Tuple[np.ndarray, List[float]]:
+        """Slot-aligned candidate rates with infeasible slots zeroed.
+
+        The feasibility mask is folded straight into the rate row: a
+        slot whose neighbour may not relay (and is not the destination,
+        which needs only endpoint feasibility — the caller's check)
+        carries rate 0.0, which the kernel's strict ``candidate > best``
+        test rejects exactly like the reference's explicit skip (``best``
+        is never below 0).  This reduces relaxing a row to one multiply
+        + one compare per slot with no per-edge feasibility lookups.
+        Returns the row as ``(ndarray, list)`` — same values, two
+        layouts — so the kernel can pick array ops or the scalar loop
+        per row without converting.  Banned edges (Yen's deviation
+        searches) zero both slots of each named edge on top of the base
+        row.  Cached per (width, flags version, destination, banned
+        set) — exact because the version changes whenever the flag
+        contents do, and a hit for a banned variant is common: the same
+        root-prefix bans recur across every width of the sweep and
+        every refill round.
+        """
+        key = (width, version, destination_idx, banned_edge_ids)
+        pair = self._masked_row_cache.get(key)
+        if pair is None:
+            if len(self._masked_row_cache) >= _MASKED_ROW_CACHE_LIMIT:
+                self._masked_row_cache.clear()
+            if banned_edge_ids:
+                base_np, base_list = self._masked_row_rates(
+                    width, flags, version, destination_idx
+                )
+                masked = base_np.copy()
+                masked_list = base_list.copy()
+                for eid in sorted(banned_edge_ids):
+                    s0, s1 = self.edge_slots_list[eid]
+                    masked[s0] = 0.0
+                    masked[s1] = 0.0
+                    masked_list[s0] = 0.0
+                    masked_list[s1] = 0.0
+            else:
+                base_np, base_list = self._base_row(width, flags, version)
+                rows = self._row_rates(width)
+                rows_list = self._row_list(width)
+                into_destination = self._slots_into(destination_idx)
+                masked = base_np.copy()
+                masked[into_destination] = rows[into_destination]
+                masked_list = base_list.copy()
+                for slot in self._slots_into_list(destination_idx):
+                    masked_list[slot] = rows_list[slot]
+            pair = (masked, masked_list)
+            self._masked_row_cache[key] = pair
+        return pair
+
+    def _kernel(
         self,
         source: int,
         destination: int,
-        rates: Sequence[float],
-        relay_ok: Sequence[bool],
+        masked_np: np.ndarray,
+        masked_list: List[float],
+        flags_list: List[bool],
         swap2: float,
+        banned_idx: Sequence[int],
     ) -> Optional[Tuple[List[int], float]]:
-        """Algorithm 1's modified Dijkstra over the CSR arrays.
+        """Algorithm 1's modified Dijkstra over masked rate rows.
 
-        *source*/*destination* are node **indices**; banned nodes and
-        edges are whatever the caller currently has set in
-        ``node_mask``/``edge_mask`` (cleared by the caller afterwards).
-        The Dijkstra state is stamp-versioned, so entering the kernel
-        resets it in O(1).  Returns ``(index_path, rate)`` or ``None``.
+        *source*/*destination*/*banned_idx* are node **indices**;
+        ``masked_np``/``masked_list`` are the same slot-aligned rate row
+        with infeasible slots zeroed, in both layouts (see
+        :meth:`_masked_row_rates`).  Returns ``(index_path, rate)`` or
+        ``None``.
 
         The relaxation replays the reference implementation move for
-        move — same push sequence, same tie-break counters, same strict
-        improvement test — so the returned path is bit-identical, not
-        merely rate-equal.
+        move: each popped node's CSR row is relaxed slot-ascending with
+        sequential tie-break counters — the same push sequence, so the
+        returned path is bit-identical, not merely rate-equal.  Rows of
+        at least ``_VECTOR_ROW_MIN`` slots relax through array ops
+        (masked multiply + nonzero survivor scan); shorter rows use a
+        scalar loop over the list layout, because at typical mesh
+        degrees the fixed dispatch cost of the array calls exceeds the
+        whole loop.  Both branches make identical update decisions:
+        a zeroed slot can never pass the strict ``candidate > best``
+        test (``best`` is never below 0), so pre-skipping zeros in the
+        vector branch equals comparing them in the scalar branch.
+        Banned nodes are excluded by pinning their ``best`` to ``+inf``
+        (the strict test then never updates or pushes them), which also
+        covers the reference's relax-time visited test: every rate
+        factor is <= 1, so a settled node's rate is never strictly
+        beaten.
         """
         self._stamp += 1
         stamp = self._stamp
-        best = self._best
-        seen = self._seen
         visited = self._visited
+        best = self._best
         pred = self._pred
-        node_mask = self.node_mask
-        edge_mask = self.edge_mask
-        indptr = self.indptr
-        adj_nodes = self.adj_nodes
-        adj_edges = self.adj_edges
+        indptr = self.indptr_list
+        adj = self.adj_nodes_list
         heappush = heapq.heappush
         heappop = heapq.heappop
-        best[source] = 1.0
-        seen[source] = stamp
-        heap: List[Tuple[float, int, int]] = [(-1.0, 0, source)]
-        counter = 1
-        while heap:
-            negative_rate, _, node = heappop(heap)
-            if visited[node] == stamp:
-                continue
-            visited[node] = stamp
-            if node == destination:
-                break
-            rate = -negative_rate
-            if node != source:
-                if not relay_ok[node]:
+        vector_min = _VECTOR_ROW_MIN
+        touched = [source]
+        found = False
+        try:
+            if banned_idx:
+                inf = float("inf")
+                for i in banned_idx:
+                    best[i] = inf
+                    touched.append(i)
+            best[source] = 1.0
+            heap: List[Tuple[float, int, int]] = [(-1.0, 0, source)]
+            counter = 1
+            while heap:
+                negative_rate, _, node = heappop(heap)
+                if visited[node] == stamp:
                     continue
-                rate *= swap2
-            for slot in range(indptr[node], indptr[node + 1]):
-                nbr = adj_nodes[slot]
-                if visited[nbr] == stamp or node_mask[nbr]:
-                    continue
-                eid = adj_edges[slot]
-                if edge_mask[eid]:
-                    continue
-                if nbr != destination and not relay_ok[nbr]:
-                    continue
-                candidate = rate * rates[eid]
-                if candidate > (best[nbr] if seen[nbr] == stamp else 0.0):
-                    best[nbr] = candidate
-                    seen[nbr] = stamp
-                    pred[nbr] = node
-                    heappush(heap, (-candidate, counter, nbr))
-                    counter += 1
-        if visited[destination] != stamp:
-            return None
-        path = [destination]
-        while path[-1] != source:
-            path.append(pred[path[-1]])
-        path.reverse()
-        return path, best[destination]
+                visited[node] = stamp
+                if node == destination:
+                    found = True
+                    break
+                rate = -negative_rate
+                if node != source:
+                    if not flags_list[node]:
+                        continue
+                    rate = rate * swap2
+                lo = indptr[node]
+                hi = indptr[node + 1]
+                if hi - lo >= vector_min:
+                    cand = rate * masked_np[lo:hi]
+                    hits = cand.nonzero()[0]
+                    for off, c in zip(hits.tolist(),
+                                      cand.take(hits).tolist()):
+                        nbr = adj[lo + off]
+                        if c > best[nbr]:
+                            best[nbr] = c
+                            pred[nbr] = node
+                            heappush(heap, (-c, counter, nbr))
+                            counter += 1
+                            touched.append(nbr)
+                else:
+                    for slot in range(lo, hi):
+                        c = rate * masked_list[slot]
+                        nbr = adj[slot]
+                        if c > best[nbr]:
+                            best[nbr] = c
+                            pred[nbr] = node
+                            heappush(heap, (-c, counter, nbr))
+                            counter += 1
+                            touched.append(nbr)
+            if not found:
+                return None
+            path = [destination]
+            while path[-1] != source:
+                path.append(pred[path[-1]])
+            path.reverse()
+            rate_found = best[destination]
+        finally:
+            for i in touched:
+                best[i] = 0.0
+        return path, rate_found
 
-    def masked_search(
+    def run_search(
         self,
         source: int,
         destination: int,
-        rates: Sequence[float],
-        relay_ok: Sequence[bool],
+        width: int,
         swap2: float,
-        banned_node_idx: Sequence[int],
-        banned_edge_idx: Sequence[int],
+        ledger=None,
+        banned_nodes: Iterable[int] = (),
+        banned_edges: Iterable[EdgeKey] = (),
     ) -> Optional[Tuple[Tuple[int, ...], float]]:
-        """:meth:`search` under the given banned **indices**, translated
-        back to node ids.
+        """One memoised Algorithm-1 search in node **ids**.
 
-        Sets the shared masks, searches, and always clears them again —
-        the one masking protocol every compiled entry point (standalone
-        Algorithm 1 and Yen's deviations) goes through.
+        Endpoint feasibility (and the banned-endpoint short-circuit) is
+        the caller's job — see :meth:`WidthSearchBatch.search`, the
+        normal way in.  Results are memoised on the snapshot keyed by
+        the exact kernel inputs, so a hit is bitwise-identical to a
+        fresh search by construction; the relay-flags *version* in the
+        key invalidates entries the moment any flag flips.
         """
-        node_mask = self.node_mask
-        edge_mask = self.edge_mask
-        for i in banned_node_idx:
-            node_mask[i] = 1
-        for e in banned_edge_idx:
-            edge_mask[e] = 1
-        try:
-            found = self.search(source, destination, rates, relay_ok, swap2)
-        finally:
-            for i in banned_node_idx:
-                node_mask[i] = 0
-            for e in banned_edge_idx:
-                edge_mask[e] = 0
+        index_of = self.index_of
+        flags, version = self.relay_state(ledger, width)
+        # Banned entries outside the network are unreachable anyway.
+        if banned_nodes:
+            banned_node_idx = frozenset(
+                index_of[n] for n in banned_nodes if n in index_of
+            )
+        else:
+            banned_node_idx = _EMPTY
+        if banned_edges:
+            edge_index = self.edge_index
+            banned_edge_ids = frozenset(
+                edge_index[e] for e in banned_edges if e in edge_index
+            )
+        else:
+            banned_edge_ids = _EMPTY
+        key = (
+            index_of[source],
+            index_of[destination],
+            width,
+            version,
+            swap2,
+            banned_node_idx,
+            banned_edge_ids,
+        )
+        memo = self._search_memo
+        hit = memo.get(key, _MISS)
+        if hit is not _MISS:
+            return hit
+        masked_np, masked_list = self._masked_row_rates(
+            width, flags, version, key[1], banned_edge_ids
+        )
+        found = self._kernel(
+            key[0], key[1], masked_np, masked_list,
+            self._flags_list(flags, version), swap2,
+            sorted(banned_node_idx),
+        )
         if found is None:
-            return None
-        path, rate = found
-        ids = self.node_ids
-        return tuple(ids[i] for i in path), rate
+            result = None
+        else:
+            ids = self.node_ids
+            result = (tuple(ids[i] for i in found[0]), found[1])
+        if len(memo) >= _SEARCH_MEMO_LIMIT:
+            memo.clear()
+        memo[key] = result
+        return result
 
 
 def compile_network(
@@ -420,10 +787,167 @@ def snapshot_for(
     ):
         snapshot = rate_cache.compiled_snapshot
         if snapshot is None:
-            snapshot = CompiledNetwork(network, link_model)
+            snapshot = _persistent_snapshot(network, link_model)
             rate_cache.compiled_snapshot = snapshot
         return snapshot
-    return CompiledNetwork(network, link_model)
+    return _persistent_snapshot(network, link_model)
+
+
+#: Snapshot memo entries kept per network before a wholesale clear.
+_SNAPSHOT_MEMO_LIMIT = 4
+
+
+def _persistent_snapshot(
+    network: QuantumNetwork, link_model: LinkModel
+) -> CompiledNetwork:
+    """A :class:`CompiledNetwork` for ``(network, link_model)``, memoised
+    on the network object across routing calls.
+
+    Sweeps and Monte-Carlo trials route the same network hundreds of
+    times; the snapshot (CSR layout, rate columns, masked rows, search
+    memo) is a pure function of the topology and the link model, so it
+    is kept on the network keyed by ``(link_model, topology_version)``
+    — the frozen-dataclass link model compares by value and the version
+    counter changes exactly when the topology mutates, so a stale
+    snapshot can never be returned.  Network-likes without the counter
+    (or without a ``__dict__``) just get a fresh snapshot.
+    """
+    version = getattr(network, "topology_version", None)
+    if version is None:
+        return CompiledNetwork(network, link_model)
+    key = (link_model, version)
+    try:
+        memo = network.__dict__.setdefault("_compiled_snapshots", {})
+    except AttributeError:
+        return CompiledNetwork(network, link_model)
+    snapshot = memo.get(key)
+    if snapshot is None:
+        if len(memo) >= _SNAPSHOT_MEMO_LIMIT:
+            memo.clear()
+        snapshot = CompiledNetwork(network, link_model)
+        memo[key] = snapshot
+    return snapshot
+
+
+# ----------------------------------------------------------------------
+# Batched width search — the kernel-facing API
+
+
+class WidthSearchBatch:
+    """All Algorithm-1 searches of one demand against one snapshot.
+
+    Binds ``(snapshot, swap model, endpoints, widths, ledger)`` once, so
+    every width and every Yen deviation of the demand runs through the
+    same hoisted state and the snapshot's shared search-result memo.
+    Construct per demand (cheap: index lookups only) and discard freely;
+    the lifetime rules are the snapshot's (see the module docstring).
+    """
+
+    __slots__ = (
+        "snapshot",
+        "ledger",
+        "swap2",
+        "source",
+        "destination",
+        "widths",
+    )
+
+    def __init__(
+        self,
+        snapshot: CompiledNetwork,
+        swap_model: SwapModel,
+        source: int,
+        destination: int,
+        widths: Sequence[int],
+        ledger=None,
+    ):
+        if source == destination:
+            raise RoutingError("source and destination must differ")
+        index_of = snapshot.index_of
+        if source not in index_of or destination not in index_of:
+            raise RoutingError(
+                f"endpoints ({source}, {destination}) must exist in the network"
+            )
+        self.widths: Tuple[int, ...] = tuple(widths)
+        for width in self.widths:
+            if width < 1:
+                raise RoutingError(f"width must be >= 1, got {width}")
+        self.snapshot = snapshot
+        self.ledger = ledger
+        self.swap2 = swap_model.success_probability(2)
+        self.source = source
+        self.destination = destination
+
+    def search(
+        self,
+        width: int,
+        spur_source: Optional[int] = None,
+        banned_nodes: Iterable[int] = (),
+        banned_edges: Iterable[EdgeKey] = (),
+    ) -> Optional[Tuple[Tuple[int, ...], float]]:
+        """The best path at *width*, optionally from a Yen spur source.
+
+        Checks endpoint feasibility against the live ledger (never
+        memoised — endpoint counts can change without any relay flag
+        flipping), then answers from the snapshot's search memo or runs
+        the kernel.  Returns ``(nodes, rate)`` or ``None``.
+        """
+        snapshot = self.snapshot
+        ledger = self.ledger
+        source = self.source if spur_source is None else spur_source
+        destination = self.destination
+        if source in banned_nodes or destination in banned_nodes:
+            return None
+        if not snapshot.endpoint_feasible(ledger, source, width):
+            return None
+        if not snapshot.endpoint_feasible(ledger, destination, width):
+            return None
+        return snapshot.run_search(
+            source, destination, width, self.swap2, ledger,
+            banned_nodes, banned_edges,
+        )
+
+    def search_widths(
+        self,
+        spur_source: Optional[int] = None,
+        banned_nodes: Iterable[int] = (),
+        banned_edges: Iterable[EdgeKey] = (),
+    ) -> Dict[int, Optional[Tuple[Tuple[int, ...], float]]]:
+        """:meth:`search` for every batch width in one call.
+
+        Returns ``{width: (nodes, rate) | None}`` covering exactly the
+        batch's widths.  Each width's answer is independent and
+        bit-identical to a standalone :meth:`search`; the batching win
+        is the shared snapshot state and memo across the sweep.
+        """
+        return {
+            width: self.search(width, spur_source, banned_nodes, banned_edges)
+            for width in self.widths
+        }
+
+
+def search_widths(
+    snapshot: CompiledNetwork,
+    swap_model: SwapModel,
+    demand: Demand,
+    widths: Sequence[int],
+    *,
+    ledger=None,
+    banned_nodes: Iterable[int] = (),
+    banned_edges: Iterable[EdgeKey] = (),
+) -> Dict[int, Optional[Tuple[Tuple[int, ...], float]]]:
+    """Batched kernel entry point: one demand, every width, one call.
+
+    Builds a :class:`WidthSearchBatch` for *demand* and answers every
+    width in *widths* (see :meth:`WidthSearchBatch.search_widths`).
+    """
+    batch = WidthSearchBatch(
+        snapshot, swap_model, demand.source, demand.destination, widths,
+        ledger,
+    )
+    return batch.search_widths(
+        banned_nodes=banned_nodes, banned_edges=banned_edges
+    )
 
 
 # ----------------------------------------------------------------------
@@ -447,29 +971,16 @@ def compiled_search(
     The caller —
     :func:`~repro.routing.alg1_largest_rate.largest_entanglement_rate_path`
     — has already validated widths, endpoints and banned-endpoint
-    cases; this function only snapshots, masks and searches.
+    cases; this dispatches a single-width :class:`WidthSearchBatch`
+    so standalone Algorithm-1 calls share the snapshot's search memo
+    with the Algorithm-2 sweeps.
     """
     snapshot = snapshot_for(network, link_model, rate_cache)
-    if not snapshot.endpoint_feasible(ledger, source, width):
-        return None
-    if not snapshot.endpoint_feasible(ledger, destination, width):
-        return None
-    relay_ok = snapshot.relay_feasible(ledger, width)
-    rates = snapshot.width_rates(width)
-    swap2 = swap_model.success_probability(2)
-    index_of = snapshot.index_of
-    # Banned entries outside the network are unreachable anyway.
-    banned_node_idx = [
-        index_of[n] for n in banned_nodes if n in index_of
-    ]
-    banned_edge_idx = [
-        snapshot.edge_index[e]
-        for e in banned_edges
-        if e in snapshot.edge_index
-    ]
-    return snapshot.masked_search(
-        index_of[source], index_of[destination], rates, relay_ok, swap2,
-        banned_node_idx, banned_edge_idx,
+    batch = WidthSearchBatch(
+        snapshot, swap_model, source, destination, (width,), ledger
+    )
+    return batch.search(
+        width, banned_nodes=banned_nodes, banned_edges=banned_edges
     )
 
 
@@ -532,7 +1043,7 @@ def yen_deviation_loop(first, h, search, path_rate):
 
 
 # ----------------------------------------------------------------------
-# Compiled Algorithm 2 (Yen + the kernel)
+# Compiled Algorithm 2 (Yen + the batched kernel)
 
 
 def compiled_select_paths(
@@ -547,66 +1058,49 @@ def compiled_select_paths(
 ) -> Dict[int, List[PathCandidate]]:
     """Compiled body of Algorithm 2's per-width Yen loop.
 
-    One snapshot and one set of mask buffers serve every deviation of
-    every width; per-width relay feasibility is computed once instead of
-    per ``ledger.has_at_least`` call inside the relaxations.  Parameter
-    validation and the ``max_hops`` filter stay in
+    One :class:`WidthSearchBatch` serves every width: the initial
+    searches of all widths run as one :meth:`~WidthSearchBatch.
+    search_widths` sweep, then each feasible width's Yen deviations
+    drive the same batch (and therefore the same snapshot memo — spur
+    searches repeated across widths and refill rounds are answered
+    once).  Parameter validation and the ``max_hops`` filter stay in
     :func:`~repro.routing.alg2_path_selection.select_paths`.
     """
     snapshot = snapshot_for(network, link_model, rate_cache)
-    source, destination = demand.source, demand.destination
-    if source == destination:
-        raise RoutingError("source and destination must differ")
-    if source not in snapshot.index_of or destination not in snapshot.index_of:
-        raise RoutingError(
-            f"endpoints ({source}, {destination}) must exist in the network"
-        )
-    swap2 = swap_model.success_probability(2)
+    widths = tuple(range(max_width, 0, -1))
+    batch = WidthSearchBatch(
+        snapshot, swap_model, demand.source, demand.destination, widths,
+        ledger,
+    )
+    firsts = batch.search_widths()
     result: Dict[int, List[PathCandidate]] = {}
-    for width in range(max_width, 0, -1):
-        paths = _compiled_yen_best_paths(
-            snapshot, swap_model, swap2, demand, width, h, ledger
-        )
+    for width in widths:
+        first = firsts[width]
+        if first is None:
+            continue
+        paths = _compiled_yen_best_paths(batch, demand, width, h, first)
         if paths:
             result[width] = paths
     return result
 
 
 def _compiled_yen_best_paths(
-    snapshot: CompiledNetwork,
-    swap_model: SwapModel,
-    swap2: float,
+    batch: WidthSearchBatch,
     demand: Demand,
     width: int,
     h: int,
-    ledger,
+    first: Tuple[Tuple[int, ...], float],
 ) -> List[PathCandidate]:
-    """The shared :func:`yen_deviation_loop` driven by the compiled
-    kernel, with the per-width feasibility flags and rate column hoisted
-    out of the deviation searches."""
-    source, destination = demand.source, demand.destination
-    if not snapshot.endpoint_feasible(ledger, destination, width):
-        # Every (spur) search shares this endpoint; the reference
-        # re-checks it per Algorithm 1 call with the same outcome.
-        return []
+    """The shared :func:`yen_deviation_loop` driven by one width of a
+    :class:`WidthSearchBatch`."""
+    snapshot = batch.snapshot
     rates = snapshot.width_rates(width)
-    relay_ok = snapshot.relay_feasible(ledger, width)
-    index_of = snapshot.index_of
-    edge_index = snapshot.edge_index
-    destination_idx = index_of[destination]
+    swap2 = batch.swap2
 
     def run_alg1(spur_source, banned_node_ids, banned_edge_keys):
-        if not snapshot.endpoint_feasible(ledger, spur_source, width):
-            return None
-        return snapshot.masked_search(
-            index_of[spur_source], destination_idx, rates, relay_ok, swap2,
-            [index_of[n] for n in banned_node_ids],
-            [edge_index[e] for e in banned_edge_keys],
-        )
+        return batch.search(width, spur_source, banned_node_ids,
+                            banned_edge_keys)
 
-    first = run_alg1(source, (), ())
-    if first is None:
-        return []
     accepted = yen_deviation_loop(
         first, h, run_alg1,
         lambda nodes: _compiled_path_rate(snapshot, nodes, rates, swap2),
@@ -640,4 +1134,6 @@ def _compiled_path_rate(
     for node in nodes[1:-1]:
         if not is_user[index_of[node]]:
             rate *= swap2
-    return rate
+    # The rate column is float64; hand back a plain float like the
+    # reference scorer (same bits, friendlier repr downstream).
+    return float(rate)

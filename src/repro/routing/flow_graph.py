@@ -31,6 +31,13 @@ def _ekey(a: int, b: int) -> EdgeKey:
     return (a, b) if a < b else (b, a)
 
 
+#: Spacing between consecutive topological positions.  Midpoint
+#: insertion halves a gap per new node squeezed between the same two
+#: anchors; 2^20 allows ~20 such squeezes before the (cheap, lazy)
+#: renumber — far beyond what a flow's handful of paths can trigger.
+_ORDER_GAP = 1 << 20
+
+
 class FlowLikeGraph:
     """The route of one demanded state: one or more merged paths.
 
@@ -39,6 +46,17 @@ class FlowLikeGraph:
     channel width of every edge.  Paths whose direction would conflict with
     the existing orientation (creating a directed cycle) are rejected at
     :meth:`add_path` time, keeping Equation 1 well defined.
+
+    Admission loops probe many trial merges per accepted one (Algorithm 3
+    copies the flow, adds a candidate, evaluates the rate), so the
+    structural state behind those probes is maintained incrementally
+    rather than recomputed per trial: a topological *position map* over
+    the whole child map certifies acyclicity in O(path length) for the
+    common case (an exact no-copy DFS handles the rest), the
+    fusion-arity map absorbs per-edge width deltas in place, and
+    :meth:`copy` clones all memos instead of dropping them.  Every memo
+    is invalidated the same way: any mutation it cannot absorb exactly
+    resets it to ``None`` for a lazy rebuild.
     """
 
     def __init__(self, demand_id: int, source: int, destination: int):
@@ -53,12 +71,19 @@ class FlowLikeGraph:
         self._path_widths: List[int] = []
         self._children: Dict[int, Set[int]] = {}
         self._edge_widths: Dict[EdgeKey, int] = {}
-        # Derived-state memos, rebuilt lazily after any mutation: the
-        # node->fusion-arity map (else every rate call rescans all
-        # edges per node) and the source-rooted topological order the
-        # iterative Equation-1 evaluator walks.
+        # Derived-state memos: the node->fusion-arity map (else every
+        # rate call rescans all edges per node), the topological order
+        # the iterative Equation-1 evaluator walks, and the node->int
+        # position map witnessing that order (every edge goes from a
+        # lower to a higher position).  The position map is add_path's
+        # incremental cycle check: a candidate whose existing nodes
+        # appear in increasing position order provably cannot close a
+        # cycle, and its new nodes slot into the integer gaps.  All
+        # three are maintained in place where a mutation's effect is
+        # exact and reset to ``None`` (lazy rebuild) where it is not.
         self._arity_cache: Optional[Dict[int, int]] = None
         self._topo_cache: Optional[List[int]] = None
+        self._order_pos: Optional[Dict[int, int]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -85,30 +110,69 @@ class FlowLikeGraph:
             raise RoutingError(f"path must be loopless, got {nodes}")
         if width < 1:
             raise RoutingError(f"width must be >= 1, got {width}")
+        arities = self._arity_cache
+        edge_widths = self._edge_widths
         if nodes in self._paths:
             # Re-adding an existing path is a pure width upgrade.
             index = self._paths.index(nodes)
             self._path_widths[index] = max(self._path_widths[index], width)
             for a, b in zip(nodes, nodes[1:]):
                 key = _ekey(a, b)
-                self._edge_widths[key] = max(self._edge_widths[key], width)
-            self._arity_cache = None
+                old = edge_widths[key]
+                if width > old:
+                    edge_widths[key] = width
+                    if arities is not None:
+                        delta = width - old
+                        arities[a] = arities.get(a, 0) + delta
+                        arities[b] = arities.get(b, 0) + delta
             return
-        trial_children = {k: set(v) for k, v in self._children.items()}
+        # Incremental cycle check: if the path's already-known nodes
+        # appear in strictly increasing topological position, no edge of
+        # the candidate can point "backwards", so the merged graph has a
+        # valid order (slot the new nodes into the gaps) and is acyclic.
+        # Otherwise fall back to an exact DFS over the virtual union —
+        # no trial copy of the child map either way, and a rejected
+        # merge leaves the graph untouched because nothing has mutated
+        # yet.
+        pos = self._order_pos
+        if pos is None:
+            pos = self._rebuild_order()
+        anchors: List[Tuple[int, int]] = []
+        ordered = True
+        previous = None
+        for i, node in enumerate(nodes):
+            p = pos.get(node)
+            if p is None:
+                continue
+            if previous is not None and p <= previous:
+                ordered = False
+                break
+            previous = p
+            anchors.append((i, p))
+        if ordered:
+            if not _place_between_anchors(nodes, anchors, pos):
+                self._order_pos = None  # gap exhausted; renumber lazily
+        else:
+            if _union_has_cycle(self._children, list(zip(nodes, nodes[1:]))):
+                raise RoutingError(
+                    f"merging path {nodes} would create a directed cycle "
+                    "in the flow-like graph"
+                )
+            self._order_pos = None
+        children = self._children
         for a, b in zip(nodes, nodes[1:]):
-            trial_children.setdefault(a, set()).add(b)
-        if _has_directed_cycle(trial_children):
-            raise RoutingError(
-                f"merging path {nodes} would create a directed cycle in the "
-                "flow-like graph"
-            )
-        self._children = trial_children
+            children.setdefault(a, set()).add(b)
         self._paths.append(nodes)
         self._path_widths.append(width)
         for a, b in zip(nodes, nodes[1:]):
             key = _ekey(a, b)
-            self._edge_widths[key] = max(self._edge_widths.get(key, 0), width)
-        self._arity_cache = None
+            old = edge_widths.get(key, 0)
+            if width > old:
+                edge_widths[key] = width
+                if arities is not None:
+                    delta = width - old
+                    arities[a] = arities.get(a, 0) + delta
+                    arities[b] = arities.get(b, 0) + delta
         self._topo_cache = None
 
     def remove_path(self, nodes: Sequence[int]) -> Dict[EdgeKey, int]:
@@ -163,15 +227,27 @@ class FlowLikeGraph:
                 self._edge_widths[key] = new_width
         self._arity_cache = None
         self._topo_cache = None
+        self._order_pos = None
         return released
 
     def copy(self) -> "FlowLikeGraph":
-        """Independent deep copy (used for trial merges)."""
+        """Independent deep copy (used for trial merges).
+
+        Clones the derived-state memos too: a trial merge mutates the
+        copy once and evaluates its rate once, so arriving with warm
+        arity/order state is exactly the admission loop's hot pattern.
+        """
         clone = FlowLikeGraph(self.demand_id, self.source, self.destination)
         clone._paths = list(self._paths)
         clone._path_widths = list(self._path_widths)
         clone._children = {k: set(v) for k, v in self._children.items()}
         clone._edge_widths = dict(self._edge_widths)
+        arities = self._arity_cache
+        clone._arity_cache = dict(arities) if arities is not None else None
+        # The topo list is rebuilt whole, never edited, so sharing is safe.
+        clone._topo_cache = self._topo_cache
+        pos = self._order_pos
+        clone._order_pos = dict(pos) if pos is not None else None
         return clone
 
     def widen_edge(self, u: int, v: int, extra: int = 1) -> None:
@@ -182,7 +258,10 @@ class FlowLikeGraph:
         if extra < 1:
             raise RoutingError(f"extra width must be >= 1, got {extra}")
         self._edge_widths[key] += extra
-        self._arity_cache = None
+        arities = self._arity_cache
+        if arities is not None:
+            arities[u] = arities.get(u, 0) + extra
+            arities[v] = arities.get(v, 0) + extra
 
     # ------------------------------------------------------------------
     # Queries
@@ -261,35 +340,65 @@ class FlowLikeGraph:
         return cache
 
     def _topological_order(self) -> List[int]:
-        """Nodes reachable from the source, parents before children.
+        """All nodes of the graph, parents before children.
 
-        Memoised until the next :meth:`add_path`; well defined because
-        merges that would create a directed cycle are rejected.
+        Every node lies on some source->destination constituent path, so
+        this covers exactly the source-reachable set.  Derived from the
+        maintained position map (sorting by position is a valid
+        topological order by the map's invariant) and memoised until the
+        next structural mutation; well defined because merges that would
+        create a directed cycle are rejected.  Equation 1's result does
+        not depend on *which* valid order is walked — each node's value
+        is a function of its children's memoised values only.
         """
         order = self._topo_cache
         if order is None:
-            order = []
-            visited = {self.source}
+            pos = self._order_pos
+            if pos is None:
+                pos = self._rebuild_order()
+            order = sorted(pos, key=pos.__getitem__)
+            self._topo_cache = order
+        return order
+
+    def _rebuild_order(self) -> Dict[int, int]:
+        """Recompute the topological position map from the child map.
+
+        The fallback for mutations the incremental placement cannot
+        absorb exactly (an exact-DFS admission, a removal, a gap
+        collision).  DFS reverse-post-order over the (acyclic by
+        invariant) child map, positions spaced ``_ORDER_GAP`` apart.
+        """
+        children = self._children
+        order: List[int] = []
+        visited: Set[int] = set()
+        roots = set(children)
+        for kids in children.values():
+            roots.update(kids)
+        for root in sorted(roots):
+            if root in visited:
+                continue
+            visited.add(root)
             stack: List[Tuple[int, object]] = [
-                (self.source, iter(sorted(self._children.get(self.source, ()))))
+                (root, iter(sorted(children.get(root, ()))))
             ]
             while stack:
-                node, children = stack[-1]
+                node, iterator = stack[-1]
                 advanced = False
-                for child in children:
+                for child in iterator:
                     if child not in visited:
                         visited.add(child)
                         stack.append(
-                            (child, iter(sorted(self._children.get(child, ()))))
+                            (child, iter(sorted(children.get(child, ()))))
                         )
                         advanced = True
                         break
                 if not advanced:
                     order.append(node)
                     stack.pop()
-            order.reverse()
-            self._topo_cache = order
-        return order
+        order.reverse()
+        pos = {node: i * _ORDER_GAP for i, node in enumerate(order)}
+        self._order_pos = pos
+        return pos
 
     def qubits_used_at(self, node: int) -> int:
         """Communication qubits this state consumes at *node*."""
@@ -348,12 +457,19 @@ class FlowLikeGraph:
         children_of = self._children
         edge_widths = self._edge_widths
         rate_fn = rate_cache.rate if rate_cache is not None else None
+        # Reading the cache's memo dict directly skips a call frame and
+        # a duplicate edge-key build per hit; misses still go through
+        # ``rate()`` so the entry is stored exactly as before.
+        rate_memo = rate_cache._rates if rate_cache is not None else None
         # The snapshot the routing call already compiled (if any) turns
         # the per-child user test into an array read; the flags were
         # copied from the same node records, so the outcome is equal.
         snapshot = (
             rate_cache.compiled_snapshot if rate_cache is not None else None
         )
+        if snapshot is not None:
+            snapshot_is_user = snapshot.is_user
+            snapshot_index_of = snapshot.index_of
         swap_fn = swap_model.success_probability
         # success_probability is a pure function of the arity; one memo
         # per evaluation skips its re-validation for repeated arities.
@@ -368,8 +484,10 @@ class FlowLikeGraph:
                 width = edge_widths[key]
                 if has_extra:
                     width += extra_widths.get(key, 0)
-                if rate_fn is not None:
-                    edge_rate = rate_fn(node, child, width)
+                if rate_memo is not None:
+                    edge_rate = rate_memo.get(key + (width,))
+                    if edge_rate is None:
+                        edge_rate = rate_fn(node, child, width)
                 else:
                     edge_rate = channel_rate(
                         network, link_model, node, child, width
@@ -377,7 +495,7 @@ class FlowLikeGraph:
                 if child == destination:
                     swap = 1.0
                 elif (
-                    snapshot.is_user[snapshot.index_of[child]]
+                    snapshot_is_user[snapshot_index_of[child]]
                     if snapshot is not None
                     else network.node(child).is_user
                 ):
@@ -452,11 +570,56 @@ def extra_widths_total(extra_widths: Dict[EdgeKey, int], node: int) -> int:
     )
 
 
-def _has_directed_cycle(children: Dict[int, Set[int]]) -> bool:
-    """Detect a directed cycle in a child map via iterative DFS colouring."""
+def _place_between_anchors(
+    nodes: Sequence[int],
+    anchors: List[Tuple[int, int]],
+    pos: Dict[int, int],
+) -> bool:
+    """Slot a path's new nodes into the position-map gaps, in place.
+
+    ``anchors`` are the ``(path index, position)`` pairs of the path's
+    already-known nodes, strictly increasing in position (the caller's
+    fast-path certificate).  Every stretch of new nodes lies between
+    two anchors — constituent paths start and end at the demand
+    endpoints, which are known the moment the graph is non-empty — and
+    gets evenly spaced positions inside the anchor gap.  The one
+    exception is the very first path of an empty graph (no anchors):
+    its nodes seed the map at ``_ORDER_GAP`` spacing.  Returns False
+    without mutating anything if some gap is too tight to hold its new
+    nodes distinctly, in which case the caller renumbers.
+    """
+    if not anchors:
+        for i, node in enumerate(nodes):
+            pos[node] = i * _ORDER_GAP
+        return True
+    for (i0, p0), (i1, p1) in zip(anchors, anchors[1:]):
+        if i1 - i0 > 1 and p1 - p0 <= i1 - i0 - 1:
+            return False
+    for (i0, p0), (i1, p1) in zip(anchors, anchors[1:]):
+        squeezed = i1 - i0 - 1
+        if squeezed:
+            step = (p1 - p0) // (squeezed + 1)
+            for j in range(1, squeezed + 1):
+                pos[nodes[i0 + j]] = p0 + j * step
+    return True
+
+
+def _union_has_cycle(
+    children: Dict[int, Set[int]], new_edges: List[Tuple[int, int]]
+) -> bool:
+    """Directed-cycle test over ``children`` plus a candidate path's edges.
+
+    The exact fallback for merges the incremental position check cannot
+    certify: iterative DFS colouring over the *virtual* union — the
+    child map is read, never copied, and each path node contributes at
+    most one extra successor.
+    """
+    extra = {a: b for a, b in new_edges}
     WHITE, GRAY, BLACK = 0, 1, 2
     color: Dict[int, int] = {}
-    for root in children:
+    roots = list(children)
+    roots.extend(extra)
+    for root in roots:
         if color.get(root, WHITE) != WHITE:
             continue
         stack: List[Tuple[int, Optional[object]]] = [(root, None)]
@@ -466,7 +629,11 @@ def _has_directed_cycle(children: Dict[int, Set[int]]) -> bool:
                 if color.get(node, WHITE) != WHITE:
                     continue
                 color[node] = GRAY
-                iterator = iter(sorted(children.get(node, ())))
+                successors = sorted(children.get(node, ()))
+                bonus = extra.get(node)
+                if bonus is not None and bonus not in children.get(node, ()):
+                    successors.append(bonus)
+                iterator = iter(successors)
             advanced = False
             for child in iterator:
                 state = color.get(child, WHITE)

@@ -39,13 +39,14 @@ import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
-from repro.exceptions import ConfigurationError
 from repro.network.demands import DemandSet
 from repro.network.graph import QuantumNetwork
 from repro.quantum.noise import LinkModel, SwapModel
+import repro.specs as specs
+from repro.specs import SpecBase, SpecError
 
 
-class RouterSpecError(ConfigurationError, ValueError):
+class RouterSpecError(SpecError):
     """A router key, parameter or spec string is invalid.
 
     Subclasses :class:`ValueError` as well so ``argparse`` type callables
@@ -205,7 +206,7 @@ def router_class(key: str) -> type:
 
 
 @dataclass(frozen=True)
-class RouterSpec:
+class RouterSpec(SpecBase):
     """A router addressed by registry key plus explicit parameters.
 
     ``params`` holds only the parameters that differ from the router
@@ -218,6 +219,9 @@ class RouterSpec:
 
     key: str
     params: Tuple[Tuple[str, object], ...] = ()
+
+    spec_what = "router"
+    spec_error = RouterSpecError
 
     def __post_init__(self):
         object.__setattr__(self, "key", normalize_key(self.key))
@@ -266,24 +270,22 @@ class RouterSpec:
 
         Values parse as booleans (``true``/``false``), ``none``, ints,
         floats, then fall back to strings — matching what
-        :meth:`to_string` emits, so specs round-trip.
+        :meth:`to_string` emits, so specs round-trip.  A second ``=``
+        could parse here but ``to_string`` could never re-emit it, so
+        it is rejected symmetrically; unknown parameter names are
+        checked (and listed) by ``__post_init__`` against the router
+        class's fields.
         """
-        key, sep, rest = text.strip().partition(":")
-        if not key:
-            raise RouterSpecError(f"empty router key in spec {text!r}")
+        key, rest = cls._split_spec(text)
         params: Dict[str, object] = {}
-        if sep:
-            for item in rest.split(","):
-                name, eq, value = item.partition("=")
-                name = name.strip()
-                if not eq or not name or "=" in value:
-                    # A second "=" could parse here but to_string could
-                    # never re-emit it; reject symmetrically.
-                    raise RouterSpecError(
-                        f"malformed parameter {item!r} in spec {text!r}; "
-                        "expected name=value"
-                    )
-                params[name] = _parse_value(value.strip())
+        if rest is not None:
+            params = {
+                name: _parse_value(value)
+                for name, value in cls._parse_params(
+                    rest, text=text,
+                    forbid_eq_in_value=True, allow_empty_value=True,
+                ).items()
+            }
         return cls.create(key, **params)
 
     def to_string(self) -> str:
@@ -435,56 +437,15 @@ def _coerce_param(name: str, value, annotation, key: str):
 
 
 def _parse_value(text: str):
-    """Spec-string value syntax: bool / none / int / float / str."""
-    lowered = text.lower()
-    if lowered == "true":
-        return True
-    if lowered == "false":
-        return False
-    if lowered in ("none", "null"):
-        return None
-    try:
-        return int(text)
-    except ValueError:
-        pass
-    try:
-        return float(text)
-    except ValueError:
-        pass
-    return text
+    """Spec-string value syntax (shared grammar; see repro.specs)."""
+    return specs.parse_value(text)
 
 
 def _check_spec_string(value: str) -> str:
-    """Reject str values the spec grammar cannot re-parse.
-
-    Separators and surrounding whitespace are lost in parsing;
-    numeric-looking strings are fine — the declared-type coercion in
-    :class:`RouterSpec` restores them to str on the way back in.
-    """
-    if any(sep in value for sep in ",:=") or value != value.strip():
-        raise RouterSpecError(
-            f"string parameter value {value!r} does not survive a "
-            "spec-string round trip"
-        )
-    return value
+    """Reject str values the spec grammar cannot re-parse."""
+    return specs.check_spec_string(value, RouterSpecError)
 
 
 def _format_value(value) -> str:
     """Inverse of :func:`_parse_value`; rejects unrepresentable values."""
-    if value is True:
-        return "true"
-    if value is False:
-        return "false"
-    if value is None:
-        return "none"
-    if isinstance(value, str):
-        return _check_spec_string(value)
-    rendered = repr(value) if isinstance(value, float) else str(value)
-    if _parse_value(rendered) != value:
-        # E.g. a container value on an unannotated custom-router field:
-        # its str() form would parse back as something else entirely.
-        raise RouterSpecError(
-            f"parameter value {value!r} does not survive a spec-string "
-            "round trip"
-        )
-    return rendered
+    return specs.format_value(value, RouterSpecError)

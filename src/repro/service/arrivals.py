@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from repro.exceptions import ConfigurationError
+from repro.specs import SpecBase, SpecError
 from repro.utils.rng import RandomState, stream_rng
 
 #: Substream index of the k-th arrival event is ``EVENT_STREAM_BASE + k``.
@@ -40,7 +40,7 @@ TRACE_FORMAT = "repro-serve-trace"
 TRACE_VERSION = 1
 
 
-class ArrivalSpecError(ConfigurationError, ValueError):
+class ArrivalSpecError(SpecError):
     """An arrival spec string, parameter or trace file is invalid.
 
     Subclasses :class:`ValueError` so ``argparse`` type callables can
@@ -144,7 +144,7 @@ class ArrivalEvent:
 
 
 @dataclass(frozen=True)
-class ArrivalSpec:
+class ArrivalSpec(SpecBase):
     """One arrival process: Poisson with a holding model, or a trace.
 
     ``rate``/``hold`` parameterise Poisson arrivals and are meaningless
@@ -157,6 +157,9 @@ class ArrivalSpec:
     rate: float = 2.0
     hold: HoldSpec = HoldSpec()
     file: Optional[str] = None
+
+    spec_what = "arrival"
+    spec_error = ArrivalSpecError
 
     def __post_init__(self) -> None:
         if self.kind not in ("poisson", "trace"):
@@ -198,38 +201,25 @@ class ArrivalSpec:
     @classmethod
     def from_string(cls, text: str) -> "ArrivalSpec":
         """Parse ``poisson[:rate=R,hold=DIST:mean=M]`` or
-        ``trace:file=PATH``."""
-        kind, sep, rest = text.strip().partition(":")
-        kind = kind.strip().lower()
-        if not kind:
-            raise ArrivalSpecError(f"empty arrival kind in {text!r}")
+        ``trace:file=PATH``.
+
+        ``=`` may appear inside a value (the nested hold grammar), so
+        the shared tokenizer's default first-``=``-wins split applies.
+        """
+        kind, rest = cls._split_spec(text)
+        kind = kind.lower()
         params: Dict[str, object] = {}
-        if sep:
-            for item in rest.split(","):
-                name, eq, value = item.partition("=")
-                name, value = name.strip(), value.strip()
-                if not eq or not name or not value:
-                    raise ArrivalSpecError(
-                        f"malformed parameter {item!r} in arrival spec "
-                        f"{text!r}; expected name=value"
-                    )
-                if name in params:
-                    raise ArrivalSpecError(
-                        f"duplicate parameter {name!r} in arrival spec "
-                        f"{text!r}"
-                    )
+        if rest is not None:
+            raw = cls._parse_params(
+                rest, text=text, valid=("rate", "hold", "file")
+            )
+            for name, value in raw.items():
                 if name == "rate":
                     params["rate"] = _parse_float("rate", value)
                 elif name == "hold":
                     params["hold"] = HoldSpec.from_string(value)
-                elif name == "file":
-                    params["file"] = value
                 else:
-                    raise ArrivalSpecError(
-                        f"unknown parameter {name!r} in arrival spec "
-                        f"{text!r}; valid parameters: rate, hold "
-                        "(poisson) or file (trace)"
-                    )
+                    params["file"] = value
         if kind == "trace" and ("rate" in params or "hold" in params):
             raise ArrivalSpecError(
                 "trace arrivals replay the recorded times and holds; "
@@ -250,9 +240,6 @@ class ArrivalSpec:
         if not rendered:
             return self.kind
         return f"{self.kind}:{','.join(rendered)}"
-
-    def __str__(self) -> str:
-        return self.to_string()
 
     def config_dict(self) -> Dict:
         """Stable, JSON-ready identity for cache keys.

@@ -1,0 +1,256 @@
+"""The shared ``key[:name=value,...]`` spec-string grammar.
+
+Four user-facing configuration grammars share this base:
+:class:`~repro.routing.registry.RouterSpec`,
+:class:`~repro.experiments.scenarios.ScenarioSpec`,
+:class:`~repro.experiments.estimators.EstimatorSpec` and
+:class:`~repro.service.arrivals.ArrivalSpec`.  Each used to hand-roll
+the same ``partition``/``split`` tokenizer with slightly different
+error wording; this module centralises the grammar so
+
+* parse errors are uniform — malformed items, duplicates and unknown
+  parameter names are reported identically, and unknown-name errors
+  always list the valid names;
+* the value grammar (``true``/``false``/``none``/int/float/str) and its
+  inverse are written once, with the round-trip checks that keep every
+  constructible spec printable and re-parseable;
+* ``parse`` / ``to_string`` / ``config_dict`` form one uniform surface
+  (``parse`` is the canonical entry point; ``from_string`` remains on
+  every subclass as the historical spelling).
+
+The grammar itself is unchanged — spec strings that parsed before parse
+to the same values, ``to_string`` emits the same text, and every
+``config_dict``/``fingerprint`` is byte-identical, so cache keys do not
+move (asserted in ``tests/test_specs.py`` against frozen digests).
+
+Grammar variations are explicit flags, not subclass copies:
+
+* ``forbid_eq_in_value`` — ``RouterSpec`` rejects ``=`` in values
+  symmetrically with what its ``to_string`` can emit; the default
+  keeps ``=`` in the value (``str.partition`` semantics), which is how
+  ``ArrivalSpec`` nests its one-parameter hold grammar
+  (``hold=exp:mean=30``).
+* ``allow_empty_value`` — ``RouterSpec`` accepts ``name=`` (an empty
+  string value); the others require a non-empty value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.exceptions import ConfigurationError
+
+
+class SpecError(ConfigurationError, ValueError):
+    """A spec string's key, parameter or value is invalid.
+
+    Subclasses :class:`ValueError` so ``argparse`` type callables can
+    surface the message as a normal usage error.  Each grammar raises
+    its own subclass (``RouterSpecError``, ``ScenarioSpecError``,
+    ``EstimatorSpecError``, ``ArrivalSpecError``), so existing
+    ``except`` clauses keep working while ``except SpecError`` catches
+    any of them.
+    """
+
+
+# ----------------------------------------------------------------------
+# Value grammar
+
+
+def parse_value(text: str):
+    """Spec-string value syntax: bool / none / int / float / str."""
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def check_spec_string(value: str, error: Type[SpecError] = SpecError) -> str:
+    """Reject str values the spec grammar cannot re-parse.
+
+    Separators and surrounding whitespace are lost in parsing;
+    numeric-looking strings are fine — declared-type coercion in the
+    owning spec restores them to str on the way back in.
+    """
+    if any(sep in value for sep in ",:=") or value != value.strip():
+        raise error(
+            f"string parameter value {value!r} does not survive a "
+            "spec-string round trip"
+        )
+    return value
+
+
+def format_value(value, error: Type[SpecError] = SpecError) -> str:
+    """Inverse of :func:`parse_value`; rejects unrepresentable values."""
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if value is None:
+        return "none"
+    if isinstance(value, str):
+        return check_spec_string(value, error)
+    rendered = repr(value) if isinstance(value, float) else str(value)
+    if parse_value(rendered) != value:
+        # E.g. a container value on an unannotated custom field: its
+        # str() form would parse back as something else entirely.
+        raise error(
+            f"parameter value {value!r} does not survive a spec-string "
+            "round trip"
+        )
+    return rendered
+
+
+# ----------------------------------------------------------------------
+# Tokenizer
+
+
+def split_spec(
+    text: str, what: str, error: Type[SpecError] = SpecError
+) -> Tuple[str, Optional[str]]:
+    """Split ``"key[:rest]"`` into ``(key, rest)``.
+
+    ``rest`` is ``None`` when no ``:`` separator is present (so
+    ``"key:"`` yields ``(key, "")`` — an empty parameter list — and the
+    caller can tell the two apart).  An empty key raises.
+    """
+    key, sep, rest = text.strip().partition(":")
+    if not key:
+        raise error(f"empty {what} key in spec {text!r}")
+    return key, (rest if sep else None)
+
+
+def parse_params(
+    rest: str,
+    *,
+    text: str,
+    what: str,
+    error: Type[SpecError] = SpecError,
+    valid: Optional[Sequence[str]] = None,
+    forbid_eq_in_value: bool = False,
+    allow_empty_value: bool = False,
+) -> Dict[str, str]:
+    """Tokenize ``"name=value,name=value"`` into an ordered dict of raw
+    string values.
+
+    Uniform error policy across every spec grammar: a missing ``=`` or
+    empty name (or empty value, unless allowed) is *malformed*; a
+    repeated name is a *duplicate*; names outside *valid* (when given)
+    are reported together, sorted, with the valid names listed.  Value
+    conversion stays with the caller — each grammar has its own value
+    rules — so this function never loses information.
+    """
+    params: Dict[str, str] = {}
+    for item in rest.split(","):
+        name, eq, value = item.partition("=")
+        name, value = name.strip(), value.strip()
+        malformed = (
+            not eq
+            or not name
+            or (not value and not allow_empty_value)
+            or (forbid_eq_in_value and "=" in value)
+        )
+        if malformed:
+            raise error(
+                f"malformed parameter {item!r} in {what} spec {text!r}; "
+                "expected name=value"
+            )
+        if name in params:
+            raise error(
+                f"duplicate parameter {name!r} in {what} spec {text!r}"
+            )
+        params[name] = value
+    if valid is not None:
+        unknown = sorted(set(params) - set(valid))
+        if unknown:
+            raise error(
+                f"unknown parameter(s) "
+                f"{', '.join(repr(u) for u in unknown)} in {what} spec "
+                f"{text!r}; valid parameters: {', '.join(sorted(valid))}"
+            )
+    return params
+
+
+class SpecBase:
+    """Mixin giving a spec dataclass the uniform grammar surface.
+
+    Subclasses set ``spec_what`` (the noun used in error messages) and
+    ``spec_error`` (their :class:`SpecError` subclass), implement
+    ``from_string`` / ``to_string``, and inherit:
+
+    * :meth:`parse` — the canonical entry point (an alias of
+      ``from_string`` so historical call sites keep working);
+    * ``__str__`` — the spec string;
+    * :meth:`config_dict` — every dataclass field, JSON-ready, the
+      identity that feeds cache keys (override when identity is not the
+      field set — e.g. trace arrivals hash the file contents).
+
+    Helper wrappers bind ``spec_what``/``spec_error`` so subclasses
+    never repeat them: ``_split_spec(text)``, ``_parse_params(...)``,
+    ``_format_value(value)``.
+    """
+
+    #: Noun naming the grammar in error messages ("router", ...).
+    spec_what: str = "spec"
+    #: The SpecError subclass this grammar raises.
+    spec_error: Type[SpecError] = SpecError
+
+    @classmethod
+    def parse(cls, text: str):
+        """Parse a spec string (alias of ``from_string``)."""
+        return cls.from_string(text)
+
+    @classmethod
+    def from_string(cls, text: str):
+        raise NotImplementedError
+
+    def to_string(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+    def config_dict(self) -> Dict:
+        """Stable, JSON-ready identity for cache keys: every field."""
+        return dataclasses.asdict(self)
+
+    # -- bound helpers -------------------------------------------------
+
+    @classmethod
+    def _split_spec(cls, text: str) -> Tuple[str, Optional[str]]:
+        return split_spec(text, cls.spec_what, cls.spec_error)
+
+    @classmethod
+    def _parse_params(cls, rest: str, *, text: str, **kwargs) -> Dict[str, str]:
+        return parse_params(
+            rest, text=text, what=cls.spec_what, error=cls.spec_error,
+            **kwargs,
+        )
+
+    @classmethod
+    def _format_value(cls, value) -> str:
+        return format_value(value, cls.spec_error)
+
+
+def spec_subclasses() -> List[type]:
+    """Every registered spec grammar (imported lazily; the subclasses
+    live in heavier packages this base module must not pull in)."""
+    from repro.experiments.estimators import EstimatorSpec
+    from repro.experiments.scenarios import ScenarioSpec
+    from repro.routing.registry import RouterSpec
+    from repro.service.arrivals import ArrivalSpec
+
+    return [RouterSpec, ScenarioSpec, EstimatorSpec, ArrivalSpec]

@@ -271,6 +271,35 @@ class TestRPL004CacheKeys:
             """
         assert codes(src) == []
 
+    def test_spec_base_subclass_audited_without_own_emissions(self):
+        # Inheriting every emission from SpecBase must not silence the
+        # audit: the inherited config_dict/to_string still feed cache
+        # keys, so an unmentioned field is still an unkeyed knob.
+        src = """
+            from dataclasses import dataclass
+            from repro.specs import SpecBase
+
+            @dataclass(frozen=True)
+            class ShinySpec(SpecBase):
+                spec_what = "shiny"
+                knob: int = 0
+            """
+        assert codes(src) == ["RPL004"]
+
+    def test_spec_base_subclass_silent_when_fields_mentioned(self):
+        src = """
+            from dataclasses import dataclass
+            import repro.specs as specs
+
+            _PARAMS = ("knob",)
+
+            @dataclass(frozen=True)
+            class ShinySpec(specs.SpecBase):
+                spec_what = "shiny"
+                knob: int = 0
+            """
+        assert codes(src) == []
+
 
 # ----------------------------------------------------------------------
 # RPL005: registry protocol conventions

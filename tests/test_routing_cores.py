@@ -26,9 +26,12 @@ from repro.routing.alg2_path_selection import default_max_width, select_paths
 from repro.routing.allocation import QubitLedger
 from repro.routing.compiled import (
     ROUTING_CORE_ENV,
+    WidthSearchBatch,
     active_routing_core,
+    search_widths,
     snapshot_for,
 )
+from repro.exceptions import RoutingError
 from repro.routing.flow_graph import FlowLikeGraph
 from repro.routing.metrics import ChannelRateCache
 from repro.routing.registry import make_router, router_keys
@@ -369,7 +372,7 @@ def test_relay_feasibility_journal_parity():
         ]
 
     for width in (1, 2):
-        assert snapshot.relay_feasible(ledger, width) == expected(width)
+        assert list(snapshot.relay_feasible(ledger, width)) == expected(width)
     # Incremental reserve/release sequences patch flags via the journal.
     rng = ensure_rng(SEEDS[0] + 1)
     for trial in range(40):
@@ -380,20 +383,253 @@ def test_relay_feasibility_journal_parity():
         elif free:
             ledger.reserve(node, min(2, free))
         for width in (1, 2):
-            assert snapshot.relay_feasible(ledger, width) == expected(width)
+            assert list(snapshot.relay_feasible(ledger, width)) == expected(width)
     # restore() bumps the epoch: derived flags must follow wholesale.
     baseline = ledger.snapshot()
     ledger.reserve(switches[0], int(ledger.remaining(switches[0])))
-    assert snapshot.relay_feasible(ledger, 1) == expected(1)
+    assert list(snapshot.relay_feasible(ledger, 1)) == expected(1)
     ledger.restore(baseline)
-    assert snapshot.relay_feasible(ledger, 1) == expected(1)
+    assert list(snapshot.relay_feasible(ledger, 1)) == expected(1)
     # Journal compaction (epoch bump mid-stream) keeps patching exact.
     node = switches[0]
     for _ in range(1200):
         ledger.reserve(node, 1)
         ledger.release(node, 1)
-    assert snapshot.relay_feasible(ledger, 1) == expected(1)
-    assert snapshot.relay_feasible(ledger, 2) == expected(2)
+    assert list(snapshot.relay_feasible(ledger, 1)) == expected(1)
+    assert list(snapshot.relay_feasible(ledger, 2)) == expected(2)
+
+
+# ----------------------------------------------------------------------
+# Batched width search (the kernel-facing API)
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS[:2])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batched_search_matches_reference_per_width(scenario, seed):
+    """``search_widths`` answers every width exactly as the reference
+    core's per-width Algorithm 1 — including banned sets and a partially
+    consumed ledger."""
+    network, demands = _instance(scenario, seed)
+    rng = ensure_rng(seed + 2)
+    switches = network.switches()
+    edges = network.edge_keys()
+    ledger = QubitLedger(network)
+    for node in switches[::3]:
+        ledger.reserve(node, min(2, int(ledger.remaining(node))))
+    snapshot = snapshot_for(network, LINK, None)
+    widths = (1, 2, 3)
+    for trial in range(8):
+        demand = demands[trial % len(demands)]
+        banned_nodes = frozenset(
+            int(s) for s in rng.choice(switches, size=2, replace=False)
+        )
+        picked = rng.choice(len(edges), size=3, replace=False)
+        banned_edges = frozenset(edges[int(i)] for i in picked)
+        batched = search_widths(
+            snapshot, SWAP, demand, widths, ledger=ledger,
+            banned_nodes=banned_nodes, banned_edges=banned_edges,
+        )
+        assert set(batched) == set(widths)
+        with routing_core("reference"):
+            for width in widths:
+                expected = largest_entanglement_rate_path(
+                    network, LINK, SWAP, demand.source, demand.destination,
+                    width, ledger, banned_nodes=banned_nodes,
+                    banned_edges=banned_edges,
+                )
+                assert batched[width] == expected
+
+
+def test_batched_search_drained_ledger(diamond_network):
+    ledger = QubitLedger(diamond_network)
+    for node in (2, 3, 4, 5):
+        ledger.reserve(node, 10)
+    snapshot = snapshot_for(diamond_network, LINK, None)
+    batched = search_widths(
+        snapshot, SWAP, Demand(0, 0, 1), (1, 2), ledger=ledger
+    )
+    assert batched == {1: None, 2: None}
+    # Banned endpoints short-circuit per width, like the reference core.
+    fresh = QubitLedger(diamond_network)
+    assert search_widths(
+        snapshot, SWAP, Demand(0, 0, 1), (1,), ledger=fresh,
+        banned_nodes=frozenset({1}),
+    ) == {1: None}
+
+
+def test_batch_matches_its_own_single_width_searches():
+    network, demands = _instance(SCENARIOS[1], SEEDS[0])
+    ledger = QubitLedger(network)
+    snapshot = snapshot_for(network, LINK, None)
+    demand = demands[0]
+    batch = WidthSearchBatch(
+        snapshot, SWAP, demand.source, demand.destination, (1, 2, 3), ledger
+    )
+    swept = batch.search_widths()
+    for width in (1, 2, 3):
+        assert swept[width] == batch.search(width)
+
+
+def test_batch_rejects_invalid_construction(diamond_network):
+    snapshot = snapshot_for(diamond_network, LINK, None)
+    with pytest.raises(RoutingError, match="must differ"):
+        WidthSearchBatch(snapshot, SWAP, 0, 0, (1,))
+    with pytest.raises(RoutingError, match="must exist"):
+        WidthSearchBatch(snapshot, SWAP, 0, 99, (1,))
+    with pytest.raises(RoutingError, match="width"):
+        WidthSearchBatch(snapshot, SWAP, 0, 1, (1, 0))
+
+
+# ----------------------------------------------------------------------
+# Persistent snapshots (topology_version keyed)
+
+
+def test_persistent_snapshot_survives_calls_and_tracks_mutations():
+    network, demands = _instance(SCENARIOS[0], SEEDS[0])
+    first = snapshot_for(network, LINK, None)
+    # Reused across calls and across rate caches: the snapshot lives on
+    # the network keyed by (link model, topology_version).
+    assert snapshot_for(network, LINK, None) is first
+    assert snapshot_for(network, LINK, ChannelRateCache(network, LINK)) is first
+    # A different link model gets its own snapshot.
+    assert snapshot_for(network, LinkModel(fixed_p=0.9), None) is not first
+
+    with routing_core("compiled"):
+        router = make_router("alg-n-fusion")
+        before = router.route(network, demands, LINK, SWAP)
+        again = router.route(network, demands, LINK, SWAP)
+    # Warm calls (memoised snapshot + search memo) stay bit-identical.
+    assert again.total_rate == before.total_rate
+    assert again.demand_rates == before.demand_rates
+    assert _plan_shape(again) == _plan_shape(before)
+
+    # A structural mutation bumps topology_version and invalidates.
+    u, v = network.edge_keys()[0]
+    length = network.edge(u, v).length
+    version = network.topology_version
+    network.remove_edge(u, v)
+    assert network.topology_version == version + 1
+    assert snapshot_for(network, LINK, None) is not first
+    results = {}
+    for core in ("reference", "compiled"):
+        with routing_core(core):
+            results[core] = make_router("alg-n-fusion").route(
+                network, demands, LINK, SWAP
+            )
+    assert results["reference"].demand_rates == results["compiled"].demand_rates
+    assert _plan_shape(results["reference"]) == _plan_shape(results["compiled"])
+
+    # Restoring the edge restores the original answers bit-for-bit
+    # (through a fresh snapshot — versions never roll back).
+    network.add_edge(u, v, length)
+    with routing_core("compiled"):
+        restored = make_router("alg-n-fusion").route(network, demands, LINK, SWAP)
+    assert restored.total_rate == before.total_rate
+    assert restored.demand_rates == before.demand_rates
+    assert _plan_shape(restored) == _plan_shape(before)
+
+
+# ----------------------------------------------------------------------
+# Incremental cycle check (position-map fast path + DFS fallback)
+
+
+def _directed_edges(paths):
+    return {(a, b) for nodes in paths for a, b in zip(nodes, nodes[1:])}
+
+
+def _oracle_has_cycle(edges):
+    """Exact three-colour DFS over a set of directed edges."""
+    children = {}
+    for a, b in edges:
+        children.setdefault(a, set()).add(b)
+    state = {}
+    for root in list(children):
+        if state.get(root):
+            continue
+        stack = [(root, iter(sorted(children.get(root, ()))))]
+        state[root] = 1
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for child in it:
+                mark = state.get(child)
+                if mark == 1:
+                    return True
+                if mark is None:
+                    state[child] = 1
+                    stack.append((child, iter(sorted(children.get(child, ())))))
+                    advanced = True
+                    break
+            if not advanced:
+                state[node] = 2
+                stack.pop()
+    return False
+
+
+def test_cycle_check_randomised_against_dfs_oracle():
+    """Mixed add/remove/widen/upgrade sequences: the incremental check
+    accepts exactly the merges a from-scratch DFS accepts."""
+    rng = ensure_rng(1234)
+    flow = FlowLikeGraph(0, 0, 1)
+    intermediates = list(range(2, 10))
+    accepted = 0
+    rejected = 0
+    for trial in range(300):
+        action = int(rng.integers(10))
+        if action < 6 or not flow.paths:
+            size = int(rng.integers(1, 4))
+            middle = [
+                int(n)
+                for n in rng.choice(intermediates, size=size, replace=False)
+            ]
+            candidate = tuple([0] + middle + [1])
+            should_cycle = _oracle_has_cycle(
+                _directed_edges(flow.paths) | _directed_edges([candidate])
+            )
+            if should_cycle:
+                with pytest.raises(RoutingError, match="directed cycle"):
+                    flow.add_path(candidate, width=1 + trial % 3)
+                rejected += 1
+                # A rejected merge must leave the graph untouched.
+                assert candidate not in flow.paths
+            else:
+                flow.add_path(candidate, width=1 + trial % 3)
+                accepted += 1
+        elif action < 8:
+            victim = flow.paths[int(rng.integers(len(flow.paths)))]
+            flow.remove_path(victim)
+        elif flow.edge_widths():
+            keys = sorted(flow.edge_widths())
+            edge = keys[int(rng.integers(len(keys)))]
+            flow.widen_edge(*edge)
+        # Invariants after every operation: the live graph is acyclic
+        # and the arity memo matches a full rescan.
+        assert not _oracle_has_cycle(_directed_edges(flow.paths))
+        for node in flow.nodes():
+            assert flow.fusion_arity(node) == _incident_width(flow, node)
+    assert accepted >= 30 and rejected >= 30
+
+
+def test_cycle_check_survives_position_gap_exhaustion():
+    """Thousands of between-anchor insertions exhaust the integer gaps
+    of the position map; the lazy renumber must keep both acceptance and
+    rejection exact."""
+    flow = FlowLikeGraph(0, 0, 1)
+    flow.add_path((0, 2, 1), width=1)
+    # Repeatedly splice a new node between the source and node 2: each
+    # insertion bisects the same positional gap.
+    chain = [0, 2]
+    for fresh in range(100, 140):
+        chain.insert(1, fresh)
+        flow.add_path(tuple(chain + [1]), width=1)
+        assert not _oracle_has_cycle(_directed_edges(flow.paths))
+    # After any renumbering, ordering semantics must be intact: a
+    # backwards edge is still rejected, a forwards one accepted.
+    flow.add_path((0, 2, 3, 1), width=1)
+    with pytest.raises(RoutingError, match="directed cycle"):
+        flow.add_path((0, 3, 2, 1), width=1)
+    flow.add_path((0, 100, 3, 1), width=2)
+    assert not _oracle_has_cycle(_directed_edges(flow.paths))
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,226 @@
+"""The shared spec-grammar base (``repro.specs``).
+
+Covers the uniform surface the four grammars inherit — ``parse`` /
+``to_string`` / ``config_dict`` round-trips, uniform unknown-parameter
+and duplicate errors naming the valid keys — and pins the cache keys
+byte-for-byte against digests frozen *before* the parsers moved onto
+the base, so the refactor can never silently move a cache entry
+(``CACHE_FORMAT_VERSION`` intentionally did not change).
+"""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.cache import CACHE_FORMAT_VERSION, ResultCache
+from repro.experiments.estimators import EstimatorSpec, EstimatorSpecError
+from repro.experiments.scenarios import (
+    ScenarioSpec,
+    ScenarioSpecError,
+    as_setting,
+)
+from repro.routing.registry import RouterSpec, RouterSpecError
+from repro.service.arrivals import ArrivalSpec, ArrivalSpecError
+from repro.specs import (
+    SpecBase,
+    SpecError,
+    format_value,
+    parse_params,
+    parse_value,
+    spec_subclasses,
+    split_spec,
+)
+
+ALL_SPECS = [RouterSpec, ScenarioSpec, EstimatorSpec, ArrivalSpec]
+ALL_ERRORS = [
+    RouterSpecError, ScenarioSpecError, EstimatorSpecError, ArrivalSpecError,
+]
+
+#: One representative spec string per grammar that exercises parameters.
+SAMPLE_STRINGS = {
+    RouterSpec: "alg-n-fusion:include_alg4=false,h=5",
+    ScenarioSpec: "waxman:switches=30,users=6,states=5",
+    EstimatorSpec: "mc:trials=200,engine=vectorized,antithetic=true",
+    ArrivalSpec: "poisson:rate=1.5,hold=fixed:mean=12.5",
+}
+
+#: One spec string with an unknown parameter per grammar.
+UNKNOWN_PARAM_STRINGS = {
+    RouterSpec: "alg-n-fusion:bogus=1",
+    ScenarioSpec: "waxman:bogus=1",
+    EstimatorSpec: "mc:bogus=1",
+    ArrivalSpec: "poisson:bogus=1",
+}
+
+#: A valid parameter name per grammar (must appear in unknown errors).
+A_VALID_PARAM = {
+    RouterSpec: "max_width",
+    ScenarioSpec: "switches",
+    EstimatorSpec: "trials",
+    ArrivalSpec: "hold",
+}
+
+
+class TestSharedSurface:
+    def test_spec_subclasses_lists_all_four(self):
+        assert spec_subclasses() == ALL_SPECS
+
+    def test_all_inherit_spec_base(self):
+        for cls in ALL_SPECS:
+            assert issubclass(cls, SpecBase)
+
+    def test_all_errors_inherit_spec_error(self):
+        for err in ALL_ERRORS:
+            assert issubclass(err, SpecError)
+            # The historical bases must survive: argparse relies on
+            # ValueError, the library's except clauses on
+            # ConfigurationError.
+            assert issubclass(err, ValueError)
+            assert issubclass(err, ConfigurationError)
+
+    @pytest.mark.parametrize("cls", ALL_SPECS, ids=lambda c: c.__name__)
+    def test_parse_to_string_round_trip(self, cls):
+        spec = cls.parse(SAMPLE_STRINGS[cls])
+        assert cls.parse(spec.to_string()) == spec
+        assert str(spec) == spec.to_string()
+        # parse is an alias of the historical from_string.
+        assert cls.from_string(SAMPLE_STRINGS[cls]) == spec
+
+    @pytest.mark.parametrize("cls", ALL_SPECS, ids=lambda c: c.__name__)
+    def test_config_dict_round_trip(self, cls):
+        spec = cls.parse(SAMPLE_STRINGS[cls])
+        again = cls.parse(spec.to_string())
+        assert spec.config_dict() == again.config_dict()
+
+    @pytest.mark.parametrize("cls", ALL_SPECS, ids=lambda c: c.__name__)
+    def test_unknown_parameter_errors_name_valid_keys(self, cls):
+        with pytest.raises(cls.spec_error) as exc:
+            cls.parse(UNKNOWN_PARAM_STRINGS[cls])
+        message = str(exc.value)
+        assert "'bogus'" in message
+        assert "valid parameters" in message
+        assert A_VALID_PARAM[cls] in message
+
+    @pytest.mark.parametrize("cls", ALL_SPECS, ids=lambda c: c.__name__)
+    def test_duplicate_parameter_rejected(self, cls):
+        text = SAMPLE_STRINGS[cls]
+        key, _, rest = text.partition(":")
+        first = rest.split(",")[0]
+        with pytest.raises(cls.spec_error, match="duplicate parameter"):
+            cls.parse(f"{key}:{first},{first}")
+
+    @pytest.mark.parametrize("cls", ALL_SPECS, ids=lambda c: c.__name__)
+    def test_empty_key_rejected(self, cls):
+        with pytest.raises(cls.spec_error, match="empty"):
+            cls.parse(":oops=1")
+
+    @pytest.mark.parametrize("cls", ALL_SPECS, ids=lambda c: c.__name__)
+    def test_malformed_parameter_rejected(self, cls):
+        key = SAMPLE_STRINGS[cls].partition(":")[0]
+        with pytest.raises(cls.spec_error, match="malformed parameter"):
+            cls.parse(f"{key}:notanassignment")
+
+    def test_estimator_config_dict_equals_fingerprint(self):
+        for text in ("analytic", SAMPLE_STRINGS[EstimatorSpec]):
+            spec = EstimatorSpec.parse(text)
+            assert spec.config_dict() == spec.fingerprint()
+
+
+class TestValueGrammar:
+    def test_parse_value_shapes(self):
+        assert parse_value("true") is True
+        assert parse_value("False") is False
+        assert parse_value("none") is None
+        assert parse_value("null") is None
+        assert parse_value("42") == 42
+        assert parse_value("2.5") == 2.5
+        assert parse_value("waxman") == "waxman"
+
+    def test_format_value_inverse(self):
+        for value in (True, False, None, 42, 2.5, "waxman"):
+            assert parse_value(format_value(value)) == value
+
+    def test_format_value_rejects_unparseable(self):
+        with pytest.raises(SpecError, match="round trip"):
+            format_value("has,comma")
+        with pytest.raises(SpecError, match="round trip"):
+            format_value([1, 2])
+
+    def test_split_spec(self):
+        assert split_spec("key", "thing") == ("key", None)
+        assert split_spec("key:a=1", "thing") == ("key", "a=1")
+        assert split_spec("key:", "thing") == ("key", "")
+        with pytest.raises(SpecError, match="empty thing key"):
+            split_spec(":a=1", "thing")
+
+    def test_parse_params_preserves_order_and_rawness(self):
+        params = parse_params("b=2,a=one", text="t", what="thing")
+        assert list(params.items()) == [("b", "2"), ("a", "one")]
+
+    def test_parse_params_eq_in_value_partitions_at_first(self):
+        params = parse_params("hold=exp:mean=30", text="t", what="thing")
+        assert params == {"hold": "exp:mean=30"}
+
+    def test_parse_params_forbid_eq_in_value(self):
+        with pytest.raises(SpecError, match="malformed"):
+            parse_params(
+                "a=b=c", text="t", what="thing", forbid_eq_in_value=True
+            )
+
+    def test_parse_params_empty_value_flag(self):
+        with pytest.raises(SpecError, match="malformed"):
+            parse_params("a=", text="t", what="thing")
+        assert parse_params(
+            "a=", text="t", what="thing", allow_empty_value=True
+        ) == {"a": ""}
+
+
+class TestCacheKeysFrozen:
+    """Cache keys must not move: digests recorded on the pre-refactor
+    parsers (and ``CACHE_FORMAT_VERSION`` pinned — bumping it would
+    mask an accidental identity change as an intentional migration)."""
+
+    FROZEN = [
+        (
+            ("paper-default", "alg-n-fusion", None),
+            "be4fe37efdb44398a3dc2f29a766a2c143a2137581f2edf3f99298e588d15cd6",
+        ),
+        (
+            (
+                "aiello:switches=40,states=8,q=0.85",
+                "alg-n-fusion:include_alg4=false,h=5",
+                "mc:trials=200,antithetic=true",
+            ),
+            "812151286ca0c497f6b0ca4b47608d52c6de91d01315ff714ac6e6139740a407",
+        ),
+        (
+            (
+                "grid:switches=49,users=8,p=0.3",
+                "q-cast",
+                "mc:trials=100,engine=reference",
+            ),
+            "1529ddcd5f13b4b5e90feb835a86299b8f229f2678edb4e8741ade26dcb22eca",
+        ),
+        (
+            ("waxman:switches=30,users=6,states=5", "b1", "analytic"),
+            "802a92a1a12e105ce54e6b9dea2f3670937fdb031f89f23f2dbfba62d6f54fa0",
+        ),
+    ]
+
+    def test_cache_format_version_not_bumped(self):
+        assert CACHE_FORMAT_VERSION == 4
+
+    @pytest.mark.parametrize(
+        "case, digest", FROZEN, ids=[c[0][0] for c in FROZEN]
+    )
+    def test_key_bytes_identical(self, tmp_path, case, digest):
+        scenario, router, estimator = case
+        cache = ResultCache(tmp_path)
+        assert cache.key_for(as_setting(scenario), router, estimator) == digest
+
+    def test_arrival_config_dict_frozen(self):
+        spec = ArrivalSpec.parse("poisson:rate=1.5,hold=fixed:mean=12.5")
+        assert spec.config_dict() == {
+            "kind": "poisson",
+            "rate": 1.5,
+            "hold": {"dist": "fixed", "mean": 12.5},
+        }
