@@ -59,8 +59,9 @@ validation columns next to them (fig7/fig8/fig9/topology-compare);
 and relative-error columns for any ``--routers`` set.
 
 ``--profile`` wraps the run in cProfile and prints the top 25 functions
-by cumulative time to stderr (``--profile-out FILE`` additionally dumps
-the raw stats for pstats/snakeviz), so perf work starts from data
+to stderr — by cumulative time, or self time with
+``--profile-sort tottime`` (``--profile-out FILE`` additionally dumps
+the raw stats for pstats/snakeviz) — so perf work starts from data
 rather than guesses.
 
 ``serve`` runs the online routing service (``repro.service``): demands
@@ -336,7 +337,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "run the experiment under cProfile and print the top 25 "
-            "functions by cumulative time to stderr when it finishes"
+            "functions to stderr when it finishes, ordered by "
+            "--profile-sort"
+        ),
+    )
+    parser.add_argument(
+        "--profile-sort",
+        choices=("cumulative", "tottime"),
+        default="cumulative",
+        help=(
+            "pstats sort key for the --profile report: 'cumulative' "
+            "(default; where the time goes, call tree included) or "
+            "'tottime' (self time only; where the time is spent)"
         ),
     )
     parser.add_argument(
@@ -623,7 +635,7 @@ def main(argv=None) -> int:
         return 0
     # Perf PRs start from data: profile the run as-is (worker processes
     # profile as pool waiting time — use sequential runs to see the
-    # routing internals) and report the top of the cumulative tree.
+    # routing internals) and report the top of the --profile-sort tree.
     profiler = cProfile.Profile()
     profiler.enable()
     try:
@@ -635,7 +647,7 @@ def main(argv=None) -> int:
             print(f"profile stats written to {args.profile_out}",
                   file=sys.stderr)
         stats = pstats.Stats(profiler, stream=sys.stderr)
-        stats.sort_stats("cumulative").print_stats(25)
+        stats.sort_stats(args.profile_sort).print_stats(25)
     return 0
 
 

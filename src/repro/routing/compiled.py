@@ -46,7 +46,18 @@ Callers no longer drive the kernel per ``(demand, width)``:
 :class:`WidthSearchBatch` binds one snapshot + one demand + the widths
 under consideration, and :func:`search_widths` (or
 ``WidthSearchBatch.search_widths``) answers every width of the batch in
-one call.  All batch searches — every width and every Yen deviation —
+one call.  Batches of at least :func:`fused_width_min` widths (default
+2; env knob ``REPRO_FUSED_WIDTH_MIN``) answer every memo-missing width
+through one **fused multi-width Dijkstra pass**: a flattened
+``(n_widths, n_nodes)`` distance/parent matrix, one shared heap whose
+entries carry the width in the slot id, the banned sets resolved and
+each width's rate row masked once for the whole pass.  The pop/push
+subsequence of each width is provably identical to the standalone
+kernel (one global monotone tie-break counter preserves every
+same-width comparison), so fused answers are bit-exact and land in the
+same memo slots; smaller batches — and any run with the knob raised —
+take the scalar per-width path, the fused kernel's parity oracle.
+All batch searches — every width and every Yen deviation —
 share the snapshot's scratch buffers, per-width rate rows, feasibility
 flags and a **search-result memo** keyed on the exact kernel inputs
 ``(source, destination, width, flags-version, swap, banned sets)``.
@@ -109,9 +120,21 @@ ROUTING_CORE_ENV = "REPRO_ROUTING_CORE"
 #: Valid core names; ``compiled`` is the default.
 ROUTING_CORES = ("compiled", "reference")
 
+#: Environment variable overriding the fused-kernel width threshold.
+FUSED_WIDTH_MIN_ENV = "REPRO_FUSED_WIDTH_MIN"
+
+#: Width count from which ``WidthSearchBatch.search_widths`` runs the
+#: fused multi-width kernel; smaller batches (and any value the env
+#: knob raises this to) fall back to the scalar per-width path, which
+#: doubles as the fused kernel's parity oracle.
+FUSED_WIDTH_MIN_DEFAULT = 2
+
 # Last (raw env value, parsed core) pair: the switch is consulted on
 # every routing call, so avoid re-validating an unchanged setting.
 _core_memo: Tuple[Optional[str], str] = (None, "compiled")
+
+# Same memo shape for the fused-width threshold knob.
+_fused_memo: Tuple[Optional[str], int] = (None, FUSED_WIDTH_MIN_DEFAULT)
 
 # The environment accessor, bound on first use (the hot paths consult
 # the core switch per call; a function-level ``import`` statement there
@@ -169,6 +192,42 @@ def active_routing_core() -> str:
     return core
 
 
+def fused_width_min() -> int:
+    """The width count from which batched searches fuse their frontiers.
+
+    Reads ``REPRO_FUSED_WIDTH_MIN`` (default
+    :data:`FUSED_WIDTH_MIN_DEFAULT`) per call, like the core switch, so
+    tests and CI can force the scalar per-width fallback — the fused
+    kernel's parity oracle — by raising the threshold above any batch
+    size.  Values below 2 are rejected: a single-width batch has
+    nothing to fuse.
+    """
+    global _fused_memo, _env_raw
+    if _env_raw is None:
+        from repro.experiments.config import env_raw
+
+        _env_raw = env_raw
+    raw = _env_raw(FUSED_WIDTH_MIN_ENV)
+    memo_raw, memo_value = _fused_memo
+    if raw == memo_raw:
+        return memo_value
+    if raw is None:
+        value = FUSED_WIDTH_MIN_DEFAULT
+    else:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{FUSED_WIDTH_MIN_ENV} must be an integer >= 2; got {raw!r}"
+            ) from None
+        if value < 2:
+            raise ConfigurationError(
+                f"{FUSED_WIDTH_MIN_ENV} must be an integer >= 2; got {raw!r}"
+            )
+    _fused_memo = (raw, value)
+    return value
+
+
 def _ekey(a: int, b: int) -> EdgeKey:
     return (a, b) if a < b else (b, a)
 
@@ -214,6 +273,10 @@ class CompiledNetwork:
         "_pred",
         "_visited",
         "_stamp",
+        "_multi_best",
+        "_multi_pred",
+        "_multi_visited",
+        "_multi_stamp",
     )
 
     def __init__(self, network: QuantumNetwork, link_model: LinkModel):
@@ -304,6 +367,13 @@ class CompiledNetwork:
         self._pred: List[int] = [0] * n
         self._visited: List[int] = [0] * n
         self._stamp = 0
+        # Fused multi-width scratch: the same stamp/touched discipline
+        # over flattened (width, node) slots, grown lazily to the
+        # largest batch seen (see _kernel_multi).
+        self._multi_best: List[float] = []
+        self._multi_pred: List[int] = []
+        self._multi_visited: List[int] = []
+        self._multi_stamp = 0
 
     @property
     def num_nodes(self) -> int:
@@ -692,6 +762,134 @@ class CompiledNetwork:
                 best[i] = 0.0
         return path, rate_found
 
+    def _kernel_multi(
+        self,
+        source: int,
+        destination: int,
+        masked_nps: Sequence[np.ndarray],
+        masked_lists: Sequence[List[float]],
+        flags_lists: Sequence[List[bool]],
+        swap2: float,
+        banned_idx: Sequence[int],
+    ) -> List[Optional[Tuple[List[int], float]]]:
+        """One fused Dijkstra pass answering every width of a batch.
+
+        The per-width rows in ``masked_nps``/``masked_lists``/
+        ``flags_lists`` are aligned; the pass carries one flattened
+        ``(n_widths, n_nodes)`` best/pred/visited matrix (slot
+        ``w * n + node``) and a single shared heap whose entries encode
+        the width in the slot id, so the widths advance through one
+        frontier and share the heap, the CSR layout and the scratch
+        reset instead of each paying its own pass.
+
+        Bit-exactness per width: a heap entry is ``(-rate, counter,
+        slot)`` with one global monotone counter.  Restricted to one
+        width's entries, the counter is a monotone relabelling of the
+        standalone kernel's per-width counter, so every comparison
+        between two same-width entries resolves exactly as it would
+        standalone, and a pop of width *w* reads and writes only width
+        *w*'s slots.  By induction the pop/push subsequence of each
+        width — and therefore its best/pred state and returned path —
+        is identical to :meth:`_kernel` run per width, float for float.
+        A width whose destination has been popped is finished; its
+        stale heap entries are skipped rather than relaxed, exactly as
+        the standalone kernel's early break discards them.
+        """
+        n = len(self.node_ids)
+        k = len(masked_lists)
+        size = k * n
+        best = self._multi_best
+        if len(best) < size:
+            self._multi_best = best = [0.0] * size
+            self._multi_pred = [0] * size
+            self._multi_visited = [0] * size
+        pred = self._multi_pred
+        visited = self._multi_visited
+        self._multi_stamp += 1
+        stamp = self._multi_stamp
+        indptr = self.indptr_list
+        adj = self.adj_nodes_list
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        vector_min = _VECTOR_ROW_MIN
+        results: List[Optional[Tuple[List[int], float]]] = [None] * k
+        done = [False] * k
+        remaining = k
+        touched: List[int] = []
+        heap: List[Tuple[float, int, int]] = []
+        counter = 0
+        try:
+            if banned_idx:
+                inf = float("inf")
+                for base in range(0, size, n):
+                    for i in banned_idx:
+                        key = base + i
+                        best[key] = inf
+                        touched.append(key)
+            for base in range(0, size, n):
+                key = base + source
+                best[key] = 1.0
+                touched.append(key)
+                # Equal rates, ascending counters: the literal list is
+                # already heap-ordered.
+                heap.append((-1.0, counter, key))
+                counter += 1
+            while heap:
+                negative_rate, _, key = heappop(heap)
+                if visited[key] == stamp:
+                    continue
+                visited[key] = stamp
+                w, node = divmod(key, n)
+                if done[w]:
+                    continue
+                if node == destination:
+                    base = key - node
+                    path = [destination]
+                    while path[-1] != source:
+                        path.append(pred[base + path[-1]])
+                    path.reverse()
+                    results[w] = (path, best[key])
+                    done[w] = True
+                    remaining -= 1
+                    if not remaining:
+                        break
+                    continue
+                rate = -negative_rate
+                if node != source:
+                    if not flags_lists[w][node]:
+                        continue
+                    rate = rate * swap2
+                base = key - node
+                lo = indptr[node]
+                hi = indptr[node + 1]
+                if hi - lo >= vector_min:
+                    cand = rate * masked_nps[w][lo:hi]
+                    hits = cand.nonzero()[0]
+                    for off, c in zip(hits.tolist(),
+                                      cand.take(hits).tolist()):
+                        nkey = base + adj[lo + off]
+                        if c > best[nkey]:
+                            best[nkey] = c
+                            pred[nkey] = node
+                            heappush(heap, (-c, counter, nkey))
+                            counter += 1
+                            touched.append(nkey)
+                else:
+                    masked = masked_lists[w]
+                    for slot in range(lo, hi):
+                        c = rate * masked[slot]
+                        nkey = base + adj[slot]
+                        if c > best[nkey]:
+                            best[nkey] = c
+                            pred[nkey] = node
+                            heappush(heap, (-c, counter, nkey))
+                            counter += 1
+                            touched.append(nkey)
+        finally:
+            for key in touched:
+                best[key] = 0.0
+        return results
+
     def run_search(
         self,
         source: int,
@@ -916,14 +1114,126 @@ class WidthSearchBatch:
         """:meth:`search` for every batch width in one call.
 
         Returns ``{width: (nodes, rate) | None}`` covering exactly the
-        batch's widths.  Each width's answer is independent and
-        bit-identical to a standalone :meth:`search`; the batching win
-        is the shared snapshot state and memo across the sweep.
+        batch's widths, each answer bit-identical to a standalone
+        :meth:`search`.  Batches of at least :func:`fused_width_min`
+        widths run every memo-missing width through one fused
+        multi-width Dijkstra pass (:meth:`CompiledNetwork._kernel_multi`
+        — shared frontier, one flattened distance/parent matrix, the
+        banned sets resolved and each width's rate row masked once for
+        the whole pass); smaller batches fall back to the scalar
+        per-width path, which also serves as the fused kernel's parity
+        oracle.  Per-width endpoint feasibility, the banned-endpoint
+        short-circuit and the snapshot's search memo are consulted
+        exactly as :meth:`search` does, and fused results are stored
+        under the same memo keys, so the two paths are interchangeable
+        call by call.
         """
-        return {
-            width: self.search(width, spur_source, banned_nodes, banned_edges)
-            for width in self.widths
-        }
+        widths = self.widths
+        if len(widths) < fused_width_min():
+            return {
+                width: self.search(
+                    width, spur_source, banned_nodes, banned_edges
+                )
+                for width in widths
+            }
+        snapshot = self.snapshot
+        ledger = self.ledger
+        swap2 = self.swap2
+        source = self.source if spur_source is None else spur_source
+        destination = self.destination
+        endpoint_banned = (
+            source in banned_nodes or destination in banned_nodes
+        )
+        index_of = snapshot.index_of
+        if banned_nodes:
+            banned_node_idx = frozenset(
+                index_of[x] for x in banned_nodes if x in index_of
+            )
+        else:
+            banned_node_idx = _EMPTY
+        if banned_edges:
+            edge_index = snapshot.edge_index
+            banned_edge_ids = frozenset(
+                edge_index[e] for e in banned_edges if e in edge_index
+            )
+        else:
+            banned_edge_ids = _EMPTY
+        src_idx = index_of[source]
+        dst_idx = index_of[destination]
+        memo = snapshot._search_memo
+        results: Dict[int, Optional[Tuple[Tuple[int, ...], float]]] = {}
+        pending: List[tuple] = []
+        for width in widths:
+            if endpoint_banned:
+                results[width] = None
+                continue
+            if not snapshot.endpoint_feasible(ledger, source, width):
+                results[width] = None
+                continue
+            if not snapshot.endpoint_feasible(ledger, destination, width):
+                results[width] = None
+                continue
+            flags, version = snapshot.relay_state(ledger, width)
+            key = (
+                src_idx,
+                dst_idx,
+                width,
+                version,
+                swap2,
+                banned_node_idx,
+                banned_edge_ids,
+            )
+            hit = memo.get(key, _MISS)
+            if hit is not _MISS:
+                results[width] = hit
+                continue
+            masked_np, masked_list = snapshot._masked_row_rates(
+                width, flags, version, dst_idx, banned_edge_ids
+            )
+            pending.append(
+                (
+                    width,
+                    key,
+                    masked_np,
+                    masked_list,
+                    snapshot._flags_list(flags, version),
+                )
+            )
+        if not pending:
+            return results
+        banned_sorted = sorted(banned_node_idx)
+        node_ids = snapshot.node_ids
+        if len(pending) == 1:
+            # One miss left: the single-width kernel is the same search
+            # without the flattened-matrix overhead.
+            width, key, masked_np, masked_list, flags_list = pending[0]
+            founds = [
+                snapshot._kernel(
+                    src_idx, dst_idx, masked_np, masked_list, flags_list,
+                    swap2, banned_sorted,
+                )
+            ]
+        else:
+            founds = snapshot._kernel_multi(
+                src_idx,
+                dst_idx,
+                [entry[2] for entry in pending],
+                [entry[3] for entry in pending],
+                [entry[4] for entry in pending],
+                swap2,
+                banned_sorted,
+            )
+        for entry, found in zip(pending, founds):
+            width, key = entry[0], entry[1]
+            if found is None:
+                result = None
+            else:
+                result = (tuple(node_ids[i] for i in found[0]), found[1])
+            if len(memo) >= _SEARCH_MEMO_LIMIT:
+                memo.clear()
+            memo[key] = result
+            results[width] = result
+        return results
 
 
 def search_widths(

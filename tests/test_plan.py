@@ -75,3 +75,15 @@ class TestExperimentsCli:
 
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nonsense"])
+
+    def test_profile_sort_choices(self):
+        from repro.experiments.__main__ import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["fig7"]).profile_sort == "cumulative"
+        args = parser.parse_args(
+            ["fig7", "--profile", "--profile-sort", "tottime"]
+        )
+        assert args.profile_sort == "tottime"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig7", "--profile-sort", "ncalls"])

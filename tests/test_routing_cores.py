@@ -25,9 +25,12 @@ from repro.routing.alg1_largest_rate import largest_entanglement_rate_path
 from repro.routing.alg2_path_selection import default_max_width, select_paths
 from repro.routing.allocation import QubitLedger
 from repro.routing.compiled import (
+    FUSED_WIDTH_MIN_DEFAULT,
+    FUSED_WIDTH_MIN_ENV,
     ROUTING_CORE_ENV,
     WidthSearchBatch,
     active_routing_core,
+    fused_width_min,
     search_widths,
     snapshot_for,
 )
@@ -478,6 +481,106 @@ def test_batch_rejects_invalid_construction(diamond_network):
         WidthSearchBatch(snapshot, SWAP, 0, 99, (1,))
     with pytest.raises(RoutingError, match="width"):
         WidthSearchBatch(snapshot, SWAP, 0, 1, (1, 0))
+
+
+# ----------------------------------------------------------------------
+# Fused multi-width frontier (one Dijkstra pass for a whole batch)
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fused_frontier_matches_per_width_standalone(
+    scenario, seed, monkeypatch
+):
+    """The fused multi-width pass answers exactly like per-width scalar
+    searches — across topologies, seeds, banned node/edge sets and a
+    partially consumed ledger.  Fresh snapshots on each side keep the
+    search memo from masking a kernel divergence."""
+    network, demands = _instance(scenario, seed)
+    rng = ensure_rng(seed + 5)
+    switches = network.switches()
+    edges = network.edge_keys()
+    ledger = QubitLedger(network)
+    for node in switches[::4]:
+        ledger.reserve(node, min(2, int(ledger.remaining(node))))
+    fused_snapshot = compile_network(network, LINK)
+    scalar_snapshot = compile_network(network, LINK)
+    widths = (1, 2, 3, 5)
+    for trial in range(6):
+        demand = demands[trial % len(demands)]
+        banned_nodes = frozenset(
+            int(s) for s in rng.choice(switches, size=2, replace=False)
+        )
+        picked = rng.choice(len(edges), size=3, replace=False)
+        banned_edges = frozenset(edges[int(i)] for i in picked)
+        monkeypatch.delenv(FUSED_WIDTH_MIN_ENV, raising=False)
+        fused = WidthSearchBatch(
+            fused_snapshot, SWAP, demand.source, demand.destination,
+            widths, ledger,
+        ).search_widths(
+            banned_nodes=banned_nodes, banned_edges=banned_edges
+        )
+        # Force the scalar per-width fallback: the parity oracle.
+        monkeypatch.setenv(FUSED_WIDTH_MIN_ENV, "999")
+        scalar = WidthSearchBatch(
+            scalar_snapshot, SWAP, demand.source, demand.destination,
+            widths, ledger,
+        ).search_widths(
+            banned_nodes=banned_nodes, banned_edges=banned_edges
+        )
+        assert fused == scalar
+
+
+def test_fused_frontier_engages_at_the_width_threshold(
+    diamond_network, monkeypatch
+):
+    """Batches below ``fused_width_min()`` never enter the fused kernel
+    (a width-count-1 batch stays on the scalar path); batches at or
+    above it do."""
+    monkeypatch.delenv(FUSED_WIDTH_MIN_ENV, raising=False)
+    calls = []
+    original = CompiledNetwork._kernel_multi
+    monkeypatch.setattr(
+        CompiledNetwork,
+        "_kernel_multi",
+        lambda self, *args: calls.append(1) or original(self, *args),
+    )
+    snapshot = compile_network(diamond_network, LINK)
+    single = WidthSearchBatch(snapshot, SWAP, 0, 1, (2,), None)
+    assert single.search_widths() == {2: single.search(2)}
+    assert not calls  # one width: scalar fallback, no fused pass
+    pair = WidthSearchBatch(
+        compile_network(diamond_network, LINK), SWAP, 0, 1, (1, 2), None
+    )
+    swept = pair.search_widths()
+    assert calls  # two widths >= the default threshold: fused pass
+    assert swept == {1: pair.search(1), 2: pair.search(2)}
+
+
+def test_fused_frontier_drained_relays(diamond_network, monkeypatch):
+    """Feasible endpoints but drained relay switches: the fused pass
+    itself (not the endpoint short-circuit) must report no path, like
+    the scalar searches."""
+    monkeypatch.delenv(FUSED_WIDTH_MIN_ENV, raising=False)
+    ledger = QubitLedger(diamond_network)
+    for node in (2, 3, 4, 5):
+        ledger.reserve(node, int(ledger.remaining(node)))
+    snapshot = compile_network(diamond_network, LINK)
+    batch = WidthSearchBatch(
+        snapshot, SWAP, 0, 1, (1, 2, 3), ledger
+    )
+    assert batch.search_widths() == {1: None, 2: None, 3: None}
+
+
+def test_fused_width_min_knob(monkeypatch):
+    monkeypatch.delenv(FUSED_WIDTH_MIN_ENV, raising=False)
+    assert fused_width_min() == FUSED_WIDTH_MIN_DEFAULT
+    monkeypatch.setenv(FUSED_WIDTH_MIN_ENV, "5")
+    assert fused_width_min() == 5
+    for bad in ("abc", "1", "0", "-3", "2.5"):
+        monkeypatch.setenv(FUSED_WIDTH_MIN_ENV, bad)
+        with pytest.raises(ConfigurationError, match=FUSED_WIDTH_MIN_ENV):
+            fused_width_min()
 
 
 # ----------------------------------------------------------------------
