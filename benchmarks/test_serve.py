@@ -21,6 +21,7 @@ from repro.experiments.scenarios import parse_scenario
 from repro.network.builder import build_network
 from repro.routing.registry import make_router
 from repro.service.arrivals import parse_arrivals, poisson_events
+from repro.service.faults import fault_events, parse_faults
 from repro.service.loop import REPLAN_MODES, latency_summary, run_serve
 from repro.utils.rng import ensure_rng
 from repro.utils.tables import AsciiTable
@@ -37,6 +38,12 @@ ROUNDS = 3
 
 #: The incremental path's acceptance bar over resnapshot.
 MIN_SPEEDUP = 1.3
+
+#: Standard fault load for the repair bench: element up-times on the
+#: order of the mean holding time, so a sizeable fraction of held flows
+#: is disrupted and the repair path dominates the loop.
+FAULTS = "faults:link_mtbf=60,link_mttr=15,switch_p=0.01"
+REPAIR = "reroute:retries=2,backoff=exp:base=0.5"
 
 
 def test_serve_incremental_vs_resnapshot():
@@ -120,5 +127,111 @@ def test_serve_incremental_vs_resnapshot():
     )
     assert speedup >= MIN_SPEEDUP, (
         f"incremental re-planning is only {speedup:.2f}x faster than "
+        f"resnapshot (bar: {MIN_SPEEDUP}x)"
+    )
+
+
+def test_serve_repair_incremental_vs_resnapshot():
+    """Fault-injected twin of the serve bench.
+
+    Under an active fault load every disruption triggers a repair
+    re-route, so the resnapshot mode rebuilds a residual network per
+    repair attempt on top of per arrival.  The incremental path patches
+    banned-element masks in place and must beat it by the same >= 1.3x
+    bar — the repair fast path is the whole point of session-state
+    journaling surviving disruptions.
+    """
+    duration = 400.0 if is_full_run() else 120.0
+    scenario = parse_scenario(SCENARIO)
+    network = build_network(scenario.network_config(), ensure_rng(SEED))
+    setting = scenario.setting()
+    arrivals = parse_arrivals(ARRIVALS)
+    events = poisson_events(arrivals, SEED, len(network.users()), duration)
+    faults = fault_events(
+        parse_faults(FAULTS), SEED, len(network.edge_keys()),
+        len(network.switches()), duration,
+    )
+
+    timings = {}
+    runs = {}
+    for mode in REPLAN_MODES:
+        best = float("inf")
+        for _ in range(ROUNDS):
+            router = make_router("alg-n-fusion", include_alg4=False)
+            start = time.perf_counter()
+            run = run_serve(
+                network,
+                setting.link_model(),
+                setting.swap_model(),
+                router,
+                events,
+                duration,
+                WARMUP,
+                mode,
+                faults=faults,
+                repair=REPAIR,
+            )
+            best = min(best, time.perf_counter() - start)
+        timings[mode] = best
+        runs[mode] = run
+
+    metrics = runs["incremental"].metrics
+    assert (
+        metrics == runs["resnapshot"].metrics
+    ), "re-planning modes diverged under faults; the serve cache key is unsound"
+    assert metrics.disruptions > 0, (
+        "fault load produced no disruptions; the bench is not exercising "
+        "the repair path"
+    )
+
+    speedup = timings["resnapshot"] / timings["incremental"]
+
+    table = AsciiTable(
+        ["mode", "loop (s)", "repair p50 (ms)", "repair p99 (ms)", "speedup"]
+    )
+    summaries = {}
+    for mode in REPLAN_MODES:
+        summaries[mode] = latency_summary(runs[mode].repair_latencies_s)
+        table.add_row([
+            mode,
+            f"{timings[mode]:.3f}",
+            f"{summaries[mode]['p50_ms']:.2f}",
+            f"{summaries[mode]['p99_ms']:.2f}",
+            f"{speedup:.2f}x" if mode == "incremental" else "1.00x",
+        ])
+    report(
+        "serve_faults",
+        f"Online serving under faults: incremental vs resnapshot repair\n"
+        f"scenario={SCENARIO} arrivals={ARRIVALS} faults={FAULTS} "
+        f"repair={REPAIR}\nduration={duration!r} warmup={WARMUP!r} "
+        f"seed={SEED} (best of {ROUNDS})\n"
+        + table.render()
+        + f"\narrivals={metrics.arrivals} admitted={metrics.admitted} "
+        f"disruptions={metrics.disruptions} repaired={metrics.repaired} "
+        f"dropped={metrics.dropped} "
+        f"repair_ratio={metrics.repair_ratio:.4f} "
+        f"throughput={metrics.throughput:.6f}",
+        data={
+            "scenario": SCENARIO,
+            "arrivals": ARRIVALS,
+            "faults": FAULTS,
+            "repair": REPAIR,
+            "duration": duration,
+            "warmup": WARMUP,
+            "seed": SEED,
+            "rounds": ROUNDS,
+            "speedup": speedup,
+            "modes": {
+                mode: {
+                    "loop_seconds": timings[mode],
+                    "repair_latency": summaries[mode],
+                }
+                for mode in REPLAN_MODES
+            },
+            "metrics": dataclasses.asdict(metrics),
+        },
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"incremental repair is only {speedup:.2f}x faster than "
         f"resnapshot (bar: {MIN_SPEEDUP}x)"
     )

@@ -22,6 +22,9 @@ Usage::
     python -m repro.experiments serve --replan resnapshot
     python -m repro.experiments serve --record-trace run.trace
     python -m repro.experiments serve --arrivals trace:file=run.trace
+    python -m repro.experiments serve --faults faults:link_mtbf=120,switch_p=0.01
+    python -m repro.experiments serve --faults faults:link_mtbf=60 \
+        --repair reroute:retries=4,backoff=exp:base=0.5
 
 ``--full`` runs at paper scale (equivalent to REPRO_FULL=1); the default
 quick mode shrinks networks and averaging for fast turnaround.
@@ -74,6 +77,14 @@ routing core); p50/p99 re-plan latency goes to stderr and is never
 cached.  ``--record-trace FILE`` captures the event streams for replay
 via ``--arrivals trace:file=FILE``.
 
+``--faults`` injects link/switch failures while serving (per-element
+renewal processes addressed statelessly from the sample seed, or a
+``trace:file=PATH`` replay); down events disrupt overlapping held
+flows, which ``--repair`` re-routes with bounded backoff retries (or
+drops).  The report gains disruption/repair/drop columns, a throughput
+degradation line against the fault-free companion run, and stderr
+recovery-latency percentiles.
+
 ``regen-regression`` rewrites the pinned regression fixture under
 ``tests/data/`` bit-exactly from its frozen recipe.
 """
@@ -116,6 +127,7 @@ from repro.experiments.scenarios import (
 from repro.network.registry import topology_keys
 from repro.routing.registry import parse_router_specs, router_keys
 from repro.service.arrivals import parse_arrivals
+from repro.service.faults import parse_faults, parse_repair
 from repro.service.loop import REPLAN_MODES
 from repro.service.runner import run_serve_experiment
 from repro.utils.cli import argparse_type
@@ -332,6 +344,28 @@ def build_parser() -> argparse.ArgumentParser:
             "trace:file=FILE replay (forces fresh execution)"
         ),
     )
+    serve_group.add_argument(
+        "--faults",
+        type=argparse_type(parse_faults),
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject link/switch failures while serving: "
+            "faults:link_mtbf=T[,link_mttr=T][,switch_mtbf=T|switch_p=P]"
+            "[,switch_mttr=T] or trace:file=PATH (default: no faults)"
+        ),
+    )
+    serve_group.add_argument(
+        "--repair",
+        type=argparse_type(parse_repair),
+        default=None,
+        metavar="SPEC",
+        help=(
+            "recovery policy for disrupted flows: 'drop' or "
+            "'reroute[:retries=N,backoff=exp|fixed:base=B]' (default "
+            "'reroute'; needs --faults)"
+        ),
+    )
     parser.add_argument(
         "--profile",
         action="store_true",
@@ -525,6 +559,8 @@ def main(argv=None) -> int:
         ("--seed", args.seed),
         ("--replan", args.replan),
         ("--record-trace", args.record_trace),
+        ("--faults", args.faults),
+        ("--repair", args.repair),
     )
     if args.experiment != "serve":
         for flag, value in serve_flags:
@@ -542,6 +578,13 @@ def main(argv=None) -> int:
         if args.scenarios is not None:
             print(
                 "error: serve takes a single --scenario, not --scenarios",
+                file=sys.stderr,
+            )
+            return 2
+        if args.repair is not None and args.faults is None:
+            print(
+                "error: --repair picks the recovery policy for injected "
+                "faults; pass --faults as well",
                 file=sys.stderr,
             )
             return 2
@@ -594,6 +637,8 @@ def main(argv=None) -> int:
                 workers=args.workers,
                 cache=cache,
                 record_trace=args.record_trace,
+                faults=args.faults,
+                repair=args.repair,
             )
             print(report.to_text())
             print()

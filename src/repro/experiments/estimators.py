@@ -21,6 +21,8 @@ ones.  The spec grammar mirrors router specs::
     mc:trials=3000
     mc:trials=2000,engine=reference
     mc:trials=2000,antithetic=true      (paired antithetic trials)
+    mc:trials=2000,link_survival=0.9    (robustness: random edge loss)
+    mc:trials=2000,switch_survival=0.95 (robustness: random switch loss)
 
 ``antithetic=true`` evaluates the trials as antithetic pairs (each
 uniform draw ``u`` is mirrored by ``1 - u`` in its pair partner): flow
@@ -29,6 +31,18 @@ negatively correlated and the standard error shrinks at equal trial
 count.  Pairing is only implemented on the vectorised engine and needs
 an even trial count; the reported stderr is computed over pair means,
 which is the statistically valid estimator under pairing.
+
+``link_survival``/``switch_survival`` (defaults ``1.0``) put the plan
+under random infrastructure loss: each trial independently keeps every
+network edge with probability ``link_survival`` and every switch with
+probability ``switch_survival`` — one network-wide mask shared by all
+of the plan's flows, so a lost edge fails every flow crossing it in
+that trial, the correlated-failure structure a real outage has.  The
+estimate is then the plan's expected rate *given* that element
+reliability, which is how ``topology-compare`` ranks topology families
+by robustness rather than peak rate.  Both engines implement the masks
+identically-in-distribution; ``1.0`` draws nothing, so the default
+estimator's stream is untouched.
 
 Estimation draws come from :func:`estimation_rng` — a stateless
 substream of the task's sample seed — so the instance-generation stream
@@ -84,6 +98,8 @@ class EstimatorSpec(SpecBase):
     trials: int = 0
     engine: str = ""
     antithetic: bool = False
+    link_survival: float = 1.0
+    switch_survival: float = 1.0
 
     spec_what = "estimator"
     spec_error = EstimatorSpecError
@@ -94,6 +110,17 @@ class EstimatorSpec(SpecBase):
                 f"unknown estimator kind {self.kind!r}; known kinds: "
                 f"{', '.join(ESTIMATOR_KINDS)}"
             )
+        for name in ("link_survival", "switch_survival"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise EstimatorSpecError(
+                    f"estimator {name} must be a number, got {value!r}"
+                )
+            object.__setattr__(self, name, float(value))
+            if not 0 < getattr(self, name) <= 1:
+                raise EstimatorSpecError(
+                    f"estimator {name} must be in (0, 1], got {value!r}"
+                )
         if self.kind == "analytic":
             if self.trials != 0 or self.engine != "" or self.antithetic:
                 raise EstimatorSpecError(
@@ -101,6 +128,12 @@ class EstimatorSpec(SpecBase):
                     f"antithetic parameters, got trials={self.trials!r}, "
                     f"engine={self.engine!r}, "
                     f"antithetic={self.antithetic!r}"
+                )
+            if self.link_survival != 1.0 or self.switch_survival != 1.0:
+                raise EstimatorSpecError(
+                    "survival masks are a Monte-Carlo feature; Equation 1 "
+                    "has no loss model — use an mc estimator with "
+                    "link_survival=/switch_survival="
                 )
             return
         if not isinstance(self.trials, int) or isinstance(self.trials, bool) \
@@ -136,15 +169,24 @@ class EstimatorSpec(SpecBase):
         """True for Monte-Carlo estimators."""
         return self.kind == "mc"
 
+    @property
+    def has_survival_masks(self) -> bool:
+        """True when trials sample random infrastructure loss."""
+        return self.link_survival != 1.0 or self.switch_survival != 1.0
+
     @classmethod
     def mc(
         cls,
         trials: int = DEFAULT_MC_TRIALS,
         engine: str = "vectorized",
         antithetic: bool = False,
+        link_survival: float = 1.0,
+        switch_survival: float = 1.0,
     ) -> "EstimatorSpec":
         """A Monte-Carlo spec with keyword defaults."""
-        return cls("mc", trials, engine, antithetic)
+        return cls(
+            "mc", trials, engine, antithetic, link_survival, switch_survival
+        )
 
     @classmethod
     def from_string(cls, text: str) -> "EstimatorSpec":
@@ -166,7 +208,11 @@ class EstimatorSpec(SpecBase):
         params: Dict[str, str] = {}
         if rest is not None:
             params = cls._parse_params(
-                rest, text=text, valid=("trials", "engine", "antithetic")
+                rest, text=text,
+                valid=(
+                    "trials", "engine", "antithetic",
+                    "link_survival", "switch_survival",
+                ),
             )
         trials = DEFAULT_MC_TRIALS
         if "trials" in params:
@@ -186,8 +232,20 @@ class EstimatorSpec(SpecBase):
                     f"{params['antithetic']!r}"
                 )
             antithetic = lowered == "true"
+        survivals = {}
+        for name in ("link_survival", "switch_survival"):
+            if name not in params:
+                continue
+            try:
+                survivals[name] = float(params[name])
+            except ValueError:
+                raise EstimatorSpecError(
+                    f"estimator {name} must be a number, got "
+                    f"{params[name]!r}"
+                ) from None
         return cls(
-            "mc", trials, params.get("engine", "vectorized"), antithetic
+            "mc", trials, params.get("engine", "vectorized"), antithetic,
+            **survivals,
         )
 
     def to_string(self) -> str:
@@ -197,12 +255,29 @@ class EstimatorSpec(SpecBase):
         rendered = f"mc:trials={self.trials},engine={self.engine}"
         if self.antithetic:
             rendered += ",antithetic=true"
+        if self.link_survival != 1.0:
+            rendered += f",link_survival={self.link_survival!r}"
+        if self.switch_survival != 1.0:
+            rendered += f",switch_survival={self.switch_survival!r}"
         return rendered
 
     def fingerprint(self) -> Dict:
         """Stable, JSON-ready identity for cache keys (the historical
-        name; identical to the inherited :meth:`config_dict`)."""
-        return dataclasses.asdict(self)
+        name; identical to :meth:`config_dict`).
+
+        The survival fields joined the spec after cache keys were
+        frozen, so the loss-free default omits them — every pre-existing
+        entry keeps its address — and they key only when they bite.
+        """
+        data = dataclasses.asdict(self)
+        if not self.has_survival_masks:
+            del data["link_survival"]
+            del data["switch_survival"]
+        return data
+
+    def config_dict(self) -> Dict:
+        """Stable, JSON-ready identity (alias of :meth:`fingerprint`)."""
+        return self.fingerprint()
 
     def __str__(self) -> str:
         return self.to_string()
@@ -267,13 +342,17 @@ def estimate_plan(
         estimate = estimate_plan_rate(
             network, plan, link_model, swap_model,
             trials=spec.trials, rng=rng,
+            link_survival=spec.link_survival,
+            switch_survival=spec.switch_survival,
         )
     else:
         simulator = VectorizedProcessSimulator(
             network, link_model, swap_model, rng
         )
         estimate = simulator.plan_estimate(
-            plan, spec.trials, antithetic=spec.antithetic
+            plan, spec.trials, antithetic=spec.antithetic,
+            link_survival=spec.link_survival,
+            switch_survival=spec.switch_survival,
         )
     # Plain floats so outcomes equal their JSON-cached round trip
     # type-for-type (numpy scalars leak from the vectorised engine).

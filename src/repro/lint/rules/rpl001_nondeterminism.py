@@ -32,11 +32,13 @@ ALLOWED_FILES = ("repro/utils/rng.py",)
 #: legitimate, but only through a path that is greppable in one place.
 CLOCK_ALLOWED_FILES = ("repro/utils/timing.py",)
 
-#: ``from time import <name>`` targets that count as clock reads.
+#: ``from time import <name>`` targets that count as clock reads (or,
+#: for ``sleep``, wall-clock waits — simulated time never sleeps).
 _TIME_IMPORT_NAMES = (
     "time", "time_ns",
     "perf_counter", "perf_counter_ns",
     "monotonic", "monotonic_ns",
+    "sleep",
 )
 
 #: ``numpy.random`` attributes that read or mutate the legacy global
@@ -57,11 +59,26 @@ _FORBIDDEN_DOTTED = frozenset({
     "time.perf_counter_ns",
     "time.monotonic",
     "time.monotonic_ns",
+    "time.sleep",
     "datetime.datetime.now",
     "datetime.datetime.utcnow",
     "datetime.datetime.today",
     "datetime.date.today",
 })
+
+
+def _clock_message(dotted: str) -> str:
+    if dotted == "time.sleep":
+        return (
+            "'time.sleep' stalls on the wall clock; the event loops run "
+            "in simulated time — schedule delays deterministically "
+            "(see repro.utils.retry.backoff_delays)"
+        )
+    return (
+        f"wall-clock read '{dotted}' is nondeterministic; results must "
+        "be a pure function of their spec (for latency measurement use "
+        "repro.utils.timing.perf_timer)"
+    )
 
 
 def _is_unseeded_default_rng(node: ast.Call) -> bool:
@@ -110,11 +127,7 @@ def check(ctx: FileContext) -> Iterator[Diagnostic]:
                     if alias.name in _TIME_IMPORT_NAMES:
                         yield diagnostic(
                             ctx, node, CODE,
-                            f"wall-clock read 'time.{alias.name}' is "
-                            "nondeterministic; results must be a pure "
-                            "function of their spec (for latency "
-                            "measurement use repro.utils.timing."
-                            "perf_timer)",
+                            _clock_message(f"time.{alias.name}"),
                         )
         elif isinstance(node, ast.Call):
             resolved = resolve_dotted(node.func, aliases)
@@ -131,11 +144,7 @@ def check(ctx: FileContext) -> Iterator[Diagnostic]:
                 continue
             if resolved in _FORBIDDEN_DOTTED and not clock_ok:
                 yield diagnostic(
-                    ctx, node, CODE,
-                    f"wall-clock read '{resolved}' is nondeterministic; "
-                    "results must be a pure function of their spec "
-                    "(for latency measurement use "
-                    "repro.utils.timing.perf_timer)",
+                    ctx, node, CODE, _clock_message(resolved)
                 )
             elif resolved.startswith("numpy.random.") \
                     and resolved.rsplit(".", 1)[1] in _NUMPY_GLOBAL_STATE:

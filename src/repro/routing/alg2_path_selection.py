@@ -13,7 +13,7 @@ Algorithm 3.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.exceptions import RoutingError
 from repro.network.demands import Demand
@@ -29,6 +29,8 @@ from repro.routing.compiled import (
 from repro.routing.metrics import ChannelRateCache, path_entanglement_rate
 from repro.routing.paths import PathCandidate
 
+EdgeKey = Tuple[int, int]
+
 
 def select_paths(
     network: QuantumNetwork,
@@ -40,6 +42,8 @@ def select_paths(
     ledger: Optional[QubitLedger] = None,
     max_hops: Optional[int] = None,
     rate_cache: Optional[ChannelRateCache] = None,
+    banned_nodes: FrozenSet[int] = frozenset(),
+    banned_edges: FrozenSet[EdgeKey] = frozenset(),
 ) -> Dict[int, List[PathCandidate]]:
     """Select up to *h* candidate paths per width for one demand.
 
@@ -49,6 +53,10 @@ def select_paths(
     extension derives it from a minimum end-to-end fidelity.
     ``rate_cache`` shares memoised channel rates across the whole
     selection (and, when a router passes one, across demands).
+    ``banned_nodes``/``banned_edges`` exclude elements from every
+    candidate — the serving loop passes its down-element sets here so
+    fault state is a search-time mask (bit-identical to the elements
+    being absent) instead of a topology mutation.
     """
     if h < 1:
         raise RoutingError(f"h must be >= 1, got {h}")
@@ -63,7 +71,7 @@ def select_paths(
         # width and every Yen deviation; results are bit-identical.
         result = compiled_select_paths(
             network, link_model, swap_model, demand, h, max_width,
-            ledger, rate_cache,
+            ledger, rate_cache, banned_nodes, banned_edges,
         )
     else:
         if ledger is None:
@@ -72,7 +80,7 @@ def select_paths(
         for width in range(max_width, 0, -1):
             paths = _yen_best_paths(
                 network, link_model, swap_model, demand, width, h, ledger,
-                rate_cache,
+                rate_cache, banned_nodes, banned_edges,
             )
             if paths:
                 result[width] = paths
@@ -107,12 +115,15 @@ def _yen_best_paths(
     h: int,
     ledger: QubitLedger,
     rate_cache: Optional[ChannelRateCache] = None,
+    banned_nodes: FrozenSet[int] = frozenset(),
+    banned_edges: FrozenSet[EdgeKey] = frozenset(),
 ) -> List[PathCandidate]:
     """Yen's algorithm with Algorithm 1 as the shortest-path subroutine.
 
     The deviation orchestration itself is the shared
     :func:`~repro.routing.compiled.yen_deviation_loop`; only the solver
-    and path scorer below are reference-core specific.
+    and path scorer below are reference-core specific.  The caller's
+    *banned_nodes*/*banned_edges* union with each deviation's own bans.
     """
 
     def search(spur_source, banned_node_ids, banned_edge_keys):
@@ -124,8 +135,8 @@ def _yen_best_paths(
             demand.destination,
             width,
             ledger,
-            banned_nodes=frozenset(banned_node_ids),
-            banned_edges=frozenset(banned_edge_keys),
+            banned_nodes=banned_nodes | frozenset(banned_node_ids),
+            banned_edges=banned_edges | frozenset(banned_edge_keys),
             rate_cache=rate_cache,
         )
 

@@ -1365,6 +1365,8 @@ def compiled_select_paths(
     max_width: int,
     ledger=None,
     rate_cache=None,
+    banned_nodes: FrozenSet[int] = frozenset(),
+    banned_edges: FrozenSet[EdgeKey] = frozenset(),
 ) -> Dict[int, List[PathCandidate]]:
     """Compiled body of Algorithm 2's per-width Yen loop.
 
@@ -1373,7 +1375,12 @@ def compiled_select_paths(
     search_widths` sweep, then each feasible width's Yen deviations
     drive the same batch (and therefore the same snapshot memo — spur
     searches repeated across widths and refill rounds are answered
-    once).  Parameter validation and the ``max_hops`` filter stay in
+    once).  *banned_nodes*/*banned_edges* are session-wide masks (the
+    serving loop's down elements); they reach every search — including
+    each Yen deviation, unioned with the deviation's own bans — as
+    memo-keyed mask sets, so fault state changes cost O(changes) of
+    re-masked rows rather than a snapshot rebuild.  Parameter
+    validation and the ``max_hops`` filter stay in
     :func:`~repro.routing.alg2_path_selection.select_paths`.
     """
     snapshot = snapshot_for(network, link_model, rate_cache)
@@ -1382,13 +1389,17 @@ def compiled_select_paths(
         snapshot, swap_model, demand.source, demand.destination, widths,
         ledger,
     )
-    firsts = batch.search_widths()
+    firsts = batch.search_widths(
+        banned_nodes=banned_nodes, banned_edges=banned_edges
+    )
     result: Dict[int, List[PathCandidate]] = {}
     for width in widths:
         first = firsts[width]
         if first is None:
             continue
-        paths = _compiled_yen_best_paths(batch, demand, width, h, first)
+        paths = _compiled_yen_best_paths(
+            batch, demand, width, h, first, banned_nodes, banned_edges
+        )
         if paths:
             result[width] = paths
     return result
@@ -1400,6 +1411,8 @@ def _compiled_yen_best_paths(
     width: int,
     h: int,
     first: Tuple[Tuple[int, ...], float],
+    banned_nodes: FrozenSet[int] = frozenset(),
+    banned_edges: FrozenSet[EdgeKey] = frozenset(),
 ) -> List[PathCandidate]:
     """The shared :func:`yen_deviation_loop` driven by one width of a
     :class:`WidthSearchBatch`."""
@@ -1408,8 +1421,12 @@ def _compiled_yen_best_paths(
     swap2 = batch.swap2
 
     def run_alg1(spur_source, banned_node_ids, banned_edge_keys):
-        return batch.search(width, spur_source, banned_node_ids,
-                            banned_edge_keys)
+        return batch.search(
+            width,
+            spur_source,
+            banned_nodes | frozenset(banned_node_ids),
+            banned_edges | frozenset(banned_edge_keys),
+        )
 
     accepted = yen_deviation_loop(
         first, h, run_alg1,

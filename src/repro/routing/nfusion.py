@@ -15,7 +15,7 @@ Composes the three steps of Section IV-C:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.network.demands import DemandSet
 from repro.network.graph import QuantumNetwork
@@ -226,8 +226,15 @@ class AlgNFusion:
         *,
         ledger: QubitLedger,
         rate_cache: Optional[ChannelRateCache] = None,
+        banned_nodes: FrozenSet[int] = frozenset(),
+        banned_edges: FrozenSet[Tuple[int, int]] = frozenset(),
     ) -> RoutingResult:
         """Route ONE arriving demand against the residual in *ledger*.
+
+        ``banned_nodes``/``banned_edges`` mask elements out of every
+        candidate search (the serving loop passes its down-element
+        sets) — decision-identical to routing on a residual view from
+        which those elements were removed.
 
         The serving loop's incremental re-planning interface.  Decision-
         identical to :meth:`route` on a network whose switch capacities
@@ -263,6 +270,8 @@ class AlgNFusion:
                 ledger=ledger,
                 max_hops=self.max_hops,
                 rate_cache=rate_cache,
+                banned_nodes=banned_nodes,
+                banned_edges=banned_edges,
             )
         }
         flows: Dict[int, FlowLikeGraph] = {}
@@ -280,6 +289,8 @@ class AlgNFusion:
                 ledger=ledger,
                 max_hops=self.max_hops,
                 rate_cache=rate_cache,
+                banned_nodes=banned_nodes,
+                banned_edges=banned_edges,
             )
             if not selected:
                 break

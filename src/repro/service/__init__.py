@@ -3,7 +3,9 @@
 The batch experiments route a fixed demand set once; this package
 serves a *stream* — demands arrive (Poisson or trace-driven), admitted
 flows hold qubits until they depart, departures release capacity, and
-every arrival is re-planned against the residual network.  See
+every arrival is re-planned against the residual network.  Links and
+switches can fail and recover mid-run (:mod:`repro.service.faults`),
+disrupting held flows that the loop repairs or drops per policy.  See
 :mod:`repro.service.arrivals` (the arrival-process grammar),
 :mod:`repro.service.loop` (the event loop and its two re-planning
 modes) and :mod:`repro.service.runner` (multi-seed replication,
@@ -19,7 +21,22 @@ from repro.service.arrivals import (
     parse_arrivals,
     poisson_events,
     read_trace,
+    validate_events,
     write_trace,
+)
+from repro.service.faults import (
+    BackoffSpec,
+    FaultEvent,
+    FaultSpec,
+    FaultSpecError,
+    RepairSpec,
+    as_faults,
+    as_repair,
+    fault_events,
+    parse_faults,
+    parse_repair,
+    read_fault_trace,
+    write_fault_trace,
 )
 from repro.service.loop import (
     REPLAN_MODES,
@@ -40,20 +57,33 @@ __all__ = [
     "ArrivalEvent",
     "ArrivalSpec",
     "ArrivalSpecError",
+    "BackoffSpec",
+    "FaultEvent",
+    "FaultSpec",
+    "FaultSpecError",
     "HoldSpec",
     "REPLAN_MODES",
+    "RepairSpec",
     "ServeMetrics",
     "ServeReport",
     "ServeRun",
     "ServeSession",
     "as_arrivals",
+    "as_faults",
+    "as_repair",
+    "fault_events",
     "latency_summary",
     "parse_arrivals",
+    "parse_faults",
+    "parse_repair",
     "poisson_events",
+    "read_fault_trace",
     "read_trace",
     "residual_view",
     "run_serve",
     "run_serve_experiment",
     "serve_key",
+    "validate_events",
+    "write_fault_trace",
     "write_trace",
 ]

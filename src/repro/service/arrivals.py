@@ -258,6 +258,26 @@ class ArrivalSpec(SpecBase):
         }
 
 
+def validate_events(events) -> None:
+    """Reject arrival sequences the serving loop cannot trust.
+
+    The event loop assumes time-sorted arrivals (departure processing
+    interleaves on that order); feeding it an unsorted list would
+    silently serve arrivals against releases from their own future.
+    Named-position errors make a broken hand-written trace (or a buggy
+    programmatic caller) debuggable.  Negative times are impossible by
+    :class:`ArrivalEvent` construction; this checks ordering.
+    """
+    last: Optional[float] = None
+    for index, event in enumerate(events):
+        if last is not None and event.time < last:
+            raise ArrivalSpecError(
+                f"arrival events must be time-sorted; event {index} at "
+                f"t={event.time!r} precedes its predecessor at t={last!r}"
+            )
+        last = event.time
+
+
 def parse_arrivals(text: str) -> ArrivalSpec:
     """Parse an arrival spec string (the CLI ``--arrivals`` type)."""
     return ArrivalSpec.from_string(text)
@@ -404,6 +424,14 @@ def read_trace(path: Union[str, Path]) -> List[List[ArrivalEvent]]:
             ) from None
         try:
             replication = record["replication"]
+            if isinstance(replication, bool) or not isinstance(
+                replication, int
+            ):
+                # A float or bool here would silently alias another
+                # replication's event list (or crash the list index).
+                raise ArrivalSpecError(
+                    f"replication must be an int, got {replication!r}"
+                )
             event = ArrivalEvent(
                 time=float(record["time"]),
                 source_index=int(record["source"]),

@@ -22,7 +22,7 @@ and are never cached (cache hits report no latency).
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ConfigurationError
@@ -45,6 +45,15 @@ from repro.service.arrivals import (
     poisson_events,
     read_trace,
     write_trace,
+)
+from repro.service.faults import (
+    FaultEvent,
+    FaultSpec,
+    RepairSpec,
+    as_faults,
+    as_repair,
+    fault_events,
+    read_fault_trace,
 )
 from repro.service.loop import (
     REPLAN_MODES,
@@ -73,9 +82,17 @@ def serve_key(
     duration: float,
     warmup: float,
     sample_seed: int,
+    faults: Optional[FaultSpec] = None,
+    repair: Optional[RepairSpec] = None,
 ) -> str:
-    """Content hash addressing one replication's deterministic metrics."""
-    return payload_key({
+    """Content hash addressing one replication's deterministic metrics.
+
+    Fault-free runs hash the exact pre-fault payload (no ``faults``
+    key at all), so existing cache entries stay addressable; a fault
+    spec extends the payload with its own identity and the repair
+    policy (repair decisions change the metrics, so it must key).
+    """
+    payload = {
         "cache_format_version": CACHE_FORMAT_VERSION,
         "kind": SERVE_KIND,
         "scenario": scenario.config_dict(),
@@ -84,7 +101,13 @@ def serve_key(
         "duration": duration,
         "warmup": warmup,
         "sample_seed": sample_seed,
-    })
+    }
+    if faults is not None:
+        payload["faults"] = faults.config_dict()
+        payload["repair"] = (
+            repair if repair is not None else RepairSpec()
+        ).config_dict()
+    return payload_key(payload)
 
 
 @dataclass(frozen=True)
@@ -102,6 +125,9 @@ class ServeTask:
     warmup: float
     replan: str
     collect_events: bool = False
+    faults: Optional[FaultSpec] = None
+    fault_timeline: Optional[Tuple[FaultEvent, ...]] = None
+    repair: Optional[RepairSpec] = None
 
 
 def _execute_serve_task(task: ServeTask) -> Dict:
@@ -116,6 +142,15 @@ def _execute_serve_task(task: ServeTask) -> Dict:
             task.arrivals, task.sample_seed, len(network.users()),
             task.duration,
         )
+    if task.fault_timeline is not None:
+        timeline = list(task.fault_timeline)
+    elif task.faults is not None:
+        timeline = fault_events(
+            task.faults, task.sample_seed, len(network.edge_keys()),
+            len(network.switches()), task.duration,
+        )
+    else:
+        timeline = []
     run = run_serve(
         network,
         setting.link_model(),
@@ -125,6 +160,8 @@ def _execute_serve_task(task: ServeTask) -> Dict:
         task.duration,
         task.warmup,
         task.replan,
+        faults=timeline,
+        repair=task.repair,
     )
     result = {
         "router_index": task.router_index,
@@ -132,6 +169,7 @@ def _execute_serve_task(task: ServeTask) -> Dict:
         "mode": run.mode,
         "metrics": dataclasses.asdict(run.metrics),
         "latencies_s": run.latencies_s,
+        "repair_latencies_s": run.repair_latencies_s,
     }
     if task.collect_events:
         result["events"] = events
@@ -160,6 +198,10 @@ class ServeReport:
     rows: Dict[Tuple[int, int], ServeMetrics]
     latencies_s: Dict[int, List[float]]
     cached: Dict[int, int]
+    faults: Optional[FaultSpec] = None
+    repair: Optional[RepairSpec] = None
+    repair_latencies_s: Dict[int, List[float]] = field(default_factory=dict)
+    baseline_throughput: Optional[Dict[int, float]] = None
 
     def metrics_for(self, router_index: int) -> List[ServeMetrics]:
         """One router's metrics, in replication order."""
@@ -168,48 +210,91 @@ class ServeReport:
             for replication in range(self.replications)
         ]
 
+    def mean_metrics_for(self, router_index: int) -> ServeMetrics:
+        """One router's replication-aggregated row (counters summed,
+        ratios and time averages meaned)."""
+        series = self.metrics_for(router_index)
+        n = len(series)
+        return ServeMetrics(
+            arrivals=sum(m.arrivals for m in series),
+            admitted=sum(m.admitted for m in series),
+            rejected=sum(m.rejected for m in series),
+            admission_ratio=sum(m.admission_ratio for m in series) / n,
+            throughput=sum(m.throughput for m in series) / n,
+            mean_held=sum(m.mean_held for m in series) / n,
+            mean_hold=sum(m.mean_hold for m in series) / n,
+            disruptions=sum(m.disruptions for m in series),
+            repaired=sum(m.repaired for m in series),
+            dropped=sum(m.dropped for m in series),
+            repair_ratio=sum(m.repair_ratio for m in series) / n,
+        )
+
     def to_text(self) -> str:
         """Deterministic stdout report (header, per-replication rows,
-        per-router means) — a pure function of the run's spec."""
-        lines = [
+        per-router means) — a pure function of the run's spec.
+
+        Without faults the text is byte-identical to the pre-fault
+        report; an active fault spec extends the header and adds the
+        disruption/repair columns plus a per-router degradation line
+        against the fault-free companion run.
+        """
+        header_line = (
             "online serve: "
             f"scenario={self.scenario.to_string()} "
             f"arrivals={self.arrivals.to_string()} "
             f"duration={self.duration!r} warmup={self.warmup!r} "
             f"replications={self.replications} seed={self.seed}"
-        ]
+        )
+        if self.faults is not None:
+            repair = self.repair if self.repair is not None else RepairSpec()
+            header_line += (
+                f" faults={self.faults.to_string()} "
+                f"repair={repair.to_string()}"
+            )
+        lines = [header_line]
         width = max(len(label) for label in self.labels) + 2
         header = (
             f"{'router':<{width}}{'rep':>5}{'arrivals':>10}"
             f"{'admitted':>10}{'ratio':>9}{'throughput':>13}"
             f"{'mean-held':>11}{'mean-hold':>11}"
         )
+        if self.faults is not None:
+            header += f"{'disrupt':>9}{'repaired':>10}{'dropped':>9}"
         lines.append(header)
         lines.append("-" * len(header))
 
         def row(label: str, rep: str, m: ServeMetrics) -> str:
-            return (
+            text = (
                 f"{label:<{width}}{rep:>5}{m.arrivals:>10}"
                 f"{m.admitted:>10}{m.admission_ratio:>9.4f}"
                 f"{m.throughput:>13.6f}{m.mean_held:>11.4f}"
                 f"{m.mean_hold:>11.4f}"
             )
+            if self.faults is not None:
+                text += (
+                    f"{m.disruptions:>9}{m.repaired:>10}{m.dropped:>9}"
+                )
+            return text
 
         for router_index, label in enumerate(self.labels):
             series = self.metrics_for(router_index)
             for replication, metrics in enumerate(series):
                 lines.append(row(label, str(replication), metrics))
-            n = len(series)
-            mean = ServeMetrics(
-                arrivals=sum(m.arrivals for m in series),
-                admitted=sum(m.admitted for m in series),
-                rejected=sum(m.rejected for m in series),
-                admission_ratio=sum(m.admission_ratio for m in series) / n,
-                throughput=sum(m.throughput for m in series) / n,
-                mean_held=sum(m.mean_held for m in series) / n,
-                mean_hold=sum(m.mean_hold for m in series) / n,
-            )
+            mean = self.mean_metrics_for(router_index)
             lines.append(row(label, "mean", mean))
+            if (
+                self.baseline_throughput is not None
+                and router_index in self.baseline_throughput
+            ):
+                base = self.baseline_throughput[router_index]
+                degradation = (
+                    (base - mean.throughput) / base * 100.0 if base else 0.0
+                )
+                lines.append(
+                    f"{label}: fault-free throughput {base:.6f} -> "
+                    f"{mean.throughput:.6f} under faults "
+                    f"(degradation {degradation:.2f}%)"
+                )
         return "\n".join(lines)
 
     def latency_text(self) -> str:
@@ -238,6 +323,24 @@ class ServeReport:
                 f"p99={stats['p99_ms']:.2f}ms "
                 f"mean={stats['mean_ms']:.2f}ms{note}"
             )
+        if self.faults is None:
+            return "\n".join(lines)
+        for router_index, label in enumerate(self.labels):
+            mode = self.modes[router_index]
+            pooled = self.repair_latencies_s.get(router_index, [])
+            if not pooled:
+                lines.append(
+                    f"recovery latency [{label}] ({mode}): no repair "
+                    "attempts measured (cache hits or no disruptions)"
+                )
+                continue
+            stats = latency_summary(pooled)
+            lines.append(
+                f"recovery latency [{label}] ({mode}): "
+                f"n={stats['count']} p50={stats['p50_ms']:.2f}ms "
+                f"p99={stats['p99_ms']:.2f}ms "
+                f"mean={stats['mean_ms']:.2f}ms"
+            )
         return "\n".join(lines)
 
 
@@ -248,12 +351,18 @@ def _metrics_from_entry(entry: Dict) -> Optional[ServeMetrics]:
     if not isinstance(metrics, dict) or set(metrics) != fields:
         return None
     values = {}
-    for name in ("arrivals", "admitted", "rejected"):
+    for name in (
+        "arrivals", "admitted", "rejected",
+        "disruptions", "repaired", "dropped",
+    ):
         value = metrics[name]
         if not isinstance(value, int) or isinstance(value, bool):
             return None
         values[name] = value
-    for name in ("admission_ratio", "throughput", "mean_held", "mean_hold"):
+    for name in (
+        "admission_ratio", "throughput", "mean_held", "mean_hold",
+        "repair_ratio",
+    ):
         value = metrics[name]
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             return None
@@ -273,6 +382,8 @@ def run_serve_experiment(
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     record_trace: Optional[str] = None,
+    faults: Union[str, FaultSpec, None] = None,
+    repair: Union[str, RepairSpec, None] = None,
 ) -> ServeReport:
     """Serve one scenario under one arrival process, replicated.
 
@@ -283,6 +394,12 @@ def run_serve_experiment(
     ``replications`` is overridden by a trace's recorded count.
     ``record_trace`` writes the (Poisson) event streams to a replayable
     trace file and forces fresh execution (a cache hit has no events).
+
+    ``faults`` turns on fault injection (a :class:`FaultSpec` or its
+    string form); ``repair`` picks the recovery policy and defaults to
+    ``reroute`` when faults are active.  A fault run also serves the
+    same configuration fault-free (one recursive call, sharing the
+    cache and workers) so the report can state throughput degradation.
     """
     from repro.routing.registry import parse_router_specs
 
@@ -294,6 +411,14 @@ def run_serve_experiment(
     scenario = as_scenario(scenario)
     arrivals = as_arrivals(
         arrivals if arrivals is not None else ArrivalSpec()
+    )
+    faults = as_faults(faults) if faults is not None else None
+    if repair is not None and faults is None:
+        raise ConfigurationError(
+            "a repair policy needs an active fault spec; pass faults="
+        )
+    repair = as_repair(repair) if repair is not None else (
+        RepairSpec() if faults is not None else None
     )
     if routers is None:
         routers = [
@@ -319,6 +444,15 @@ def run_serve_experiment(
             )
         trace_events = read_trace(arrivals.file)
         replications = len(trace_events)
+    fault_traces: Optional[List[List[FaultEvent]]] = None
+    if faults is not None and faults.kind == "trace":
+        fault_traces = read_fault_trace(faults.file)
+        if trace_events is not None and len(fault_traces) != replications:
+            raise ConfigurationError(
+                f"fault trace records {len(fault_traces)} replication(s) "
+                f"but the arrival trace records {replications}"
+            )
+        replications = len(fault_traces)
     if replications < 1:
         raise ConfigurationError(
             f"replications must be >= 1, got {replications}"
@@ -335,7 +469,8 @@ def run_serve_experiment(
     for router_index, router in enumerate(routers):
         for replication, sample_seed in enumerate(seeds):
             key = serve_key(
-                scenario, router, arrivals, duration, warmup, sample_seed
+                scenario, router, arrivals, duration, warmup, sample_seed,
+                faults=faults, repair=repair,
             )
             keys[(router_index, replication)] = key
             if cache is not None and record_trace is None:
@@ -366,12 +501,20 @@ def run_serve_experiment(
                     collect_events=(
                         record_trace is not None and router_index == 0
                     ),
+                    faults=faults,
+                    fault_timeline=(
+                        tuple(fault_traces[replication])
+                        if fault_traces is not None
+                        else None
+                    ),
+                    repair=repair,
                 )
             )
 
     results = parallel_map(_execute_serve_task, tasks, workers)
 
     latencies: Dict[int, List[float]] = {}
+    repair_latencies: Dict[int, List[float]] = {}
     modes: Dict[int, str] = {}
     recorded: Dict[int, List[ArrivalEvent]] = {}
     for task, result in zip(tasks, results):
@@ -380,6 +523,9 @@ def run_serve_experiment(
         rows[position] = metrics
         latencies.setdefault(result["router_index"], []).extend(
             result["latencies_s"]
+        )
+        repair_latencies.setdefault(result["router_index"], []).extend(
+            result["repair_latencies_s"]
         )
         modes[result["router_index"]] = result["mode"]
         if "events" in result:
@@ -407,6 +553,28 @@ def run_serve_experiment(
         else:
             mode_list.append("resnapshot")
 
+    baseline_throughput: Optional[Dict[int, float]] = None
+    if faults is not None:
+        # The degradation line needs the fault-free companion run; it
+        # shares cache and workers, so repeated fault runs pay for the
+        # baseline once.
+        baseline = run_serve_experiment(
+            scenario=scenario,
+            routers=routers,
+            arrivals=arrivals,
+            duration=duration,
+            warmup=warmup,
+            replications=replications,
+            seed=seed,
+            replan=replan,
+            workers=workers,
+            cache=cache,
+        )
+        baseline_throughput = {
+            router_index: baseline.mean_metrics_for(router_index).throughput
+            for router_index in range(len(routers))
+        }
+
     return ServeReport(
         scenario=scenario,
         arrivals=arrivals,
@@ -420,4 +588,8 @@ def run_serve_experiment(
         rows=rows,
         latencies_s=latencies,
         cached=cached,
+        faults=faults,
+        repair=repair,
+        repair_latencies_s=repair_latencies,
+        baseline_throughput=baseline_throughput,
     )

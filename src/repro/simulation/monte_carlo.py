@@ -45,21 +45,63 @@ def estimate_plan_rate(
     swap_model: Optional[SwapModel] = None,
     trials: int = 500,
     rng: Optional[RandomState] = None,
+    link_survival: float = 1.0,
+    switch_survival: float = 1.0,
 ) -> MonteCarloEstimate:
     """Monte Carlo estimate of a plan's network entanglement rate.
 
     Per trial, each flow's establishment (0/1) is summed into a network
     total; the estimate is over per-trial totals, so its standard error
     reflects cross-demand variance correctly.
+
+    ``link_survival``/``switch_survival`` below ``1.0`` draw one
+    network-wide keep/lose mask per trial (canonical element order:
+    sorted ``edge_keys()``, then ``switches()``) *before* the trial's
+    flow draws; a lost edge zeroes its channel and a lost switch fails
+    its fusion in every flow of that trial — the same semantics, in
+    distribution, as the vectorised engine's masks.  The default
+    ``1.0`` draws nothing, leaving the loss-free stream untouched.
     """
     rng = ensure_rng(rng)
     simulator = EntanglementProcessSimulator(network, link_model, swap_model, rng)
     flows = plan.flows()
+    mask_survival = link_survival != 1.0 or switch_survival != 1.0
+    edge_keys = sorted(network.edge_keys()) if mask_survival else []
+    switches = list(network.switches()) if mask_survival else []
     totals = []
     for _ in range(trials):
+        lost_edges = set()
+        lost_switches = set()
+        if mask_survival:
+            if link_survival != 1.0:
+                for key in edge_keys:
+                    if not rng.uniform() < link_survival:
+                        lost_edges.add(key)
+            if switch_survival != 1.0:
+                for switch in switches:
+                    if not rng.uniform() < switch_survival:
+                        lost_switches.add(switch)
         total = 0.0
         for flow in flows:
             sample = simulator.sampler.sample(flow)
+            if lost_edges or lost_switches:
+                sample = _mask_sample(sample, lost_edges, lost_switches)
             total += 1.0 if simulator.establishment(flow, sample) else 0.0
         totals.append(total)
     return MonteCarloEstimate.from_outcomes(totals)
+
+
+def _mask_sample(sample, lost_edges, lost_switches):
+    """*sample* with the trial's lost infrastructure failed outright."""
+    from repro.simulation.sampler import TrialSample
+
+    return TrialSample(
+        link_successes={
+            key: 0 if key in lost_edges else count
+            for key, count in sample.link_successes.items()
+        },
+        switch_successes={
+            node: False if node in lost_switches else ok
+            for node, ok in sample.switch_successes.items()
+        },
+    )

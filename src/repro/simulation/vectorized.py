@@ -14,6 +14,14 @@ trials of a flow simultaneously with numpy boolean algebra:
 Semantics are identical to the reference engine draw-for-draw (the test
 suite checks agreement in distribution), at 1-2 orders of magnitude higher
 throughput, which is what makes the validation benches cheap.
+
+``plan_estimate`` can additionally sample **survival masks**: per trial
+a network-wide Bernoulli keep/lose draw over every edge and switch
+(``link_survival``/``switch_survival``), shared by all of the plan's
+flows so one lost element fails every flow crossing it in that trial.
+A masked-out edge behaves as a failed channel and a masked-out switch
+as a failed fusion; the default ``1.0`` draws nothing, leaving the
+estimation stream byte-identical to the loss-free engine.
 """
 
 from __future__ import annotations
@@ -64,8 +72,41 @@ class VectorizedProcessSimulator:
         draws = self._rng.uniform(size=(trials // 2, count))
         return np.concatenate([draws, 1.0 - draws], axis=0)
 
+    def _survival_masks(
+        self,
+        trials: int,
+        link_survival: float,
+        switch_survival: float,
+        antithetic: bool,
+    ) -> "Tuple[Dict[Tuple[int, int], np.ndarray], Dict[int, np.ndarray]]":
+        """Network-wide per-trial keep/lose masks.
+
+        Drawn once per estimate in the network's canonical element order
+        (sorted ``edge_keys()``, then ``switches()``), *before* any flow
+        draws — a pure function of the estimation stream, shared across
+        every flow of the plan.  Elements with survival ``1.0`` draw
+        nothing.
+        """
+        edge_masks: Dict[Tuple[int, int], np.ndarray] = {}
+        switch_masks: Dict[int, np.ndarray] = {}
+        if link_survival != 1.0:
+            edge_keys = sorted(self.network.edge_keys())
+            draws = self._uniforms(trials, len(edge_keys), antithetic)
+            for column, key in enumerate(edge_keys):
+                edge_masks[key] = draws[:, column] < link_survival
+        if switch_survival != 1.0:
+            switches = list(self.network.switches())
+            draws = self._uniforms(trials, len(switches), antithetic)
+            for column, switch in enumerate(switches):
+                switch_masks[switch] = draws[:, column] < switch_survival
+        return edge_masks, switch_masks
+
     def simulate_flow(
-        self, flow: FlowLikeGraph, trials: int, antithetic: bool = False
+        self,
+        flow: FlowLikeGraph,
+        trials: int,
+        antithetic: bool = False,
+        survival_masks: "Optional[Tuple[Dict, Dict]]" = None,
     ) -> np.ndarray:
         """Boolean establishment outcomes of shape ``(trials,)``."""
         if trials < 1:
@@ -101,6 +142,21 @@ class VectorizedProcessSimulator:
                     self._uniforms(trials, 1, antithetic)[:, 0] < q
                 )
 
+        # Infrastructure loss: a masked-out edge is a failed channel, a
+        # masked-out switch a failed fusion, in exactly the trials the
+        # network-wide draw lost them.
+        if survival_masks is not None:
+            edge_masks, switch_masks = survival_masks
+            for column, (u, v) in enumerate(edges):
+                key = (u, v) if u < v else (v, u)
+                mask = edge_masks.get(key)
+                if mask is not None:
+                    channels_ok[:, column] &= mask
+            for node in nodes:
+                mask = switch_masks.get(node)
+                if mask is not None:
+                    node_alive[:, node_index[node]] &= mask
+
         # An edge is usable when its channel delivered and both endpoints
         # survived: trials x edges.
         endpoint_u = np.array([node_index[u] for u, _ in edges])
@@ -134,7 +190,12 @@ class VectorizedProcessSimulator:
         return float(self.simulate_flow(flow, trials).mean())
 
     def plan_estimate(
-        self, plan: RoutingPlan, trials: int, antithetic: bool = False
+        self,
+        plan: RoutingPlan,
+        trials: int,
+        antithetic: bool = False,
+        link_survival: float = 1.0,
+        switch_survival: float = 1.0,
     ) -> MonteCarloEstimate:
         """Monte Carlo estimate of a plan's network entanglement rate.
 
@@ -142,15 +203,24 @@ class VectorizedProcessSimulator:
         mirror pairs; the mean is unchanged in expectation while the
         standard error — computed over the ``trials/2`` independent
         pair means, the valid estimator under pairing — shrinks at
-        equal trial count.
+        equal trial count.  ``link_survival``/``switch_survival`` below
+        ``1.0`` additionally sample per-trial network-wide element loss
+        (see the module docstring); the masks mirror under antithetic
+        pairing like every other draw.
         """
         flows = plan.flows()
         if not flows:
             return MonteCarloEstimate(0.0, 0.0, trials)
+        survival_masks = None
+        if link_survival != 1.0 or switch_survival != 1.0:
+            survival_masks = self._survival_masks(
+                trials, link_survival, switch_survival, antithetic
+            )
         totals = np.zeros(trials)
         for flow in flows:
             totals += self.simulate_flow(
-                flow, trials, antithetic=antithetic
+                flow, trials, antithetic=antithetic,
+                survival_masks=survival_masks,
             ).astype(float)
         if antithetic:
             half = trials // 2

@@ -1,10 +1,12 @@
 """The shared ``key[:name=value,...]`` spec-string grammar.
 
-Four user-facing configuration grammars share this base:
+Six user-facing configuration grammars share this base:
 :class:`~repro.routing.registry.RouterSpec`,
 :class:`~repro.experiments.scenarios.ScenarioSpec`,
-:class:`~repro.experiments.estimators.EstimatorSpec` and
-:class:`~repro.service.arrivals.ArrivalSpec`.  Each used to hand-roll
+:class:`~repro.experiments.estimators.EstimatorSpec`,
+:class:`~repro.service.arrivals.ArrivalSpec`,
+:class:`~repro.service.faults.FaultSpec` and
+:class:`~repro.service.faults.RepairSpec`.  Each used to hand-roll
 the same ``partition``/``split`` tokenizer with slightly different
 error wording; this module centralises the grammar so
 
@@ -48,9 +50,9 @@ class SpecError(ConfigurationError, ValueError):
     Subclasses :class:`ValueError` so ``argparse`` type callables can
     surface the message as a normal usage error.  Each grammar raises
     its own subclass (``RouterSpecError``, ``ScenarioSpecError``,
-    ``EstimatorSpecError``, ``ArrivalSpecError``), so existing
-    ``except`` clauses keep working while ``except SpecError`` catches
-    any of them.
+    ``EstimatorSpecError``, ``ArrivalSpecError``, ``FaultSpecError``),
+    so existing ``except`` clauses keep working while ``except
+    SpecError`` catches any of them.
     """
 
 
@@ -252,5 +254,9 @@ def spec_subclasses() -> List[type]:
     from repro.experiments.scenarios import ScenarioSpec
     from repro.routing.registry import RouterSpec
     from repro.service.arrivals import ArrivalSpec
+    from repro.service.faults import FaultSpec, RepairSpec
 
-    return [RouterSpec, ScenarioSpec, EstimatorSpec, ArrivalSpec]
+    return [
+        RouterSpec, ScenarioSpec, EstimatorSpec, ArrivalSpec,
+        FaultSpec, RepairSpec,
+    ]

@@ -87,6 +87,23 @@ class TestRPL001Nondeterminism:
             "from time import monotonic_ns\n"
         ) == ["RPL001"]
 
+    def test_fires_on_sleep(self):
+        # Simulated time never sleeps: retry/backoff delays are event
+        # timestamps, not wall-clock waits.
+        assert codes("import time\ntime.sleep(1.0)\n") == ["RPL001"]
+        assert codes("from time import sleep\n") == ["RPL001"]
+
+    def test_sleep_message_points_at_backoff_delays(self):
+        diags = lint_source("import time\ntime.sleep(1.0)\n", "module.py")
+        assert len(diags) == 1
+        assert "backoff_delays" in diags[0].message
+
+    def test_retry_module_lints_clean(self):
+        # The deterministic backoff helper exists precisely so repair
+        # scheduling never needs a clock; it must satisfy its own rule.
+        source = (REPO_SRC / "repro/utils/retry.py").read_text()
+        assert codes(source, "src/repro/utils/retry.py") == []
+
     def test_timing_module_may_read_clocks(self):
         clock = "import time\nt = time.perf_counter()\n"
         assert codes(clock, "src/repro/utils/timing.py") == []

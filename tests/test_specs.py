@@ -1,6 +1,6 @@
 """The shared spec-grammar base (``repro.specs``).
 
-Covers the uniform surface the four grammars inherit — ``parse`` /
+Covers the uniform surface the six grammars inherit — ``parse`` /
 ``to_string`` / ``config_dict`` round-trips, uniform unknown-parameter
 and duplicate errors naming the valid keys — and pins the cache keys
 byte-for-byte against digests frozen *before* the parsers moved onto
@@ -20,6 +20,7 @@ from repro.experiments.scenarios import (
 )
 from repro.routing.registry import RouterSpec, RouterSpecError
 from repro.service.arrivals import ArrivalSpec, ArrivalSpecError
+from repro.service.faults import FaultSpec, FaultSpecError, RepairSpec
 from repro.specs import (
     SpecBase,
     SpecError,
@@ -30,9 +31,13 @@ from repro.specs import (
     split_spec,
 )
 
-ALL_SPECS = [RouterSpec, ScenarioSpec, EstimatorSpec, ArrivalSpec]
+ALL_SPECS = [
+    RouterSpec, ScenarioSpec, EstimatorSpec, ArrivalSpec,
+    FaultSpec, RepairSpec,
+]
 ALL_ERRORS = [
     RouterSpecError, ScenarioSpecError, EstimatorSpecError, ArrivalSpecError,
+    FaultSpecError,
 ]
 
 #: One representative spec string per grammar that exercises parameters.
@@ -41,6 +46,8 @@ SAMPLE_STRINGS = {
     ScenarioSpec: "waxman:switches=30,users=6,states=5",
     EstimatorSpec: "mc:trials=200,engine=vectorized,antithetic=true",
     ArrivalSpec: "poisson:rate=1.5,hold=fixed:mean=12.5",
+    FaultSpec: "faults:link_mtbf=120.0,switch_p=0.01",
+    RepairSpec: "reroute:retries=4,backoff=fixed:base=2.0",
 }
 
 #: One spec string with an unknown parameter per grammar.
@@ -49,6 +56,8 @@ UNKNOWN_PARAM_STRINGS = {
     ScenarioSpec: "waxman:bogus=1",
     EstimatorSpec: "mc:bogus=1",
     ArrivalSpec: "poisson:bogus=1",
+    FaultSpec: "faults:bogus=1",
+    RepairSpec: "reroute:bogus=1",
 }
 
 #: A valid parameter name per grammar (must appear in unknown errors).
@@ -57,11 +66,13 @@ A_VALID_PARAM = {
     ScenarioSpec: "switches",
     EstimatorSpec: "trials",
     ArrivalSpec: "hold",
+    FaultSpec: "link_mtbf",
+    RepairSpec: "retries",
 }
 
 
 class TestSharedSurface:
-    def test_spec_subclasses_lists_all_four(self):
+    def test_spec_subclasses_lists_all_six(self):
         assert spec_subclasses() == ALL_SPECS
 
     def test_all_inherit_spec_base(self):
